@@ -1,0 +1,50 @@
+//! Figure regeneration under `cargo bench`.
+//!
+//! Each bench target times one figure driver from `mvc-eval` with a reduced
+//! trial count and, as a side effect, prints the regenerated series once —
+//! so `cargo bench -p mvc-bench --bench figures` both times the evaluation
+//! pipeline and reproduces the paper's Figures 4–7 plus the adaptive
+//! ablation.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mvc_eval::{adaptive_ablation, fig4, fig5, fig6, fig7, render_table, FigureData};
+
+const TRIALS: usize = 3;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_all_figures_once() {
+    PRINT_ONCE.call_once(|| {
+        for figure in [
+            fig4(TRIALS),
+            fig5(TRIALS),
+            fig6(TRIALS),
+            fig7(TRIALS),
+            adaptive_ablation(TRIALS),
+        ] {
+            println!("{}", render_table(&figure));
+        }
+    });
+}
+
+fn total_points(figure: &FigureData) -> usize {
+    figure.series.iter().map(|s| s.points.len()).sum()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_all_figures_once();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig4", |b| b.iter(|| total_points(&fig4(1))));
+    group.bench_function("fig5", |b| b.iter(|| total_points(&fig5(1))));
+    group.bench_function("fig6", |b| b.iter(|| total_points(&fig6(1))));
+    group.bench_function("fig7", |b| b.iter(|| total_points(&fig7(1))));
+    group.bench_function("adaptive", |b| b.iter(|| total_points(&adaptive_ablation(1))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

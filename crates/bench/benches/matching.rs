@@ -1,0 +1,66 @@
+//! Benchmarks for the offline algorithm's building blocks: maximum matching
+//! (Hopcroft–Karp vs. the simple augmenting-path baseline) and the full
+//! offline plan (matching + Kőnig–Egerváry cover), across graph sizes and
+//! densities.  Supports the paper's choice of Hopcroft–Karp in Section III-B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mvc_bench::{bench_graph, GRAPH_SIZES};
+use mvc_core::OfflineOptimizer;
+use mvc_graph::matching::{hopcroft_karp, simple_augmenting};
+
+fn bench_matching_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for &nodes in GRAPH_SIZES {
+        let graph = bench_graph(nodes, 0.05, 42);
+        group.throughput(Throughput::Elements(graph.edge_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("hopcroft-karp", nodes),
+            &graph,
+            |b, g| b.iter(|| hopcroft_karp(g).size()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simple-augmenting", nodes),
+            &graph,
+            |b, g| b.iter(|| simple_augmenting(g).size()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_density_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching-density");
+    for &density in &[0.01, 0.05, 0.2, 0.5] {
+        let graph = bench_graph(200, density, 7);
+        group.throughput(Throughput::Elements(graph.edge_count().max(1) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("hopcroft-karp", format!("d{density}")),
+            &graph,
+            |b, g| b.iter(|| hopcroft_karp(g).size()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_offline_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline-plan");
+    for &nodes in GRAPH_SIZES {
+        let graph = bench_graph(nodes, 0.05, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &graph, |b, g| {
+            b.iter(|| {
+                OfflineOptimizer::new()
+                    .plan_for_graph(g.clone())
+                    .clock_size()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matching_algorithms,
+    bench_density_sensitivity,
+    bench_offline_plan
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Per-event overhead of the online mechanisms (Section IV): how much does
+//! component selection plus incremental timestamping cost per operation?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mvc_bench::bench_workload;
+use mvc_online::{Adaptive, Naive, OnlineMechanism, OnlineTimestamper, Popularity, Random};
+use mvc_trace::Computation;
+
+fn run_mechanism<M: OnlineMechanism>(mechanism: M, workload: &Computation) -> usize {
+    OnlineTimestamper::new(mechanism)
+        .run(workload)
+        .stats
+        .clock_size()
+}
+
+fn bench_online_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online-mechanisms");
+    let events = 20_000;
+    let workload = bench_workload(events, 23);
+    group.throughput(Throughput::Elements(events as u64));
+    group.bench_with_input(
+        BenchmarkId::new("naive-threads", events),
+        &workload,
+        |b, w| b.iter(|| run_mechanism(Naive::threads(), w)),
+    );
+    group.bench_with_input(BenchmarkId::new("random", events), &workload, |b, w| {
+        b.iter(|| run_mechanism(Random::seeded(3), w))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("popularity", events),
+        &workload,
+        |b, w| b.iter(|| run_mechanism(Popularity::new(), w)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("adaptive", events),
+        &workload,
+        |b, w| b.iter(|| run_mechanism(Adaptive::with_paper_thresholds(), w)),
+    );
+    group.finish();
+}
+
+fn bench_online_decision_only(c: &mut Criterion) {
+    use mvc_graph::{GraphScenario, RandomGraphBuilder};
+    use mvc_online::simulate_final_size;
+
+    let mut group = c.benchmark_group("online-decision-only");
+    let (_, stream) = RandomGraphBuilder::new(200, 200)
+        .density(0.05)
+        .scenario(GraphScenario::default_nonuniform())
+        .seed(31)
+        .build_edge_stream();
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("popularity", stream.len()),
+        &stream,
+        |b, s| b.iter(|| simulate_final_size(&mut Popularity::new(), s)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("naive-threads", stream.len()),
+        &stream,
+        |b, s| b.iter(|| simulate_final_size(&mut Naive::threads(), s)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_mechanisms, bench_online_decision_only);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Timestamping throughput: events per second for the thread, object,
+//! optimal mixed, and chain clock assigners on identical workloads.
+//!
+//! The paper argues for *smaller* vectors; this bench quantifies the runtime
+//! side-effect — fewer components mean cheaper max/merge per event.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mvc_bench::{bench_workload, WORKLOAD_EVENTS};
+use mvc_clock::chain::ChainClockAssigner;
+use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
+use mvc_clock::TimestampAssigner;
+use mvc_core::{OfflineOptimizer, TimestampingEngine};
+
+fn bench_batch_assigners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timestamping");
+    for &events in WORKLOAD_EVENTS {
+        let workload = bench_workload(events, 11);
+        let plan = OfflineOptimizer::new().plan_for_computation(&workload);
+        let mixed = plan.assigner();
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(
+            BenchmarkId::new("thread-clock", events),
+            &workload,
+            |b, w| b.iter(|| ThreadVectorClockAssigner::new().assign(w).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("object-clock", events),
+            &workload,
+            |b, w| b.iter(|| ObjectVectorClockAssigner::new().assign(w).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mixed-clock", events),
+            &workload,
+            |b, w| b.iter(|| mixed.assign(w).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chain-clock", events),
+            &workload,
+            |b, w| b.iter(|| ChainClockAssigner::new().assign(w).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_streaming_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming-engine");
+    for &events in WORKLOAD_EVENTS {
+        let workload = bench_workload(events, 13);
+        let plan = OfflineOptimizer::new().plan_for_computation(&workload);
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    let mut engine =
+                        TimestampingEngine::with_components(plan.components().clone());
+                    let mut last_len = 0;
+                    for e in w.events() {
+                        last_len = engine.observe(e.thread, e.object).unwrap().len();
+                    }
+                    last_len
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_offline_plan_on_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan-from-computation");
+    for &events in WORKLOAD_EVENTS {
+        let workload = bench_workload(events, 17);
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &workload,
+            |b, w| b.iter(|| OfflineOptimizer::new().plan_for_computation(w).clock_size()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_assigners,
+    bench_streaming_engine,
+    bench_offline_plan_on_computation
+);
+criterion_main!(benches);

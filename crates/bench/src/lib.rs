@@ -1,0 +1,65 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The benchmark binaries live in `benches/`:
+//!
+//! * `matching` — Hopcroft–Karp vs. the simple augmenting-path algorithm and
+//!   the full offline plan (matching + Kőnig cover) across graph sizes and
+//!   densities.
+//! * `timestamping` — events-per-second throughput of the thread, object,
+//!   optimal mixed, and chain clock assigners.
+//! * `online` — per-event overhead of the online mechanisms driving the
+//!   incremental engine.
+//! * `figures` — regenerates the data series for Figures 4–7 under Criterion
+//!   timing so the full evaluation is exercised by `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mvc_graph::{BipartiteGraph, GraphScenario, RandomGraphBuilder};
+use mvc_trace::{Computation, WorkloadBuilder, WorkloadKind};
+
+/// Standard graph sizes used by the matching benchmarks.
+pub const GRAPH_SIZES: &[usize] = &[50, 100, 200, 400];
+
+/// Standard workload sizes (events) used by the timestamping benchmarks.
+pub const WORKLOAD_EVENTS: &[usize] = &[1_000, 10_000, 50_000];
+
+/// Builds the uniform random graph used by the matching benches.
+pub fn bench_graph(nodes: usize, density: f64, seed: u64) -> BipartiteGraph {
+    RandomGraphBuilder::new(nodes, nodes)
+        .density(density)
+        .scenario(GraphScenario::Uniform)
+        .seed(seed)
+        .build()
+}
+
+/// Builds the nonuniform workload used by the timestamping benches.
+pub fn bench_workload(events: usize, seed: u64) -> Computation {
+    WorkloadBuilder::new(64, 64)
+        .operations(events)
+        .kind(WorkloadKind::Nonuniform {
+            hot_fraction: 0.2,
+            hot_boost: 6.0,
+        })
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_graph_has_expected_shape() {
+        let g = bench_graph(50, 0.1, 1);
+        assert_eq!(g.n_left(), 50);
+        assert_eq!(g.n_right(), 50);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn bench_workload_has_requested_events() {
+        let c = bench_workload(500, 2);
+        assert_eq!(c.len(), 500);
+    }
+}

@@ -1,0 +1,255 @@
+//! Vector timestamps and their partial order.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of comparing two vector timestamps under the component-wise
+/// partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClockOrd {
+    /// The left timestamp is strictly less than the right (`s.v < t.v`).
+    Before,
+    /// The left timestamp is strictly greater than the right.
+    After,
+    /// The timestamps are equal in every component.
+    Equal,
+    /// The timestamps are incomparable: the events are concurrent.
+    Concurrent,
+}
+
+impl ClockOrd {
+    /// Returns `true` for [`ClockOrd::Before`].
+    pub fn is_before(self) -> bool {
+        self == ClockOrd::Before
+    }
+
+    /// Returns `true` for [`ClockOrd::Concurrent`].
+    pub fn is_concurrent(self) -> bool {
+        self == ClockOrd::Concurrent
+    }
+}
+
+impl fmt::Display for ClockOrd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClockOrd::Before => "before",
+            ClockOrd::After => "after",
+            ClockOrd::Equal => "equal",
+            ClockOrd::Concurrent => "concurrent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A vector timestamp: a fixed-length vector of event counters.
+///
+/// The *meaning* of each component (which thread, object or chain it counts)
+/// is determined by the assigner that produced the timestamp; two timestamps
+/// may only be compared when they were produced by the same assigner over the
+/// same computation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorTimestamp {
+    components: Vec<u64>,
+}
+
+impl VectorTimestamp {
+    /// Creates the zero timestamp with `len` components.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            components: vec![0; len],
+        }
+    }
+
+    /// Creates a timestamp from explicit component values.
+    pub fn from_components(components: Vec<u64>) -> Self {
+        Self { components }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the timestamp has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// The value of component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn component(&self, i: usize) -> u64 {
+        self.components[i]
+    }
+
+    /// Increments component `i` by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn increment(&mut self, i: usize) {
+        self.components[i] += 1;
+    }
+
+    /// Sets this timestamp to the component-wise maximum of itself and
+    /// `other` (the `max(p.v, q.v)` step of every vector clock protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two timestamps have different lengths.
+    pub fn merge_max(&mut self, other: &VectorTimestamp) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot merge timestamps of different widths"
+        );
+        for (a, b) in self.components.iter_mut().zip(other.components.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Compares two timestamps under the component-wise partial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two timestamps have different lengths.
+    pub fn compare(&self, other: &VectorTimestamp) -> ClockOrd {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot compare timestamps of different widths"
+        );
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.components.iter().zip(other.components.iter()) {
+            match a.cmp(b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (less, greater) {
+            (false, false) => ClockOrd::Equal,
+            (true, false) => ClockOrd::Before,
+            (false, true) => ClockOrd::After,
+            (true, true) => ClockOrd::Concurrent,
+        }
+    }
+
+    /// Returns `true` iff `self < other` in the strict component-wise order
+    /// (the vector clock condition's right-hand side).
+    pub fn strictly_less_than(&self, other: &VectorTimestamp) -> bool {
+        self.compare(other) == ClockOrd::Before
+    }
+
+    /// Sum of all components — a cheap upper bound on the number of events
+    /// this timestamp is aware of; used only for diagnostics.
+    pub fn magnitude(&self) -> u64 {
+        self.components.iter().sum()
+    }
+}
+
+impl Index<usize> for VectorTimestamp {
+    type Output = u64;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.components[index]
+    }
+}
+
+impl From<Vec<u64>> for VectorTimestamp {
+    fn from(components: Vec<u64>) -> Self {
+        Self::from_components(components)
+    }
+}
+
+impl fmt::Display for VectorTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_accessors() {
+        let t = VectorTimestamp::zeros(3);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.as_slice(), &[0, 0, 0]);
+        assert_eq!(t.component(1), 0);
+        assert_eq!(t[2], 0);
+        assert_eq!(t.magnitude(), 0);
+        assert!(VectorTimestamp::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn increment_and_merge() {
+        let mut a = VectorTimestamp::zeros(3);
+        a.increment(0);
+        a.increment(0);
+        a.increment(2);
+        let b = VectorTimestamp::from_components(vec![1, 5, 0]);
+        a.merge_max(&b);
+        assert_eq!(a.as_slice(), &[2, 5, 1]);
+        assert_eq!(a.magnitude(), 8);
+    }
+
+    #[test]
+    fn comparison_outcomes() {
+        let a = VectorTimestamp::from(vec![1, 2, 3]);
+        let b = VectorTimestamp::from(vec![2, 2, 4]);
+        let c = VectorTimestamp::from(vec![0, 9, 0]);
+        assert_eq!(a.compare(&b), ClockOrd::Before);
+        assert_eq!(b.compare(&a), ClockOrd::After);
+        assert_eq!(a.compare(&a.clone()), ClockOrd::Equal);
+        assert_eq!(a.compare(&c), ClockOrd::Concurrent);
+        assert!(a.strictly_less_than(&b));
+        assert!(!a.strictly_less_than(&a.clone()));
+        assert!(ClockOrd::Before.is_before());
+        assert!(ClockOrd::Concurrent.is_concurrent());
+        assert!(!ClockOrd::Equal.is_before());
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn comparing_different_widths_panics() {
+        let a = VectorTimestamp::zeros(2);
+        let b = VectorTimestamp::zeros(3);
+        let _ = a.compare(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merging_different_widths_panics() {
+        let mut a = VectorTimestamp::zeros(2);
+        a.merge_max(&VectorTimestamp::zeros(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VectorTimestamp::from(vec![1, 0, 2]).to_string(), "[1,0,2]");
+        assert_eq!(VectorTimestamp::zeros(0).to_string(), "[]");
+        assert_eq!(ClockOrd::Concurrent.to_string(), "concurrent");
+        assert_eq!(ClockOrd::Before.to_string(), "before");
+    }
+}

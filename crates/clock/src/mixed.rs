@@ -1,0 +1,259 @@
+//! The paper's mixed-vector-clock timestamping protocol (Section III-C).
+//!
+//! Given a set of components (threads and objects chosen as a vertex cover of
+//! the thread–object graph, represented by a [`ComponentMap`]), every thread
+//! and every object carries a mixed vector.  When thread `p` performs
+//! operation `e` on object `q`:
+//!
+//! ```text
+//! e.v = max(p.v, q.v)
+//! if q is a component: e.v[q]++
+//! if p is a component: e.v[p]++
+//! p.v = q.v = e.v
+//! ```
+//!
+//! (When both endpoints are components the paper's pseudo-code increments the
+//! event's component `e.c = e.q`; incrementing both is also correct but would
+//! advance two counters per event.  We follow the paper and bump exactly one
+//! component per event, preferring the object.)
+//!
+//! Validity requires every event to be *covered*: at least one endpoint must
+//! be a component.  [`MixedVectorClockAssigner::assign_checked`] reports the
+//! first uncovered event instead of producing an invalid clock.
+
+use std::fmt;
+
+use mvc_trace::{Computation, EventId};
+
+use crate::compare::VectorTimestamp;
+use crate::component::ComponentMap;
+use crate::TimestampAssigner;
+
+/// Error returned when a computation contains an event whose thread *and*
+/// object both lack a component — the chosen component set is not a vertex
+/// cover of the computation's bipartite graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UncoveredEventError {
+    /// The first uncovered event encountered in append order.
+    pub event: EventId,
+}
+
+impl fmt::Display for UncoveredEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event {} is not covered by any mixed-clock component",
+            self.event
+        )
+    }
+}
+
+impl std::error::Error for UncoveredEventError {}
+
+/// Assigns mixed vector clocks driven by an explicit [`ComponentMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedVectorClockAssigner {
+    components: ComponentMap,
+}
+
+impl MixedVectorClockAssigner {
+    /// Creates an assigner over the given component map.
+    pub fn new(components: ComponentMap) -> Self {
+        Self { components }
+    }
+
+    /// The component map driving this assigner.
+    pub fn components(&self) -> &ComponentMap {
+        &self.components
+    }
+
+    /// Number of components in the mixed clock.
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Assigns timestamps, returning an error if some event is not covered by
+    /// the component map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UncoveredEventError`] naming the first uncovered event.
+    pub fn assign_checked(
+        &self,
+        computation: &Computation,
+    ) -> Result<Vec<VectorTimestamp>, UncoveredEventError> {
+        let width = self.width();
+        let mut thread_clock =
+            vec![VectorTimestamp::zeros(width); computation.thread_index_bound()];
+        let mut object_clock =
+            vec![VectorTimestamp::zeros(width); computation.object_index_bound()];
+        let mut stamps = Vec::with_capacity(computation.len());
+        for e in computation.events() {
+            let component = self
+                .components
+                .event_component(e)
+                .ok_or(UncoveredEventError { event: e.id })?;
+            let t = e.thread.index();
+            let o = e.object.index();
+            let mut v = thread_clock[t].clone();
+            v.merge_max(&object_clock[o]);
+            v.increment(component);
+            thread_clock[t] = v.clone();
+            object_clock[o] = v.clone();
+            stamps.push(v);
+        }
+        Ok(stamps)
+    }
+}
+
+impl TimestampAssigner for MixedVectorClockAssigner {
+    fn name(&self) -> &'static str {
+        "mixed-vector-clock"
+    }
+
+    fn clock_size(&self, _computation: &Computation) -> usize {
+        self.width()
+    }
+
+    /// Assigns timestamps to every event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some event is not covered by the component map; use
+    /// [`MixedVectorClockAssigner::assign_checked`] to handle that case
+    /// gracefully.
+    fn assign(&self, computation: &Computation) -> Vec<VectorTimestamp> {
+        self.assign_checked(computation)
+            .expect("component map does not cover the computation")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::validate::satisfies_vector_clock_condition;
+    use crate::vector::ThreadVectorClockAssigner;
+    use mvc_graph::cover::minimum_vertex_cover_of;
+    use mvc_trace::examples::paper_figure1;
+    use mvc_trace::{ObjectId, ThreadId, WorkloadBuilder};
+    use proptest::prelude::*;
+
+    fn optimal_assigner(c: &Computation) -> MixedVectorClockAssigner {
+        let cover = minimum_vertex_cover_of(&c.bipartite_graph());
+        MixedVectorClockAssigner::new(ComponentMap::from_cover(&cover))
+    }
+
+    #[test]
+    fn empty_computation() {
+        let c = Computation::new();
+        let a = MixedVectorClockAssigner::new(ComponentMap::new());
+        assert!(a.assign(&c).is_empty());
+        assert_eq!(a.clock_size(&c), 0);
+        assert_eq!(a.name(), "mixed-vector-clock");
+    }
+
+    #[test]
+    fn paper_figure1_mixed_clock_is_size_three_and_valid() {
+        let c = paper_figure1();
+        let a = optimal_assigner(&c);
+        assert_eq!(a.width(), 3, "Fig. 3 uses a 3-component mixed clock");
+        let stamps = a.assign(&c);
+        let oracle = c.causality_oracle();
+        assert!(satisfies_vector_clock_condition(&c, &stamps, &oracle));
+    }
+
+    #[test]
+    fn paper_claimed_ordering_holds_under_mixed_clock() {
+        // The paper's §III-C argues [T2,O1] -> [T3,O3] is visible by comparing
+        // mixed timestamps.
+        let c = paper_figure1();
+        let stamps = optimal_assigner(&c).assign(&c);
+        let t2_o1 = 0; // first event in FIGURE1_OPS
+        let t3_o3 = 4;
+        assert!(stamps[t2_o1].strictly_less_than(&stamps[t3_o3]));
+    }
+
+    #[test]
+    fn uncovered_event_is_reported() {
+        let mut c = Computation::new();
+        c.record(ThreadId(0), ObjectId(0));
+        c.record(ThreadId(1), ObjectId(1));
+        let mut map = ComponentMap::new();
+        map.push(Component::Thread(ThreadId(0)));
+        let a = MixedVectorClockAssigner::new(map);
+        let err = a.assign_checked(&c).unwrap_err();
+        assert_eq!(err.event, EventId(1));
+        assert!(err.to_string().contains("e1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn assign_panics_on_uncovered_event() {
+        let mut c = Computation::new();
+        c.record(ThreadId(0), ObjectId(0));
+        let a = MixedVectorClockAssigner::new(ComponentMap::new());
+        let _ = a.assign(&c);
+    }
+
+    #[test]
+    fn all_thread_components_reduce_to_thread_clock() {
+        // With every thread as a component, the mixed protocol increments the
+        // thread component of each event whenever the object is not a
+        // component — i.e. always — so it coincides with the thread clock.
+        let c = WorkloadBuilder::new(5, 5).operations(150).seed(3).build();
+        let mixed = MixedVectorClockAssigner::new(ComponentMap::all_threads(
+            c.thread_index_bound(),
+        ));
+        let thread = ThreadVectorClockAssigner::new();
+        assert_eq!(mixed.assign(&c), thread.assign(&c));
+    }
+
+    #[test]
+    fn optimal_mixed_clock_never_larger_than_either_side() {
+        for seed in 0..10 {
+            let c = WorkloadBuilder::new(10, 14).operations(120).seed(seed).build();
+            let a = optimal_assigner(&c);
+            assert!(a.width() <= c.thread_count().min(c.object_count()));
+        }
+    }
+
+    proptest! {
+        /// The headline correctness theorem (Theorem 2): on arbitrary random
+        /// workloads, the mixed clock built from a minimum vertex cover
+        /// satisfies s -> t  <=>  s.v < t.v.
+        #[test]
+        fn prop_optimal_mixed_clock_is_valid(
+            threads in 1usize..8,
+            objects in 1usize..8,
+            ops in 1usize..100,
+            seed in 0u64..300,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects)
+                .operations(ops)
+                .seed(seed)
+                .build();
+            let a = optimal_assigner(&c);
+            let stamps = a.assign(&c);
+            let oracle = c.causality_oracle();
+            prop_assert!(satisfies_vector_clock_condition(&c, &stamps, &oracle));
+        }
+
+        /// Optimality bound (Theorem 3, one direction): the optimal mixed clock
+        /// is never larger than min(#threads, #objects).
+        #[test]
+        fn prop_optimal_width_bounded_by_min_side(
+            threads in 1usize..10,
+            objects in 1usize..10,
+            ops in 1usize..120,
+            seed in 0u64..300,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects)
+                .operations(ops)
+                .seed(seed)
+                .build();
+            let a = optimal_assigner(&c);
+            prop_assert!(a.width() <= c.thread_count().min(c.object_count()));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The incremental timestamping engine.
+//!
+//! [`TimestampingEngine`] maintains the per-thread and per-object mixed
+//! vectors of the paper's protocol and timestamps operations *as they are
+//! observed*, one at a time.  Unlike the batch
+//! [`MixedVectorClockAssigner`](mvc_clock::MixedVectorClockAssigner) it
+//! supports **growing the component set while the computation is running**,
+//! which is exactly what the online mechanisms of `mvc-online` need: when a
+//! new event is not covered by the current components, the mechanism picks a
+//! new component (the event's thread or object) and the engine widens every
+//! vector transparently (new components start at zero, which is always safe
+//! because no past event incremented them).
+
+use std::fmt;
+
+use mvc_clock::{Component, ComponentMap, VectorTimestamp};
+use mvc_trace::{ObjectId, ThreadId};
+
+/// Errors reported by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An operation's thread and object both lack a component, so the event
+    /// cannot be timestamped without first adding a component.
+    UncoveredOperation {
+        /// The thread performing the operation.
+        thread: ThreadId,
+        /// The object operated on.
+        object: ObjectId,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UncoveredOperation { thread, object } => write!(
+                f,
+                "operation of {thread} on {object} is not covered by any clock component"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Incremental mixed-vector-clock engine.
+///
+/// ```
+/// use mvc_core::TimestampingEngine;
+/// use mvc_clock::Component;
+/// use mvc_trace::{ThreadId, ObjectId};
+///
+/// let mut engine = TimestampingEngine::new();
+/// engine.add_component(Component::Thread(ThreadId(0)));
+/// let a = engine.observe(ThreadId(0), ObjectId(7)).unwrap();
+/// let b = engine.observe(ThreadId(0), ObjectId(8)).unwrap();
+/// assert!(a.strictly_less_than(&b));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimestampingEngine {
+    components: ComponentMap,
+    thread_clock: Vec<Vec<u64>>,
+    object_clock: Vec<Vec<u64>>,
+    events_observed: usize,
+}
+
+impl TimestampingEngine {
+    /// Creates an engine with no components (every observation will fail
+    /// until components are added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an engine pre-loaded with a component map (e.g. one computed
+    /// by the offline optimizer for a replay).
+    pub fn with_components(components: ComponentMap) -> Self {
+        Self {
+            components,
+            ..Self::default()
+        }
+    }
+
+    /// The current component map.
+    pub fn components(&self) -> &ComponentMap {
+        &self.components
+    }
+
+    /// Current clock width (number of components).
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of operations observed so far.
+    pub fn events_observed(&self) -> usize {
+        self.events_observed
+    }
+
+    /// Adds a component (if not already present), returning its index.
+    ///
+    /// Existing per-thread / per-object vectors are logically padded with a
+    /// zero for the new component; padding is materialised lazily.
+    pub fn add_component(&mut self, component: Component) -> usize {
+        self.components.push(component)
+    }
+
+    /// Returns `true` if an operation of `thread` on `object` could be
+    /// timestamped right now (at least one endpoint has a component).
+    pub fn covers(&self, thread: ThreadId, object: ObjectId) -> bool {
+        self.components.contains_thread(thread) || self.components.contains_object(object)
+    }
+
+    /// Observes one operation and returns its timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UncoveredOperation`] when neither the thread
+    /// nor the object carries a component.  The engine state is left
+    /// unchanged in that case, so the caller may add a component and retry
+    /// the same operation.
+    pub fn observe(
+        &mut self,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Result<VectorTimestamp, EngineError> {
+        let component = self
+            .components
+            .object_component(object)
+            .or_else(|| self.components.thread_component(thread))
+            .ok_or(EngineError::UncoveredOperation { thread, object })?;
+
+        let width = self.components.len();
+        grow(&mut self.thread_clock, thread.index());
+        grow(&mut self.object_clock, object.index());
+
+        let mut v = merged(
+            &self.thread_clock[thread.index()],
+            &self.object_clock[object.index()],
+            width,
+        );
+        v[component] += 1;
+
+        self.thread_clock[thread.index()] = v.clone();
+        self.object_clock[object.index()] = v.clone();
+        self.events_observed += 1;
+        Ok(VectorTimestamp::from_components(v))
+    }
+
+    /// The current clock of a thread, padded to the current width.
+    pub fn thread_clock(&self, thread: ThreadId) -> VectorTimestamp {
+        VectorTimestamp::from_components(padded(
+            self.thread_clock.get(thread.index()),
+            self.width(),
+        ))
+    }
+
+    /// The current clock of an object, padded to the current width.
+    pub fn object_clock(&self, object: ObjectId) -> VectorTimestamp {
+        VectorTimestamp::from_components(padded(
+            self.object_clock.get(object.index()),
+            self.width(),
+        ))
+    }
+}
+
+fn grow(clocks: &mut Vec<Vec<u64>>, index: usize) {
+    if index >= clocks.len() {
+        clocks.resize_with(index + 1, Vec::new);
+    }
+}
+
+fn merged(a: &[u64], b: &[u64], width: usize) -> Vec<u64> {
+    (0..width)
+        .map(|i| a.get(i).copied().unwrap_or(0).max(b.get(i).copied().unwrap_or(0)))
+        .collect()
+}
+
+fn padded(v: Option<&Vec<u64>>, width: usize) -> Vec<u64> {
+    let mut out = v.cloned().unwrap_or_default();
+    out.resize(width, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_clock::validate::satisfies_vector_clock_condition;
+    use mvc_clock::TimestampAssigner;
+    use mvc_trace::{Computation, WorkloadBuilder};
+    use proptest::prelude::*;
+
+    use crate::offline::OfflineOptimizer;
+
+    #[test]
+    fn empty_engine_rejects_everything() {
+        let mut e = TimestampingEngine::new();
+        assert_eq!(e.width(), 0);
+        assert!(!e.covers(ThreadId(0), ObjectId(0)));
+        let err = e.observe(ThreadId(0), ObjectId(0)).unwrap_err();
+        assert!(matches!(err, EngineError::UncoveredOperation { .. }));
+        assert!(err.to_string().contains("T0"));
+        assert_eq!(e.events_observed(), 0, "failed observation must not count");
+    }
+
+    #[test]
+    fn single_thread_component_counts_its_operations() {
+        let mut e = TimestampingEngine::new();
+        e.add_component(Component::Thread(ThreadId(0)));
+        let a = e.observe(ThreadId(0), ObjectId(5)).unwrap();
+        let b = e.observe(ThreadId(0), ObjectId(9)).unwrap();
+        assert_eq!(a.as_slice(), &[1]);
+        assert_eq!(b.as_slice(), &[2]);
+        assert_eq!(e.events_observed(), 2);
+        assert_eq!(e.thread_clock(ThreadId(0)).as_slice(), &[2]);
+        assert_eq!(e.object_clock(ObjectId(9)).as_slice(), &[2]);
+        assert_eq!(e.object_clock(ObjectId(42)).as_slice(), &[0]);
+    }
+
+    #[test]
+    fn adding_component_widens_existing_clocks() {
+        let mut e = TimestampingEngine::new();
+        e.add_component(Component::Thread(ThreadId(0)));
+        e.observe(ThreadId(0), ObjectId(0)).unwrap();
+        // New component appears mid-stream.
+        e.add_component(Component::Object(ObjectId(1)));
+        assert_eq!(e.width(), 2);
+        let t = e.observe(ThreadId(2), ObjectId(1)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.as_slice(), &[0, 1]);
+        // The older thread's clock reads back padded to the new width.
+        assert_eq!(e.thread_clock(ThreadId(0)).as_slice(), &[1, 0]);
+    }
+
+    #[test]
+    fn adding_duplicate_component_is_idempotent() {
+        let mut e = TimestampingEngine::new();
+        let a = e.add_component(Component::Object(ObjectId(3)));
+        let b = e.add_component(Component::Object(ObjectId(3)));
+        assert_eq!(a, b);
+        assert_eq!(e.width(), 1);
+    }
+
+    #[test]
+    fn object_component_preferred_like_batch_assigner() {
+        // Replaying a computation through the engine with a fixed component map
+        // must give exactly the same stamps as the batch assigner.
+        let c = WorkloadBuilder::new(6, 6).operations(120).seed(42).build();
+        let plan = OfflineOptimizer::new().plan_for_computation(&c);
+        let batch = plan.assigner().assign(&c);
+        let mut engine = TimestampingEngine::with_components(plan.components().clone());
+        let streamed: Vec<_> = c
+            .events()
+            .map(|e| engine.observe(e.thread, e.object).unwrap())
+            .collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn failed_observation_leaves_state_unchanged() {
+        let mut e = TimestampingEngine::new();
+        e.add_component(Component::Thread(ThreadId(0)));
+        e.observe(ThreadId(0), ObjectId(0)).unwrap();
+        let before = e.clone();
+        assert!(e.observe(ThreadId(1), ObjectId(1)).is_err());
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn covers_reflects_components() {
+        let mut e = TimestampingEngine::new();
+        e.add_component(Component::Object(ObjectId(2)));
+        assert!(e.covers(ThreadId(9), ObjectId(2)));
+        assert!(!e.covers(ThreadId(9), ObjectId(3)));
+    }
+
+    proptest! {
+        /// Streaming through the engine with components chosen by the offline
+        /// optimizer yields a valid vector clock, identical to the batch path.
+        #[test]
+        fn prop_engine_matches_batch_and_is_valid(
+            threads in 1usize..7,
+            objects in 1usize..7,
+            ops in 1usize..80,
+            seed in 0u64..150,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects).operations(ops).seed(seed).build();
+            let plan = OfflineOptimizer::new().plan_for_computation(&c);
+            let mut engine = TimestampingEngine::with_components(plan.components().clone());
+            let streamed: Vec<_> = c
+                .events()
+                .map(|e| engine.observe(e.thread, e.object).unwrap())
+                .collect();
+            prop_assert_eq!(&streamed, &plan.assigner().assign(&c));
+            let oracle = c.causality_oracle();
+            prop_assert!(satisfies_vector_clock_condition(&c, &streamed, &oracle));
+            prop_assert_eq!(engine.events_observed(), c.len());
+            let _ = Computation::new();
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Command-line entry point that regenerates the paper's figures.
+//!
+//! ```text
+//! mvc-eval [fig4|fig5|fig6|fig7|adaptive|all] [--trials N] [--csv DIR]
+//! ```
+//!
+//! Each figure is printed as an aligned table; with `--csv DIR` the raw series
+//! are additionally written as `DIR/<figure>.csv`.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mvc_eval::{adaptive_ablation, fig4, fig5, fig6, fig7, render_csv, render_table, FigureData};
+
+const DEFAULT_TRIALS: usize = 10;
+
+struct Options {
+    figures: Vec<String>,
+    trials: usize,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut figures = Vec::new();
+    let mut trials = DEFAULT_TRIALS;
+    let mut csv_dir = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--trials requires a value".to_string())?;
+                trials = value
+                    .parse()
+                    .map_err(|_| format!("invalid trial count: {value}"))?;
+                if trials == 0 {
+                    return Err("trial count must be at least 1".into());
+                }
+            }
+            "--csv" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--csv requires a directory".to_string())?;
+                csv_dir = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                return Err("usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|all] [--trials N] [--csv DIR]"
+                    .into())
+            }
+            name => figures.push(name.to_string()),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+    Ok(Options {
+        figures,
+        trials,
+        csv_dir,
+    })
+}
+
+fn run_figure(name: &str, trials: usize) -> Result<Vec<FigureData>, String> {
+    match name {
+        "fig4" => Ok(vec![fig4(trials)]),
+        "fig5" => Ok(vec![fig5(trials)]),
+        "fig6" => Ok(vec![fig6(trials)]),
+        "fig7" => Ok(vec![fig7(trials)]),
+        "adaptive" => Ok(vec![adaptive_ablation(trials)]),
+        "all" => Ok(vec![
+            fig4(trials),
+            fig5(trials),
+            fig6(trials),
+            fig7(trials),
+            adaptive_ablation(trials),
+        ]),
+        other => Err(format!("unknown figure '{other}' (expected fig4|fig5|fig6|fig7|adaptive|all)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for name in &options.figures {
+        let figures = match run_figure(name, options.trials) {
+            Ok(f) => f,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for figure in figures {
+            println!("{}", render_table(&figure));
+            if let Some(dir) = &options.csv_dir {
+                if let Err(e) = fs::create_dir_all(dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let path = dir.join(format!("{}.csv", figure.id));
+                if let Err(e) = fs::write(&path, render_csv(&figure)) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_options_run_everything() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.figures, vec!["all"]);
+        assert_eq!(o.trials, DEFAULT_TRIALS);
+        assert!(o.csv_dir.is_none());
+    }
+
+    #[test]
+    fn explicit_figure_and_trials() {
+        let o = parse_args(&args(&["fig6", "--trials", "3", "--csv", "/tmp/out"])).unwrap();
+        assert_eq!(o.figures, vec!["fig6"]);
+        assert_eq!(o.trials, 3);
+        assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("/tmp/out")));
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(parse_args(&args(&["--trials"])).is_err());
+        assert!(parse_args(&args(&["--trials", "zero"])).is_err());
+        assert!(parse_args(&args(&["--trials", "0"])).is_err());
+        assert!(parse_args(&args(&["--csv"])).is_err());
+        assert!(parse_args(&args(&["--help"])).is_err());
+        assert!(run_figure("fig99", 1).is_err());
+    }
+
+    #[test]
+    fn run_figure_dispatches_names() {
+        assert_eq!(run_figure("fig4", 1).unwrap().len(), 1);
+        assert_eq!(run_figure("adaptive", 1).unwrap().len(), 1);
+        assert_eq!(run_figure("all", 1).unwrap().len(), 5);
+    }
+}

@@ -1,0 +1,328 @@
+//! Figure drivers: one function per figure of the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use mvc_graph::GraphScenario;
+
+use crate::runner::{average_size, AlgorithmKind, DataPoint, SweepConfig};
+
+/// One line of a figure: an algorithm (and scenario) with its measured
+/// points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Display name, e.g. `"popularity (nonuniform)"`.
+    pub name: String,
+    /// Measured points, in x order.
+    pub points: Vec<DataPoint>,
+}
+
+impl Series {
+    /// The mean size at the given x value, if that x was measured.
+    pub fn mean_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.mean_size)
+    }
+}
+
+/// A complete reproduced figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig4"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the swept x axis.
+    pub x_label: String,
+    /// Label of the y axis (always a clock size here).
+    pub y_label: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Looks up a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// The x values of the first series (all series share the same sweep).
+    pub fn x_values(&self) -> Vec<f64> {
+        self.series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Densities swept by the density figures (Figures 4 and 6).
+pub const DENSITY_SWEEP: &[f64] = &[0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7, 0.9];
+
+/// Node counts per side swept by the size figures (Figures 5 and 7).
+pub const NODE_SWEEP: &[usize] = &[10, 20, 30, 40, 50, 70, 90, 110, 130, 150];
+
+/// Density used by the node-count figures (matches the paper).
+pub const FIXED_DENSITY: f64 = 0.05;
+
+/// Nodes per side used by the density figures (matches the paper).
+pub const FIXED_NODES: usize = 50;
+
+fn scenario_label(scenario: GraphScenario) -> &'static str {
+    scenario.name()
+}
+
+fn density_sweep_series(
+    algorithms: &[AlgorithmKind],
+    scenarios: &[GraphScenario],
+    trials: usize,
+) -> Vec<Series> {
+    let mut series = Vec::new();
+    for &scenario in scenarios {
+        for &alg in algorithms {
+            let points = DENSITY_SWEEP
+                .iter()
+                .map(|&density| {
+                    let cfg = SweepConfig {
+                        threads: FIXED_NODES,
+                        objects: FIXED_NODES,
+                        density,
+                        scenario,
+                        trials,
+                    };
+                    average_size(&cfg, alg, density)
+                })
+                .collect();
+            series.push(Series {
+                name: format!("{} ({})", alg.name(), scenario_label(scenario)),
+                points,
+            });
+        }
+    }
+    series
+}
+
+fn node_sweep_series(
+    algorithms: &[AlgorithmKind],
+    scenarios: &[GraphScenario],
+    trials: usize,
+) -> Vec<Series> {
+    let mut series = Vec::new();
+    for &scenario in scenarios {
+        for &alg in algorithms {
+            let points = NODE_SWEEP
+                .iter()
+                .map(|&nodes| {
+                    let cfg = SweepConfig {
+                        threads: nodes,
+                        objects: nodes,
+                        density: FIXED_DENSITY,
+                        scenario,
+                        trials,
+                    };
+                    average_size(&cfg, alg, nodes as f64)
+                })
+                .collect();
+            series.push(Series {
+                name: format!("{} ({})", alg.name(), scenario_label(scenario)),
+                points,
+            });
+        }
+    }
+    series
+}
+
+/// Figure 4: final clock size of the three online mechanisms as graph density
+/// increases (50 threads + 50 objects, Uniform and Nonuniform scenarios).
+pub fn fig4(trials: usize) -> FigureData {
+    FigureData {
+        id: "fig4".into(),
+        title: "Vector size vs. graph density (online mechanisms, 50+50 nodes)".into(),
+        x_label: "graph density".into(),
+        y_label: "final vector clock size".into(),
+        series: density_sweep_series(
+            &[
+                AlgorithmKind::NaiveThreads,
+                AlgorithmKind::Random,
+                AlgorithmKind::Popularity,
+            ],
+            &[GraphScenario::Uniform, GraphScenario::default_nonuniform()],
+            trials,
+        ),
+    }
+}
+
+/// Figure 5: final clock size of the three online mechanisms as the number of
+/// nodes per side increases (density 0.05).
+pub fn fig5(trials: usize) -> FigureData {
+    FigureData {
+        id: "fig5".into(),
+        title: "Vector size vs. number of nodes (online mechanisms, density 0.05)".into(),
+        x_label: "nodes per side".into(),
+        y_label: "final vector clock size".into(),
+        series: node_sweep_series(
+            &[
+                AlgorithmKind::NaiveThreads,
+                AlgorithmKind::Random,
+                AlgorithmKind::Popularity,
+            ],
+            &[GraphScenario::Uniform, GraphScenario::default_nonuniform()],
+            trials,
+        ),
+    }
+}
+
+/// Figure 6: offline optimal vs. online Popularity vs. Naive as graph density
+/// increases (50 threads + 50 objects, Uniform scenario).
+pub fn fig6(trials: usize) -> FigureData {
+    FigureData {
+        id: "fig6".into(),
+        title: "Offline optimal vs. online mechanisms vs. density (50+50 nodes)".into(),
+        x_label: "graph density".into(),
+        y_label: "final vector clock size".into(),
+        series: density_sweep_series(
+            &[
+                AlgorithmKind::OfflineOptimal,
+                AlgorithmKind::Popularity,
+                AlgorithmKind::NaiveThreads,
+            ],
+            &[GraphScenario::Uniform],
+            trials,
+        ),
+    }
+}
+
+/// Figure 7: offline optimal vs. online Popularity vs. Naive as the number of
+/// nodes increases (density 0.05, Uniform scenario).
+pub fn fig7(trials: usize) -> FigureData {
+    FigureData {
+        id: "fig7".into(),
+        title: "Offline optimal vs. online mechanisms vs. node count (density 0.05)".into(),
+        x_label: "nodes per side".into(),
+        y_label: "final vector clock size".into(),
+        series: node_sweep_series(
+            &[
+                AlgorithmKind::OfflineOptimal,
+                AlgorithmKind::Popularity,
+                AlgorithmKind::NaiveThreads,
+            ],
+            &[GraphScenario::Uniform],
+            trials,
+        ),
+    }
+}
+
+/// Extension experiment: the Adaptive hybrid of Section V's conclusion
+/// compared against its two ingredients over the node sweep, on the
+/// Nonuniform scenario where Popularity shines.
+pub fn adaptive_ablation(trials: usize) -> FigureData {
+    FigureData {
+        id: "adaptive".into(),
+        title: "Adaptive hybrid vs. Popularity vs. Naive (density 0.05, nonuniform)".into(),
+        x_label: "nodes per side".into(),
+        y_label: "final vector clock size".into(),
+        series: node_sweep_series(
+            &[
+                AlgorithmKind::Adaptive,
+                AlgorithmKind::Popularity,
+                AlgorithmKind::NaiveThreads,
+            ],
+            &[GraphScenario::default_nonuniform()],
+            trials,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Keep trials tiny in unit tests; the binary uses more.
+    const T: usize = 3;
+
+    #[test]
+    fn fig4_has_six_series_over_the_density_sweep() {
+        let f = fig4(T);
+        assert_eq!(f.series.len(), 6);
+        assert_eq!(f.x_values(), DENSITY_SWEEP.to_vec());
+        assert!(f.series_named("naive (uniform)").is_some());
+        assert!(f.series_named("popularity (nonuniform)").is_some());
+        assert!(f.series_named("does-not-exist").is_none());
+        assert_eq!(f.id, "fig4");
+    }
+
+    #[test]
+    fn fig4_shape_low_density_favors_popularity_high_density_favors_naive() {
+        let f = fig4(5);
+        let naive = f.series_named("naive (uniform)").unwrap();
+        let pop = f.series_named("popularity (uniform)").unwrap();
+        // Low density: popularity clearly below naive.
+        assert!(pop.mean_at(0.01).unwrap() < naive.mean_at(0.01).unwrap());
+        // High density: naive no worse than popularity (the crossover).
+        assert!(naive.mean_at(0.9).unwrap() <= pop.mean_at(0.9).unwrap());
+    }
+
+    #[test]
+    fn fig6_offline_is_lower_envelope() {
+        let f = fig6(T);
+        let offline = f.series_named("offline-optimal (uniform)").unwrap();
+        let pop = f.series_named("popularity (uniform)").unwrap();
+        let naive = f.series_named("naive (uniform)").unwrap();
+        for (i, x) in DENSITY_SWEEP.iter().enumerate() {
+            assert!(
+                offline.points[i].mean_size <= pop.mean_at(*x).unwrap() + 1e-9,
+                "offline above popularity at density {x}"
+            );
+            assert!(
+                offline.points[i].mean_size <= naive.mean_at(*x).unwrap() + 1e-9,
+                "offline above naive at density {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_node_sweep_is_monotone_for_naive() {
+        let f = fig7(T);
+        let naive = f.series_named("naive (uniform)").unwrap();
+        for w in naive.points.windows(2) {
+            assert!(
+                w[0].mean_size <= w[1].mean_size + 1e-9,
+                "naive size should not shrink as nodes grow"
+            );
+        }
+        assert_eq!(f.x_values(), NODE_SWEEP.iter().map(|&n| n as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adaptive_never_worse_than_both_ingredients_everywhere() {
+        // The hybrid should track the better of its two ingredients up to a
+        // small margin (it cannot beat both at once, but it must not blow up).
+        let f = adaptive_ablation(3);
+        let adaptive = f.series_named("adaptive (nonuniform)").unwrap();
+        let naive = f.series_named("naive (nonuniform)").unwrap();
+        for (a, n) in adaptive.points.iter().zip(naive.points.iter()) {
+            assert!(
+                a.mean_size <= n.mean_size * 1.5 + 5.0,
+                "adaptive {} far above naive {} at x={}",
+                a.mean_size,
+                n.mean_size,
+                a.x
+            );
+        }
+    }
+
+    #[test]
+    fn series_mean_at_missing_x_is_none() {
+        let s = Series {
+            name: "x".into(),
+            points: vec![DataPoint {
+                x: 1.0,
+                mean_size: 2.0,
+                min_size: 2,
+                max_size: 2,
+            }],
+        };
+        assert_eq!(s.mean_at(1.0), Some(2.0));
+        assert_eq!(s.mean_at(3.0), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Rendering experiment results as aligned text tables and CSV.
+
+use std::fmt::Write as _;
+
+use crate::experiments::FigureData;
+
+/// Renders a figure as an aligned, human-readable table (one row per x value,
+/// one column per series).
+pub fn render_table(figure: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", figure.id, figure.title);
+    let xs = figure.x_values();
+    let mut headers = vec![figure.x_label.clone()];
+    headers.extend(figure.series.iter().map(|s| s.name.clone()));
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(xs.len());
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = vec![format_x(*x)];
+        for s in &figure.series {
+            let cell = s
+                .points
+                .get(i)
+                .map(|p| format!("{:.2}", p.mean_size))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(col, h)| {
+            rows.iter()
+                .map(|r| r[col].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Renders a figure as CSV: `x,series1,series2,...` with one row per x value.
+pub fn render_csv(figure: &FigureData) -> String {
+    let mut out = String::new();
+    let mut header = vec![figure.x_label.replace(',', ";")];
+    header.extend(figure.series.iter().map(|s| s.name.replace(',', ";")));
+    let _ = writeln!(out, "{}", header.join(","));
+    let xs = figure.x_values();
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = vec![format_x(*x)];
+        for s in &figure.series {
+            row.push(
+                s.points
+                    .get(i)
+                    .map(|p| format!("{:.4}", p.mean_size))
+                    .unwrap_or_default(),
+            );
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+fn format_x(x: f64) -> String {
+    if (x.fract()).abs() < 1e-9 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{FigureData, Series};
+    use crate::runner::DataPoint;
+
+    fn tiny_figure() -> FigureData {
+        let mk = |name: &str, sizes: &[f64]| Series {
+            name: name.into(),
+            points: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| DataPoint {
+                    x: (i + 1) as f64 * 0.5,
+                    mean_size: s,
+                    min_size: s as usize,
+                    max_size: s as usize,
+                })
+                .collect(),
+        };
+        FigureData {
+            id: "figX".into(),
+            title: "tiny".into(),
+            x_label: "density".into(),
+            y_label: "size".into(),
+            series: vec![mk("naive", &[10.0, 12.0]), mk("popularity", &[4.0, 9.0])],
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_and_values() {
+        let t = render_table(&tiny_figure());
+        assert!(t.contains("# figX — tiny"));
+        assert!(t.contains("density"));
+        assert!(t.contains("naive"));
+        assert!(t.contains("popularity"));
+        assert!(t.contains("10.00"));
+        assert!(t.contains("4.00"));
+        // Two data rows plus header and separator.
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_x() {
+        let csv = render_csv(&tiny_figure());
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "density,naive,popularity");
+        assert!(lines[1].starts_with("0.5,10.0000,4.0000"));
+        assert!(lines[2].starts_with("1,12.0000,9.0000"));
+    }
+
+    #[test]
+    fn integer_x_values_render_without_decimals() {
+        assert_eq!(format_x(50.0), "50");
+        assert_eq!(format_x(0.05), "0.05");
+    }
+
+    #[test]
+    fn empty_figure_renders_without_panicking() {
+        let f = FigureData {
+            id: "empty".into(),
+            title: "no data".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert!(render_table(&f).contains("empty"));
+        assert_eq!(render_csv(&f).lines().count(), 1);
+    }
+}

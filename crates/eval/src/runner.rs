@@ -1,0 +1,235 @@
+//! Low-level experiment runner: one (algorithm, graph configuration) pair at
+//! a time, averaged over seeds.
+
+use serde::{Deserialize, Serialize};
+
+use mvc_core::OfflineOptimizer;
+use mvc_graph::{GraphScenario, RandomGraphBuilder};
+use mvc_online::{simulate_final_size, Adaptive, NaiveSide, Popularity, Random};
+
+/// Which clock-size algorithm a data point measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// Online: always pick threads.
+    NaiveThreads,
+    /// Online: always pick objects.
+    NaiveObjects,
+    /// Online: pick an endpoint uniformly at random.
+    Random,
+    /// Online: pick the more popular endpoint.
+    Popularity,
+    /// Online: popularity until the thresholds trip, then naive (threads).
+    Adaptive,
+    /// Offline optimal: minimum vertex cover via Algorithm 1.
+    OfflineOptimal,
+}
+
+impl AlgorithmKind {
+    /// Stable display name (used in table headers and CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::NaiveThreads => "naive",
+            AlgorithmKind::NaiveObjects => "naive-objects",
+            AlgorithmKind::Random => "random",
+            AlgorithmKind::Popularity => "popularity",
+            AlgorithmKind::Adaptive => "adaptive",
+            AlgorithmKind::OfflineOptimal => "offline-optimal",
+        }
+    }
+}
+
+/// Configuration of a single measured point: a graph family plus an
+/// algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Threads (left side) per graph.
+    pub threads: usize,
+    /// Objects (right side) per graph.
+    pub objects: usize,
+    /// Target edge density.
+    pub density: f64,
+    /// Uniform or nonuniform generation.
+    pub scenario: GraphScenario,
+    /// Number of independent seeds to average over.
+    pub trials: usize,
+}
+
+impl SweepConfig {
+    /// The paper's first setting: 50 threads, 50 objects.
+    pub fn fifty_by_fifty(density: f64, scenario: GraphScenario, trials: usize) -> Self {
+        Self {
+            threads: 50,
+            objects: 50,
+            density,
+            scenario,
+            trials,
+        }
+    }
+}
+
+/// One averaged measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// The value swept on the x axis (density or node count, set by the
+    /// figure driver).
+    pub x: f64,
+    /// Mean final clock size over the trials.
+    pub mean_size: f64,
+    /// Minimum observed size.
+    pub min_size: usize,
+    /// Maximum observed size.
+    pub max_size: usize,
+}
+
+/// Measures the final clock size of `algorithm` on one random graph drawn
+/// with `seed`.
+pub fn single_run(config: &SweepConfig, algorithm: AlgorithmKind, seed: u64) -> usize {
+    let builder = RandomGraphBuilder::new(config.threads, config.objects)
+        .density(config.density)
+        .scenario(config.scenario)
+        .seed(seed);
+    match algorithm {
+        AlgorithmKind::OfflineOptimal => {
+            let graph = builder.build();
+            OfflineOptimizer::new().plan_for_graph(graph).clock_size()
+        }
+        // The paper's Naive baseline allocates one component per thread (resp.
+        // object) of the system up front — "a vector clock with size equal to
+        // the number of threads or objects for all computations" — so its size
+        // does not depend on the revealed graph.  (The lazily-growing Naive in
+        // `mvc-online` only materialises components for *active* threads; that
+        // refinement would only make the baseline look better than the paper's.)
+        AlgorithmKind::NaiveThreads => config.threads,
+        AlgorithmKind::NaiveObjects => config.objects,
+        AlgorithmKind::Random => {
+            let (_, stream) = builder.build_edge_stream();
+            // Derive the mechanism seed from the graph seed so that trials are
+            // independent but reproducible.
+            simulate_final_size(&mut Random::seeded(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5), &stream)
+        }
+        AlgorithmKind::Popularity => {
+            let (_, stream) = builder.build_edge_stream();
+            simulate_final_size(&mut Popularity::new(), &stream)
+        }
+        AlgorithmKind::Adaptive => {
+            let (_, stream) = builder.build_edge_stream();
+            simulate_final_size(
+                &mut Adaptive::new(0.2, 70, NaiveSide::Threads),
+                &stream,
+            )
+        }
+    }
+}
+
+/// Averages [`single_run`] over `config.trials` seeds (seeds `0..trials`
+/// offset by a per-algorithm stride so different algorithms see the same
+/// graphs).
+pub fn average_size(config: &SweepConfig, algorithm: AlgorithmKind, x: f64) -> DataPoint {
+    assert!(config.trials > 0, "at least one trial is required");
+    let mut total = 0usize;
+    let mut min_size = usize::MAX;
+    let mut max_size = 0usize;
+    for trial in 0..config.trials {
+        let size = single_run(config, algorithm, trial as u64);
+        total += size;
+        min_size = min_size.min(size);
+        max_size = max_size.max(size);
+    }
+    DataPoint {
+        x,
+        mean_size: total as f64 / config.trials as f64,
+        min_size,
+        max_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(density: f64, trials: usize) -> SweepConfig {
+        SweepConfig::fifty_by_fifty(density, GraphScenario::Uniform, trials)
+    }
+
+    #[test]
+    fn algorithm_names_are_stable() {
+        assert_eq!(AlgorithmKind::NaiveThreads.name(), "naive");
+        assert_eq!(AlgorithmKind::OfflineOptimal.name(), "offline-optimal");
+        assert_eq!(AlgorithmKind::Adaptive.name(), "adaptive");
+    }
+
+    #[test]
+    fn single_run_is_deterministic() {
+        let c = cfg(0.05, 1);
+        for alg in [
+            AlgorithmKind::NaiveThreads,
+            AlgorithmKind::Random,
+            AlgorithmKind::Popularity,
+            AlgorithmKind::Adaptive,
+            AlgorithmKind::OfflineOptimal,
+        ] {
+            assert_eq!(single_run(&c, alg, 3), single_run(&c, alg, 3), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn offline_never_exceeds_online() {
+        let c = cfg(0.05, 1);
+        for seed in 0..5 {
+            let offline = single_run(&c, AlgorithmKind::OfflineOptimal, seed);
+            for alg in [
+                AlgorithmKind::NaiveThreads,
+                AlgorithmKind::NaiveObjects,
+                AlgorithmKind::Random,
+                AlgorithmKind::Popularity,
+                AlgorithmKind::Adaptive,
+            ] {
+                assert!(
+                    single_run(&c, alg, seed) >= offline,
+                    "{alg:?} beat the offline optimum at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_threads_is_bounded_by_thread_count() {
+        let c = cfg(0.3, 1);
+        for seed in 0..3 {
+            assert!(single_run(&c, AlgorithmKind::NaiveThreads, seed) <= 50);
+        }
+    }
+
+    #[test]
+    fn average_aggregates_min_mean_max() {
+        let c = cfg(0.05, 5);
+        let p = average_size(&c, AlgorithmKind::Popularity, 0.05);
+        assert_eq!(p.x, 0.05);
+        assert!(p.min_size as f64 <= p.mean_size);
+        assert!(p.mean_size <= p.max_size as f64);
+        assert!(p.max_size <= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let c = cfg(0.05, 0);
+        let _ = average_size(&c, AlgorithmKind::Popularity, 0.0);
+    }
+
+    #[test]
+    fn popularity_beats_naive_on_sparse_nonuniform_graphs() {
+        // The paper's headline online result: at low density, Popularity and
+        // Random produce significantly smaller clocks than Naive, especially
+        // in the Nonuniform scenario.
+        let c = SweepConfig::fifty_by_fifty(0.03, GraphScenario::default_nonuniform(), 10);
+        let pop = average_size(&c, AlgorithmKind::Popularity, 0.03);
+        let naive = average_size(&c, AlgorithmKind::NaiveThreads, 0.03);
+        assert!(
+            pop.mean_size < naive.mean_size,
+            "popularity {} should beat naive {} on sparse nonuniform graphs",
+            pop.mean_size,
+            naive.mean_size
+        );
+    }
+}

@@ -1,0 +1,419 @@
+//! Minimum vertex cover of a bipartite graph (Kőnig–Egerváry).
+//!
+//! Algorithm 1 in the paper: given a maximum matching `M*`, let `S` be the set
+//! of unmatched left (thread) vertices, and let `Z` be the set of vertices
+//! reachable from `S` via alternating paths (unmatched edge from left to
+//! right, matched edge from right to left).  Then
+//!
+//! ```text
+//! C* = (T − Z) ∪ (O ∩ Z)
+//! ```
+//!
+//! is a minimum vertex cover whose size equals `|M*|`.  The threads and
+//! objects in the cover become the components of the optimal mixed vector
+//! clock.
+
+use std::collections::{HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::bipartite::{BipartiteGraph, Vertex};
+use crate::matching::{hopcroft_karp, Matching};
+
+/// A vertex cover of a bipartite graph: a set of vertices such that every
+/// edge has at least one endpoint in the set.
+///
+/// In mixed-vector-clock terms: the set of threads and objects that will get
+/// a component in the clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexCover {
+    left: HashSet<usize>,
+    right: HashSet<usize>,
+}
+
+impl VertexCover {
+    /// Creates an empty cover (only a valid cover for an edgeless graph).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a cover from explicit left/right vertex sets.
+    pub fn from_sets(left: impl IntoIterator<Item = usize>, right: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            left: left.into_iter().collect(),
+            right: right.into_iter().collect(),
+        }
+    }
+
+    /// Builds the trivial cover consisting of *all* left vertices with at
+    /// least one edge (the thread-based vector clock of the computation).
+    pub fn all_left(graph: &BipartiteGraph) -> Self {
+        Self::from_sets(graph.active_left(), std::iter::empty())
+    }
+
+    /// Builds the trivial cover consisting of *all* right vertices with at
+    /// least one edge (the object-based vector clock of the computation).
+    pub fn all_right(graph: &BipartiteGraph) -> Self {
+        Self::from_sets(std::iter::empty(), graph.active_right())
+    }
+
+    /// Number of vertices in the cover (= size of the mixed vector clock).
+    pub fn size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Returns `true` if the cover has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty() && self.right.is_empty()
+    }
+
+    /// Left-side (thread) members of the cover.
+    pub fn left_members(&self) -> impl Iterator<Item = usize> + '_ {
+        self.left.iter().copied()
+    }
+
+    /// Right-side (object) members of the cover.
+    pub fn right_members(&self) -> impl Iterator<Item = usize> + '_ {
+        self.right.iter().copied()
+    }
+
+    /// All members of the cover as [`Vertex`] values, left side first,
+    /// each side in ascending index order (deterministic).
+    pub fn members(&self) -> Vec<Vertex> {
+        let mut left: Vec<_> = self.left.iter().copied().collect();
+        left.sort_unstable();
+        let mut right: Vec<_> = self.right.iter().copied().collect();
+        right.sort_unstable();
+        left.into_iter()
+            .map(Vertex::Left)
+            .chain(right.into_iter().map(Vertex::Right))
+            .collect()
+    }
+
+    /// Returns `true` if the given left vertex is in the cover.
+    pub fn contains_left(&self, l: usize) -> bool {
+        self.left.contains(&l)
+    }
+
+    /// Returns `true` if the given right vertex is in the cover.
+    pub fn contains_right(&self, r: usize) -> bool {
+        self.right.contains(&r)
+    }
+
+    /// Returns `true` if the given vertex is in the cover.
+    pub fn contains(&self, v: Vertex) -> bool {
+        match v {
+            Vertex::Left(l) => self.contains_left(l),
+            Vertex::Right(r) => self.contains_right(r),
+        }
+    }
+
+    /// Adds a vertex to the cover, returning `true` if it was newly inserted.
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        match v {
+            Vertex::Left(l) => self.left.insert(l),
+            Vertex::Right(r) => self.right.insert(r),
+        }
+    }
+
+    /// Checks the defining property: every edge of `graph` has at least one
+    /// endpoint in the cover.
+    pub fn covers_all_edges(&self, graph: &BipartiteGraph) -> bool {
+        graph
+            .edges()
+            .all(|(l, r)| self.contains_left(l) || self.contains_right(r))
+    }
+
+    /// Checks whether a single edge is covered.
+    pub fn covers_edge(&self, l: usize, r: usize) -> bool {
+        self.contains_left(l) || self.contains_right(r)
+    }
+}
+
+impl FromIterator<Vertex> for VertexCover {
+    fn from_iter<I: IntoIterator<Item = Vertex>>(iter: I) -> Self {
+        let mut cover = VertexCover::new();
+        for v in iter {
+            cover.insert(v);
+        }
+        cover
+    }
+}
+
+/// Computes a minimum vertex cover from a maximum matching using the
+/// constructive Kőnig–Egerváry argument (Algorithm 1 of the paper).
+///
+/// `matching` **must** be a maximum matching of `graph` (e.g. the output of
+/// [`hopcroft_karp`]); otherwise the returned set is still a vertex cover but
+/// not necessarily minimum.
+///
+/// ```
+/// use mvc_graph::{BipartiteGraph, matching::hopcroft_karp, cover::minimum_vertex_cover};
+/// let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+/// let m = hopcroft_karp(&g);
+/// let c = minimum_vertex_cover(&g, &m);
+/// assert_eq!(c.size(), 2);
+/// assert!(c.covers_all_edges(&g));
+/// ```
+pub fn minimum_vertex_cover(graph: &BipartiteGraph, matching: &Matching) -> VertexCover {
+    let n_left = graph.n_left();
+
+    // Z := unmatched left vertices, plus everything reachable from them via
+    // alternating paths (BFS: left->right over unmatched edges, right->left
+    // over matched edges).
+    let mut z_left = vec![false; n_left];
+    let mut z_right = vec![false; graph.n_right()];
+    let mut queue = VecDeque::new();
+
+    for l in 0..n_left {
+        // Only consider left vertices that participate in the graph at all;
+        // isolated threads are irrelevant to the cover.
+        if graph.degree_left(l) > 0 && !matching.is_left_matched(l) {
+            z_left[l] = true;
+            queue.push_back(Vertex::Left(l));
+        }
+    }
+
+    while let Some(v) = queue.pop_front() {
+        match v {
+            Vertex::Left(l) => {
+                for &r in graph.neighbors_of_left(l) {
+                    // Alternating path: from a left vertex we may only follow
+                    // *unmatched* edges.
+                    if !matching.contains_edge(l, r) && !z_right[r] {
+                        z_right[r] = true;
+                        queue.push_back(Vertex::Right(r));
+                    }
+                }
+            }
+            Vertex::Right(r) => {
+                // From a right vertex we may only follow the *matched* edge.
+                if let Some(l) = matching.partner_of_right(r) {
+                    if !z_left[l] {
+                        z_left[l] = true;
+                        queue.push_back(Vertex::Left(l));
+                    }
+                }
+            }
+        }
+    }
+
+    // C* = (T − Z) ∪ (O ∩ Z), restricted to vertices with at least one edge.
+    let left = (0..n_left).filter(|&l| graph.degree_left(l) > 0 && !z_left[l]);
+    let right = (0..graph.n_right()).filter(|&r| z_right[r]);
+    VertexCover::from_sets(left, right)
+}
+
+/// Convenience: compute a maximum matching with Hopcroft–Karp and convert it
+/// to a minimum vertex cover in one call.
+pub fn minimum_vertex_cover_of(graph: &BipartiteGraph) -> VertexCover {
+    let matching = hopcroft_karp(graph);
+    minimum_vertex_cover(graph, &matching)
+}
+
+/// A greedy 2-approximation of minimum vertex cover (pick an uncovered edge,
+/// add both endpoints, repeat).
+///
+/// This is *not* used by the paper; it exists as an ablation baseline so the
+/// benchmarks can show how much the exact Kőnig construction buys over a
+/// cheap approximation.
+pub fn greedy_vertex_cover(graph: &BipartiteGraph) -> VertexCover {
+    let mut cover = VertexCover::new();
+    for (l, r) in graph.edges() {
+        if !cover.covers_edge(l, r) {
+            cover.insert(Vertex::Left(l));
+            cover.insert(Vertex::Right(r));
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{GraphScenario, RandomGraphBuilder};
+    use proptest::prelude::*;
+
+    fn cover_of(g: &BipartiteGraph) -> VertexCover {
+        minimum_vertex_cover(g, &hopcroft_karp(g))
+    }
+
+    #[test]
+    fn empty_graph_empty_cover() {
+        let g = BipartiteGraph::new(4, 4);
+        let c = cover_of(&g);
+        assert!(c.is_empty());
+        assert!(c.covers_all_edges(&g));
+    }
+
+    #[test]
+    fn single_edge_cover_size_one() {
+        let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
+        let c = cover_of(&g);
+        assert_eq!(c.size(), 1);
+        assert!(c.covers_all_edges(&g));
+    }
+
+    #[test]
+    fn star_graph_cover_is_center() {
+        // One thread touching 10 objects: the optimal cover is just the thread.
+        let mut g = BipartiteGraph::new(1, 10);
+        for r in 0..10 {
+            g.add_edge(0, r);
+        }
+        let c = cover_of(&g);
+        assert_eq!(c.size(), 1);
+        assert!(c.contains_left(0));
+    }
+
+    #[test]
+    fn reverse_star_cover_is_center_object() {
+        // Ten threads all touching one object: the optimal cover is the object.
+        let mut g = BipartiteGraph::new(10, 1);
+        for l in 0..10 {
+            g.add_edge(l, 0);
+        }
+        let c = cover_of(&g);
+        assert_eq!(c.size(), 1);
+        assert!(c.contains_right(0));
+    }
+
+    #[test]
+    fn paper_figure2_cover_is_t2_o2_o3() {
+        // Threads T1..T4 are indices 0..3, objects O1..O4 are indices 0..3.
+        // Edges from Fig. 1: T1-O2, T2-O1, T2-O2, T2-O3, T2-O4, T3-O3, T4-O3.
+        let g = BipartiteGraph::from_edges(
+            4,
+            4,
+            &[(0, 1), (1, 0), (1, 1), (1, 2), (1, 3), (2, 2), (3, 2)],
+        );
+        let c = cover_of(&g);
+        assert_eq!(c.size(), 3, "paper reports a mixed clock of size 3");
+        assert!(c.covers_all_edges(&g));
+        // Every minimum cover of this graph contains T2 and O3; the third
+        // component is either T1 or O2 (the paper picks {T2, O2, O3}).
+        assert!(c.contains_left(1));
+        assert!(c.contains_right(2));
+        assert!(c.contains_right(1) || c.contains_left(0));
+    }
+
+    #[test]
+    fn cover_size_never_exceeds_min_side() {
+        for seed in 0..10 {
+            let g = RandomGraphBuilder::new(20, 35)
+                .density(0.3)
+                .seed(seed)
+                .build();
+            let c = cover_of(&g);
+            let active_left = g.active_left().count();
+            let active_right = g.active_right().count();
+            assert!(c.size() <= active_left.min(active_right));
+        }
+    }
+
+    #[test]
+    fn complete_graph_cover_is_smaller_side() {
+        let mut g = BipartiteGraph::new(4, 9);
+        for l in 0..4 {
+            for r in 0..9 {
+                g.add_edge(l, r);
+            }
+        }
+        let c = cover_of(&g);
+        assert_eq!(c.size(), 4);
+        assert!(c.covers_all_edges(&g));
+    }
+
+    #[test]
+    fn trivial_covers_cover_everything() {
+        let g = RandomGraphBuilder::new(15, 15).density(0.2).seed(7).build();
+        assert!(VertexCover::all_left(&g).covers_all_edges(&g));
+        assert!(VertexCover::all_right(&g).covers_all_edges(&g));
+    }
+
+    #[test]
+    fn greedy_cover_is_valid_and_at_most_twice_optimal() {
+        for seed in 0..10 {
+            let g = RandomGraphBuilder::new(25, 25)
+                .density(0.15)
+                .seed(seed)
+                .build();
+            let greedy = greedy_vertex_cover(&g);
+            let optimal = cover_of(&g);
+            assert!(greedy.covers_all_edges(&g));
+            assert!(greedy.size() <= 2 * optimal.size().max(1));
+        }
+    }
+
+    #[test]
+    fn members_are_sorted_and_typed() {
+        let cover = VertexCover::from_sets([2, 0], [1]);
+        assert_eq!(
+            cover.members(),
+            vec![Vertex::Left(0), Vertex::Left(2), Vertex::Right(1)]
+        );
+        assert!(cover.contains(Vertex::Left(2)));
+        assert!(!cover.contains(Vertex::Right(9)));
+    }
+
+    #[test]
+    fn from_iterator_collects_vertices() {
+        let cover: VertexCover = [Vertex::Left(1), Vertex::Right(3), Vertex::Left(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(cover.size(), 2);
+    }
+
+    proptest! {
+        /// The heart of the Kőnig–Egerváry theorem: |minimum cover| == |maximum matching|,
+        /// and the produced set indeed covers every edge.
+        #[test]
+        fn prop_konig_egervary(
+            n_left in 1usize..35,
+            n_right in 1usize..35,
+            density in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let g = RandomGraphBuilder::new(n_left, n_right)
+                .density(density)
+                .seed(seed)
+                .build();
+            let m = hopcroft_karp(&g);
+            let c = minimum_vertex_cover(&g, &m);
+            prop_assert!(c.covers_all_edges(&g));
+            prop_assert_eq!(c.size(), m.size());
+        }
+
+        /// Nonuniform graphs exercise the skewed generator path as well.
+        #[test]
+        fn prop_konig_egervary_nonuniform(
+            n in 2usize..30,
+            density in 0.0f64..0.6,
+            seed in 0u64..500,
+        ) {
+            let g = RandomGraphBuilder::new(n, n)
+                .density(density)
+                .scenario(GraphScenario::Nonuniform { hot_fraction: 0.2, hot_boost: 8.0 })
+                .seed(seed)
+                .build();
+            let m = hopcroft_karp(&g);
+            let c = minimum_vertex_cover(&g, &m);
+            prop_assert!(c.covers_all_edges(&g));
+            prop_assert_eq!(c.size(), m.size());
+        }
+
+        /// No vertex cover can be smaller than a matching (weak duality), so the
+        /// greedy cover must be at least the matching size.
+        #[test]
+        fn prop_weak_duality(
+            n in 1usize..25,
+            density in 0.0f64..1.0,
+            seed in 0u64..300,
+        ) {
+            let g = RandomGraphBuilder::new(n, n).density(density).seed(seed).build();
+            let m = hopcroft_karp(&g);
+            let greedy = greedy_vertex_cover(&g);
+            prop_assert!(greedy.size() >= m.size());
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Maximum bipartite matching.
+//!
+//! The paper's offline algorithm (Algorithm 1) starts from a maximum matching
+//! of the thread–object bipartite graph.  We provide two algorithms:
+//!
+//! * [`hopcroft_karp`] — the Hopcroft–Karp algorithm referenced by the paper
+//!   (`O(E √V)`), which finds a *maximal set of shortest vertex-disjoint
+//!   augmenting paths* per phase.
+//! * [`simple_augmenting`] — the classic single-augmenting-path (Hungarian
+//!   style) algorithm in `O(V · E)`, kept as an independently implemented
+//!   baseline; the test-suite cross-checks that both report the same matching
+//!   size on random graphs.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bipartite::BipartiteGraph;
+
+/// Sentinel meaning "unmatched" in the internal pair arrays.
+const NIL: usize = usize::MAX;
+
+/// A matching in a bipartite graph: a set of edges no two of which share an
+/// endpoint.
+///
+/// Stored as two partner arrays, `pair_left[l] == Some(r)` iff edge `(l, r)`
+/// is in the matching (and then `pair_right[r] == Some(l)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matching {
+    pair_left: Vec<Option<usize>>,
+    pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Creates an empty matching for a graph with the given side sizes.
+    pub fn empty(n_left: usize, n_right: usize) -> Self {
+        Self {
+            pair_left: vec![None; n_left],
+            pair_right: vec![None; n_right],
+        }
+    }
+
+    /// Number of matched edges.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// The right partner matched with left vertex `l`, if any.
+    pub fn partner_of_left(&self, l: usize) -> Option<usize> {
+        self.pair_left.get(l).copied().flatten()
+    }
+
+    /// The left partner matched with right vertex `r`, if any.
+    pub fn partner_of_right(&self, r: usize) -> Option<usize> {
+        self.pair_right.get(r).copied().flatten()
+    }
+
+    /// Returns `true` if left vertex `l` is matched.
+    pub fn is_left_matched(&self, l: usize) -> bool {
+        self.partner_of_left(l).is_some()
+    }
+
+    /// Returns `true` if right vertex `r` is matched.
+    pub fn is_right_matched(&self, r: usize) -> bool {
+        self.partner_of_right(r).is_some()
+    }
+
+    /// Returns `true` if the edge `(l, r)` is in the matching.
+    pub fn contains_edge(&self, l: usize, r: usize) -> bool {
+        self.partner_of_left(l) == Some(r)
+    }
+
+    /// Iterator over matched edges as `(left, right)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pair_left
+            .iter()
+            .enumerate()
+            .filter_map(|(l, r)| r.map(|r| (l, r)))
+    }
+
+    /// Adds the edge `(l, r)` to the matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is already matched to a *different* vertex —
+    /// that would violate the matching property.
+    pub fn insert(&mut self, l: usize, r: usize) {
+        if let Some(existing) = self.pair_left[l] {
+            assert_eq!(existing, r, "left vertex {l} already matched to {existing}");
+        }
+        if let Some(existing) = self.pair_right[r] {
+            assert_eq!(existing, l, "right vertex {r} already matched to {existing}");
+        }
+        self.pair_left[l] = Some(r);
+        self.pair_right[r] = Some(l);
+    }
+
+    /// Validates the matching against a graph: every matched edge must exist
+    /// in the graph and partner arrays must be mutually consistent.
+    pub fn is_valid_for(&self, graph: &BipartiteGraph) -> bool {
+        if self.pair_left.len() != graph.n_left() || self.pair_right.len() != graph.n_right() {
+            return false;
+        }
+        for (l, r) in self.edges() {
+            if !graph.has_edge(l, r) {
+                return false;
+            }
+            if self.pair_right[r] != Some(l) {
+                return false;
+            }
+        }
+        for (r, l) in self.pair_right.iter().enumerate() {
+            if let Some(l) = l {
+                if self.pair_left[*l] != Some(r) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Computes a maximum matching using the Hopcroft–Karp algorithm.
+///
+/// Each phase runs a BFS from all unmatched left vertices to build a layered
+/// graph of shortest alternating paths, then a DFS that augments along a
+/// maximal set of vertex-disjoint shortest augmenting paths.  The number of
+/// phases is `O(√V)`, giving the `O(E √V)` bound cited in the paper
+/// (Hopcroft & Karp, 1973).
+///
+/// ```
+/// use mvc_graph::{BipartiteGraph, matching::hopcroft_karp};
+/// let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (2, 2)]);
+/// assert_eq!(hopcroft_karp(&g).size(), 3);
+/// ```
+pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
+    let n_left = graph.n_left();
+    let n_right = graph.n_right();
+    // pair arrays use NIL for unmatched to keep the hot loops index-based.
+    let mut pair_left = vec![NIL; n_left];
+    let mut pair_right = vec![NIL; n_right];
+    let mut dist = vec![u64::MAX; n_left];
+
+    loop {
+        if !hk_bfs(graph, &pair_left, &pair_right, &mut dist) {
+            break;
+        }
+        let mut augmented = false;
+        for l in 0..n_left {
+            if pair_left[l] == NIL && hk_dfs(graph, l, &mut pair_left, &mut pair_right, &mut dist)
+            {
+                augmented = true;
+            }
+        }
+        if !augmented {
+            break;
+        }
+    }
+
+    let mut matching = Matching::empty(n_left, n_right);
+    for (l, &r) in pair_left.iter().enumerate() {
+        if r != NIL {
+            matching.insert(l, r);
+        }
+    }
+    matching
+}
+
+/// BFS phase: computes shortest alternating-path distances from unmatched left
+/// vertices. Returns `true` if at least one augmenting path exists.
+fn hk_bfs(
+    graph: &BipartiteGraph,
+    pair_left: &[usize],
+    pair_right: &[usize],
+    dist: &mut [u64],
+) -> bool {
+    let mut queue = VecDeque::new();
+    for l in 0..graph.n_left() {
+        if pair_left[l] == NIL {
+            dist[l] = 0;
+            queue.push_back(l);
+        } else {
+            dist[l] = u64::MAX;
+        }
+    }
+    let mut found = false;
+    while let Some(l) = queue.pop_front() {
+        for &r in graph.neighbors_of_left(l) {
+            let next = pair_right[r];
+            if next == NIL {
+                // An augmenting path of this BFS level exists.
+                found = true;
+            } else if dist[next] == u64::MAX {
+                dist[next] = dist[l] + 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    found
+}
+
+/// DFS phase: tries to find an augmenting path starting at unmatched left
+/// vertex `l` that respects the BFS layering, flipping matched edges along it.
+fn hk_dfs(
+    graph: &BipartiteGraph,
+    l: usize,
+    pair_left: &mut [usize],
+    pair_right: &mut [usize],
+    dist: &mut [u64],
+) -> bool {
+    for idx in 0..graph.neighbors_of_left(l).len() {
+        let r = graph.neighbors_of_left(l)[idx];
+        let next = pair_right[r];
+        let reachable = if next == NIL {
+            true
+        } else if dist[next] == dist[l].saturating_add(1) {
+            hk_dfs(graph, next, pair_left, pair_right, dist)
+        } else {
+            false
+        };
+        if reachable {
+            pair_left[l] = r;
+            pair_right[r] = l;
+            return true;
+        }
+    }
+    dist[l] = u64::MAX;
+    false
+}
+
+/// Computes a maximum matching using the simple augmenting-path algorithm
+/// (one DFS per left vertex, `O(V · E)`).
+///
+/// Kept as an independent implementation to cross-check [`hopcroft_karp`] and
+/// as a baseline in the matching benchmarks.
+pub fn simple_augmenting(graph: &BipartiteGraph) -> Matching {
+    let n_left = graph.n_left();
+    let n_right = graph.n_right();
+    let mut pair_right = vec![NIL; n_right];
+
+    fn try_augment(
+        graph: &BipartiteGraph,
+        l: usize,
+        visited: &mut [bool],
+        pair_right: &mut [usize],
+    ) -> bool {
+        for &r in graph.neighbors_of_left(l) {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            if pair_right[r] == NIL
+                || try_augment(graph, pair_right[r], visited, pair_right)
+            {
+                pair_right[r] = l;
+                return true;
+            }
+        }
+        false
+    }
+
+    for l in 0..n_left {
+        let mut visited = vec![false; n_right];
+        try_augment(graph, l, &mut visited, &mut pair_right);
+    }
+
+    let mut matching = Matching::empty(n_left, n_right);
+    for (r, &l) in pair_right.iter().enumerate() {
+        if l != NIL {
+            matching.insert(l, r);
+        }
+    }
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{GraphScenario, RandomGraphBuilder};
+    use proptest::prelude::*;
+
+    fn perfect_matchable() -> BipartiteGraph {
+        // A 4x4 graph with a perfect matching.
+        BipartiteGraph::from_edges(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)],
+        )
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = BipartiteGraph::new(5, 5);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 0);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 1);
+        assert!(m.contains_edge(0, 0));
+        assert!(m.is_left_matched(0));
+        assert!(m.is_right_matched(0));
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        let g = perfect_matchable();
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 4);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn star_graph_matching_is_one() {
+        // One thread touching every object: max matching is 1.
+        let mut g = BipartiteGraph::new(1, 10);
+        for r in 0..10 {
+            g.add_edge(0, r);
+        }
+        assert_eq!(hopcroft_karp(&g).size(), 1);
+        assert_eq!(simple_augmenting(&g).size(), 1);
+    }
+
+    #[test]
+    fn complete_bipartite_matching_is_min_side() {
+        let mut g = BipartiteGraph::new(3, 7);
+        for l in 0..3 {
+            for r in 0..7 {
+                g.add_edge(l, r);
+            }
+        }
+        assert_eq!(hopcroft_karp(&g).size(), 3);
+    }
+
+    #[test]
+    fn paper_figure2_graph() {
+        // Thread-object graph of the paper's Fig. 1/2 computation:
+        // T1 uses O2; T2 uses O1, O2, O3, O4; T3 uses O3; T4 uses O3.
+        let g = BipartiteGraph::from_edges(
+            4,
+            4,
+            &[(0, 1), (1, 0), (1, 1), (1, 2), (1, 3), (2, 2), (3, 2)],
+        );
+        let m = hopcroft_karp(&g);
+        // Matching size 3 => minimum vertex cover of size 3 (T2, O2, O3).
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy matching in edge order would get stuck without augmentation:
+        // 0-0, then 1 can only take 0. Augmenting flips 0 to 1.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        assert_eq!(hopcroft_karp(&g).size(), 2);
+        assert_eq!(simple_augmenting(&g).size(), 2);
+    }
+
+    #[test]
+    fn both_algorithms_agree_on_random_graphs() {
+        for seed in 0..20 {
+            let g = RandomGraphBuilder::new(30, 30)
+                .density(0.1)
+                .scenario(GraphScenario::Uniform)
+                .seed(seed)
+                .build();
+            let hk = hopcroft_karp(&g);
+            let simple = simple_augmenting(&g);
+            assert!(hk.is_valid_for(&g));
+            assert!(simple.is_valid_for(&g));
+            assert_eq!(hk.size(), simple.size(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matching_insert_rejects_conflicts() {
+        let mut m = Matching::empty(2, 2);
+        m.insert(0, 0);
+        let result = std::panic::catch_unwind(move || {
+            m.insert(0, 1);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn matching_validity_detects_foreign_edges() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0)]);
+        let mut m = Matching::empty(2, 2);
+        m.insert(1, 1); // not an edge of g
+        assert!(!m.is_valid_for(&g));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hopcroft_karp_is_valid_matching(
+            n_left in 1usize..40,
+            n_right in 1usize..40,
+            density in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let g = RandomGraphBuilder::new(n_left, n_right)
+                .density(density)
+                .seed(seed)
+                .build();
+            let m = hopcroft_karp(&g);
+            prop_assert!(m.is_valid_for(&g));
+            // Matching size can never exceed either side.
+            prop_assert!(m.size() <= n_left.min(n_right));
+        }
+
+        #[test]
+        fn prop_matching_sizes_agree(
+            n in 1usize..25,
+            density in 0.0f64..1.0,
+            seed in 0u64..500,
+        ) {
+            let g = RandomGraphBuilder::new(n, n).density(density).seed(seed).build();
+            prop_assert_eq!(hopcroft_karp(&g).size(), simple_augmenting(&g).size());
+        }
+
+        #[test]
+        fn prop_matching_maximality_no_free_edge(
+            n in 1usize..25,
+            density in 0.0f64..1.0,
+            seed in 0u64..500,
+        ) {
+            // A maximum matching is in particular maximal: there is no edge with
+            // both endpoints unmatched.
+            let g = RandomGraphBuilder::new(n, n).density(density).seed(seed).build();
+            let m = hopcroft_karp(&g);
+            for (l, r) in g.edges() {
+                prop_assert!(m.is_left_matched(l) || m.is_right_matched(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Competitive analysis of online mechanisms.
+//!
+//! The hardness of the online problem (Section IV) is that components can
+//! only be added, never revised, so an online mechanism is naturally judged
+//! by its *competitive ratio*: the size of its final clock divided by the
+//! offline optimum (the minimum vertex cover of the final revealed graph).
+//! The paper reports that gap only at the end of each run (Figures 6 and 7);
+//! [`CompetitiveTracker`] additionally exposes the *trajectory* — after every
+//! revealed event, both the online size so far and the optimum for the graph
+//! revealed so far — which the ablation experiments use to show where a
+//! mechanism falls behind.
+
+use mvc_clock::Component;
+use mvc_core::OfflineOptimizer;
+use mvc_graph::BipartiteGraph;
+use mvc_trace::{ObjectId, ThreadId};
+
+use crate::mechanism::OnlineMechanism;
+
+/// One point of a competitive trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Number of distinct edges revealed so far.
+    pub revealed_edges: usize,
+    /// Online clock size after this reveal.
+    pub online_size: usize,
+    /// Offline optimum (minimum vertex cover) of the graph revealed so far.
+    pub offline_optimum: usize,
+}
+
+impl TrajectoryPoint {
+    /// `online_size / offline_optimum` (1.0 when both are zero).
+    pub fn ratio(&self) -> f64 {
+        if self.offline_optimum == 0 {
+            1.0
+        } else {
+            self.online_size as f64 / self.offline_optimum as f64
+        }
+    }
+}
+
+/// Result of a tracked online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompetitiveReport {
+    /// Trajectory sampled after every *new* edge reveal.
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+impl CompetitiveReport {
+    /// The final point of the trajectory, if any edge was revealed.
+    pub fn final_point(&self) -> Option<TrajectoryPoint> {
+        self.trajectory.last().copied()
+    }
+
+    /// The final competitive ratio (1.0 for an empty run).
+    pub fn final_ratio(&self) -> f64 {
+        self.final_point().map_or(1.0, |p| p.ratio())
+    }
+
+    /// The worst (largest) ratio observed anywhere along the trajectory.
+    pub fn worst_ratio(&self) -> f64 {
+        self.trajectory
+            .iter()
+            .map(TrajectoryPoint::ratio)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Tracks an online mechanism against the offline optimum of the revealed
+/// graph.
+///
+/// Recomputing the optimum runs Hopcroft–Karp on the revealed graph at every
+/// new edge, so the tracker is `O(E · E√V)` overall — intended for evaluation
+/// and tests, not for production monitoring.
+#[derive(Debug)]
+pub struct CompetitiveTracker<M> {
+    mechanism: M,
+    revealed: BipartiteGraph,
+    covered_threads: std::collections::HashSet<usize>,
+    covered_objects: std::collections::HashSet<usize>,
+    trajectory: Vec<TrajectoryPoint>,
+}
+
+impl<M: OnlineMechanism> CompetitiveTracker<M> {
+    /// Creates a tracker around a mechanism.
+    pub fn new(mechanism: M) -> Self {
+        Self {
+            mechanism,
+            revealed: BipartiteGraph::new(0, 0),
+            covered_threads: std::collections::HashSet::new(),
+            covered_objects: std::collections::HashSet::new(),
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// Current online clock size.
+    pub fn online_size(&self) -> usize {
+        self.covered_threads.len() + self.covered_objects.len()
+    }
+
+    /// Reveals one event.  A trajectory point is appended only when the event
+    /// introduces a new (thread, object) edge — repeats change nothing.
+    pub fn reveal(&mut self, thread: ThreadId, object: ObjectId) {
+        let is_new = self
+            .revealed
+            .add_edge_growing(thread.index(), object.index());
+        if !is_new {
+            return;
+        }
+        if !self.covered_threads.contains(&thread.index())
+            && !self.covered_objects.contains(&object.index())
+        {
+            match self.mechanism.choose(&self.revealed, thread, object) {
+                Component::Thread(t) => self.covered_threads.insert(t.index()),
+                Component::Object(o) => self.covered_objects.insert(o.index()),
+            };
+        }
+        let offline_optimum = OfflineOptimizer::new()
+            .plan_for_graph(self.revealed.clone())
+            .clock_size();
+        self.trajectory.push(TrajectoryPoint {
+            revealed_edges: self.revealed.edge_count(),
+            online_size: self.online_size(),
+            offline_optimum,
+        });
+    }
+
+    /// Reveals a whole edge stream and returns the report.
+    pub fn run(mut self, edges: &[(usize, usize)]) -> CompetitiveReport {
+        for &(t, o) in edges {
+            self.reveal(ThreadId(t), ObjectId(o));
+        }
+        CompetitiveReport {
+            trajectory: self.trajectory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{Naive, Popularity, Random};
+    use mvc_graph::{GraphScenario, RandomGraphBuilder};
+
+    #[test]
+    fn empty_run_has_trivial_report() {
+        let report = CompetitiveTracker::new(Popularity::new()).run(&[]);
+        assert!(report.trajectory.is_empty());
+        assert_eq!(report.final_ratio(), 1.0);
+        assert_eq!(report.worst_ratio(), 1.0);
+        assert!(report.final_point().is_none());
+    }
+
+    #[test]
+    fn single_edge_is_optimal() {
+        let report = CompetitiveTracker::new(Popularity::new()).run(&[(0, 0)]);
+        let point = report.final_point().unwrap();
+        assert_eq!(point.online_size, 1);
+        assert_eq!(point.offline_optimum, 1);
+        assert_eq!(point.revealed_edges, 1);
+        assert_eq!(report.final_ratio(), 1.0);
+    }
+
+    #[test]
+    fn repeated_edges_do_not_add_trajectory_points() {
+        let report = CompetitiveTracker::new(Naive::threads()).run(&[(0, 0), (0, 0), (0, 0)]);
+        assert_eq!(report.trajectory.len(), 1);
+    }
+
+    #[test]
+    fn online_never_below_offline_along_the_whole_trajectory() {
+        let (_, stream) = RandomGraphBuilder::new(20, 20)
+            .density(0.1)
+            .scenario(GraphScenario::default_nonuniform())
+            .seed(3)
+            .build_edge_stream();
+        for report in [
+            CompetitiveTracker::new(Popularity::new()).run(&stream),
+            CompetitiveTracker::new(Random::seeded(9)).run(&stream),
+            CompetitiveTracker::new(Naive::threads()).run(&stream),
+        ] {
+            for point in &report.trajectory {
+                assert!(point.online_size >= point.offline_optimum);
+                assert!(point.ratio() >= 1.0);
+            }
+            assert!(report.worst_ratio() >= report.final_ratio() || report.trajectory.is_empty());
+        }
+    }
+
+    #[test]
+    fn star_reveal_order_shows_naive_threads_weakness() {
+        // Ten threads all touching one object: the optimum is 1 (the object),
+        // Naive-threads ends at 10, Popularity ends at... it promotes the
+        // object as soon as the tie-break sees it, so it stays near optimal.
+        let edges: Vec<(usize, usize)> = (0..10).map(|t| (t, 0)).collect();
+        let naive = CompetitiveTracker::new(Naive::threads()).run(&edges);
+        let popularity = CompetitiveTracker::new(Popularity::new()).run(&edges);
+        assert_eq!(naive.final_point().unwrap().offline_optimum, 1);
+        assert_eq!(naive.final_point().unwrap().online_size, 10);
+        assert!((naive.final_ratio() - 10.0).abs() < 1e-12);
+        assert_eq!(popularity.final_point().unwrap().online_size, 1);
+        assert_eq!(popularity.final_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratios_are_finite_and_at_least_one() {
+        let (_, stream) = RandomGraphBuilder::new(15, 15)
+            .density(0.2)
+            .seed(11)
+            .build_edge_stream();
+        let report = CompetitiveTracker::new(Popularity::new()).run(&stream);
+        assert!(report.final_ratio() >= 1.0);
+        assert!(report.worst_ratio().is_finite());
+    }
+}

@@ -1,0 +1,35 @@
+//! Online mixed-vector-clock mechanisms (Section IV of the paper).
+//!
+//! In the online setting events arrive one at a time and the components of
+//! the mixed vector clock may only be *added*, never removed or replaced —
+//! existing timestamps would otherwise be invalidated.  When a revealed event
+//! `(t, o)` is not covered by the current components, a mechanism must pick
+//! which endpoint to promote to a component:
+//!
+//! * [`Naive`] — always pick the thread (or always the object); the final
+//!   clock has one component per active thread (or object), exactly the
+//!   traditional vector clock.
+//! * [`Random`] — pick the thread or the object with probability ½ each.
+//! * [`Popularity`] — pick the endpoint with higher popularity
+//!   `deg(v) / |E|` in the bipartite graph revealed so far (Definition 1).
+//! * [`Adaptive`] — the practical hybrid sketched in the paper's conclusion
+//!   of Section V: use Popularity while the revealed graph is small and
+//!   sparse, and fall back to Naive once density or node-count thresholds are
+//!   exceeded.
+//!
+//! The [`OnlineTimestamper`] couples any mechanism with the incremental
+//! [`TimestampingEngine`](mvc_core::TimestampingEngine), so the chosen
+//! components immediately drive real timestamps; [`simulate_final_size`]
+//! replays only the component-selection decision over an edge stream, which
+//! is what the evaluation figures need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod competitive;
+pub mod mechanism;
+pub mod timestamper;
+
+pub use competitive::{CompetitiveReport, CompetitiveTracker, TrajectoryPoint};
+pub use mechanism::{Adaptive, Naive, NaiveSide, OnlineMechanism, Popularity, Random};
+pub use timestamper::{simulate_final_size, MechanismStats, OnlineRun, OnlineTimestamper};

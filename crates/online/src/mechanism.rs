@@ -1,0 +1,340 @@
+//! The online component-selection mechanisms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mvc_clock::Component;
+use mvc_graph::{stats::more_popular, BipartiteGraph, Vertex};
+use mvc_trace::{ObjectId, ThreadId};
+
+/// An online component-selection policy.
+///
+/// [`choose`](OnlineMechanism::choose) is called only when a newly revealed
+/// event `(thread, object)` is *not* covered by the components selected so
+/// far; it must return one of the two endpoints, which is then added as a new
+/// clock component (components are never removed).
+///
+/// `graph` is the thread–object bipartite graph of the computation revealed
+/// so far, *including* the edge of the current event.
+pub trait OnlineMechanism {
+    /// A short, stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses which endpoint of the uncovered event becomes a component.
+    fn choose(
+        &mut self,
+        graph: &BipartiteGraph,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Component;
+}
+
+/// Which side the [`Naive`] mechanism always chooses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NaiveSide {
+    /// Always promote the event's thread.
+    #[default]
+    Threads,
+    /// Always promote the event's object.
+    Objects,
+}
+
+/// The conventional solution: always choose threads (or always objects).
+///
+/// Produces a final clock with one component per active thread (resp.
+/// object) — the traditional vector clock, used as the baseline in every
+/// figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Naive {
+    side: NaiveSide,
+}
+
+impl Naive {
+    /// Always choose threads.
+    pub fn threads() -> Self {
+        Self {
+            side: NaiveSide::Threads,
+        }
+    }
+
+    /// Always choose objects.
+    pub fn objects() -> Self {
+        Self {
+            side: NaiveSide::Objects,
+        }
+    }
+
+    /// The side this instance promotes.
+    pub fn side(&self) -> NaiveSide {
+        self.side
+    }
+}
+
+impl OnlineMechanism for Naive {
+    fn name(&self) -> &'static str {
+        match self.side {
+            NaiveSide::Threads => "naive-threads",
+            NaiveSide::Objects => "naive-objects",
+        }
+    }
+
+    fn choose(
+        &mut self,
+        _graph: &BipartiteGraph,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Component {
+        match self.side {
+            NaiveSide::Threads => Component::Thread(thread),
+            NaiveSide::Objects => Component::Object(object),
+        }
+    }
+}
+
+/// Choose the thread or the object with probability ½ each.
+#[derive(Debug, Clone)]
+pub struct Random {
+    rng: StdRng,
+}
+
+impl Random {
+    /// Creates the mechanism with a deterministic seed (evaluation runs are
+    /// reproducible given the seed).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OnlineMechanism for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn choose(
+        &mut self,
+        _graph: &BipartiteGraph,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Component {
+        if self.rng.gen_bool(0.5) {
+            Component::Thread(thread)
+        } else {
+            Component::Object(object)
+        }
+    }
+}
+
+/// Choose the endpoint with higher popularity `deg(v) / |E|` in the revealed
+/// graph (Definition 1 of the paper); ties go to the object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Popularity;
+
+impl Popularity {
+    /// Creates the mechanism.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl OnlineMechanism for Popularity {
+    fn name(&self) -> &'static str {
+        "popularity"
+    }
+
+    fn choose(
+        &mut self,
+        graph: &BipartiteGraph,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Component {
+        match more_popular(graph, thread.index(), object.index()) {
+            Vertex::Left(t) => Component::Thread(ThreadId(t)),
+            Vertex::Right(o) => Component::Object(ObjectId(o)),
+        }
+    }
+}
+
+/// The practical hybrid from the paper's Section V conclusion: start with
+/// [`Popularity`], and once the revealed graph exceeds a density threshold or
+/// a node-count threshold, behave like [`Naive`] for all later decisions.
+#[derive(Debug, Clone)]
+pub struct Adaptive {
+    popularity: Popularity,
+    naive: Naive,
+    density_threshold: f64,
+    node_threshold: usize,
+    switched: bool,
+}
+
+impl Adaptive {
+    /// Creates the hybrid with explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density_threshold` is not in `[0, 1]`.
+    pub fn new(density_threshold: f64, node_threshold: usize, naive_side: NaiveSide) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&density_threshold),
+            "density threshold must be within [0, 1], got {density_threshold}"
+        );
+        Self {
+            popularity: Popularity::new(),
+            naive: Naive { side: naive_side },
+            density_threshold,
+            node_threshold,
+            switched: false,
+        }
+    }
+
+    /// Thresholds matching the crossovers observed in the paper's evaluation:
+    /// density 0.2 and 70 active nodes.
+    pub fn with_paper_thresholds() -> Self {
+        Self::new(0.2, 70, NaiveSide::Threads)
+    }
+
+    /// Returns `true` once the mechanism has permanently switched to Naive.
+    pub fn has_switched(&self) -> bool {
+        self.switched
+    }
+}
+
+impl OnlineMechanism for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn choose(
+        &mut self,
+        graph: &BipartiteGraph,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Component {
+        if !self.switched {
+            let active_nodes = graph.active_left().count() + graph.active_right().count();
+            if graph.density() > self.density_threshold || active_nodes > self.node_threshold {
+                self.switched = true;
+            }
+        }
+        if self.switched {
+            self.naive.choose(graph, thread, object)
+        } else {
+            self.popularity.choose(graph, thread, object)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with(edges: &[(usize, usize)]) -> BipartiteGraph {
+        BipartiteGraph::from_edges(10, 10, edges)
+    }
+
+    #[test]
+    fn naive_threads_always_picks_thread() {
+        let mut m = Naive::threads();
+        let g = graph_with(&[(0, 0)]);
+        assert_eq!(m.choose(&g, ThreadId(0), ObjectId(0)), Component::Thread(ThreadId(0)));
+        assert_eq!(m.name(), "naive-threads");
+        assert_eq!(m.side(), NaiveSide::Threads);
+    }
+
+    #[test]
+    fn naive_objects_always_picks_object() {
+        let mut m = Naive::objects();
+        let g = graph_with(&[(3, 7)]);
+        assert_eq!(m.choose(&g, ThreadId(3), ObjectId(7)), Component::Object(ObjectId(7)));
+        assert_eq!(m.name(), "naive-objects");
+        assert_eq!(Naive::default().side(), NaiveSide::Threads);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_picks_an_endpoint() {
+        let g = graph_with(&[(1, 2)]);
+        let run = |seed| {
+            let mut m = Random::seeded(seed);
+            (0..20)
+                .map(|_| m.choose(&g, ThreadId(1), ObjectId(2)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "same seed, same decisions");
+        for c in run(9) {
+            assert!(
+                c == Component::Thread(ThreadId(1)) || c == Component::Object(ObjectId(2)),
+                "random must pick one of the two endpoints"
+            );
+        }
+        // Across many draws both endpoints must appear (probability of failure ~2^-40).
+        let picks = run(1234);
+        assert!(picks.iter().any(|c| matches!(c, Component::Thread(_))));
+        assert!(picks.iter().any(|c| matches!(c, Component::Object(_))));
+        assert_eq!(Random::seeded(0).name(), "random");
+    }
+
+    #[test]
+    fn popularity_picks_higher_degree_endpoint() {
+        // Object 0 touched by threads 0,1,2; thread 0 touched objects 0 only.
+        let g = graph_with(&[(0, 0), (1, 0), (2, 0)]);
+        let mut m = Popularity::new();
+        assert_eq!(m.choose(&g, ThreadId(0), ObjectId(0)), Component::Object(ObjectId(0)));
+        // Thread 5 with degree 3 vs object 6 with degree 1.
+        let g2 = graph_with(&[(5, 6), (5, 7), (5, 8)]);
+        let mut m2 = Popularity::new();
+        assert_eq!(m2.choose(&g2, ThreadId(5), ObjectId(6)), Component::Thread(ThreadId(5)));
+        assert_eq!(m2.name(), "popularity");
+    }
+
+    #[test]
+    fn popularity_tie_goes_to_object() {
+        let g = graph_with(&[(0, 0)]);
+        let mut m = Popularity::new();
+        assert_eq!(m.choose(&g, ThreadId(0), ObjectId(0)), Component::Object(ObjectId(0)));
+    }
+
+    #[test]
+    fn adaptive_switches_on_node_threshold() {
+        let mut m = Adaptive::new(1.0, 3, NaiveSide::Threads);
+        // Small graph: behaves like popularity (object on ties).
+        let small = graph_with(&[(0, 0)]);
+        assert_eq!(m.choose(&small, ThreadId(0), ObjectId(0)), Component::Object(ObjectId(0)));
+        assert!(!m.has_switched());
+        // Larger graph: 4 active nodes > 3 -> switch to naive-threads, permanently.
+        let big = graph_with(&[(0, 0), (1, 1)]);
+        assert_eq!(m.choose(&big, ThreadId(1), ObjectId(1)), Component::Thread(ThreadId(1)));
+        assert!(m.has_switched());
+        // Even on a small graph again, it stays naive.
+        assert_eq!(m.choose(&small, ThreadId(0), ObjectId(0)), Component::Thread(ThreadId(0)));
+        assert_eq!(m.name(), "adaptive");
+    }
+
+    #[test]
+    fn adaptive_switches_on_density_threshold() {
+        let mut m = Adaptive::new(0.4, 1000, NaiveSide::Objects);
+        // Density 1/100 = 0.01: below threshold.
+        let sparse = graph_with(&[(0, 0)]);
+        m.choose(&sparse, ThreadId(0), ObjectId(0));
+        assert!(!m.has_switched());
+        // Density 0.5 on a 2x2 graph: above threshold.
+        let dense = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        assert_eq!(
+            m.choose(&dense, ThreadId(1), ObjectId(1)),
+            Component::Object(ObjectId(1))
+        );
+        assert!(m.has_switched());
+    }
+
+    #[test]
+    #[should_panic(expected = "density threshold")]
+    fn adaptive_rejects_bad_threshold() {
+        let _ = Adaptive::new(2.0, 10, NaiveSide::Threads);
+    }
+
+    #[test]
+    fn paper_thresholds_constructor() {
+        let m = Adaptive::with_paper_thresholds();
+        assert!(!m.has_switched());
+    }
+}

@@ -1,0 +1,328 @@
+//! Driving an online mechanism: component selection plus real timestamping.
+//!
+//! [`OnlineTimestamper`] is the full pipeline — it maintains the revealed
+//! thread–object graph, asks the mechanism for a new component whenever an
+//! uncovered event arrives, and produces a real timestamp for every event via
+//! the incremental [`TimestampingEngine`].  [`simulate_final_size`] is the
+//! lightweight variant used by the evaluation figures, which only need the
+//! final clock size for a stream of revealed edges.
+
+use mvc_clock::{Component, VectorTimestamp};
+use mvc_core::TimestampingEngine;
+use mvc_graph::BipartiteGraph;
+use mvc_trace::{Computation, ObjectId, ThreadId};
+
+use crate::mechanism::OnlineMechanism;
+
+/// Statistics of one online run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MechanismStats {
+    /// Number of events observed.
+    pub events: usize,
+    /// Number of thread components added.
+    pub thread_components: usize,
+    /// Number of object components added.
+    pub object_components: usize,
+}
+
+impl MechanismStats {
+    /// Final size of the online mixed vector clock.
+    pub fn clock_size(&self) -> usize {
+        self.thread_components + self.object_components
+    }
+}
+
+/// The result of replaying a whole computation through an online mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineRun {
+    /// Per-event timestamps, in the computation's append order.
+    pub timestamps: Vec<VectorTimestamp>,
+    /// Aggregate statistics (component counts).
+    pub stats: MechanismStats,
+}
+
+/// Online timestamping pipeline: mechanism + revealed graph + engine.
+#[derive(Debug)]
+pub struct OnlineTimestamper<M> {
+    mechanism: M,
+    engine: TimestampingEngine,
+    revealed: BipartiteGraph,
+    stats: MechanismStats,
+}
+
+impl<M: OnlineMechanism> OnlineTimestamper<M> {
+    /// Creates an online timestamper around a mechanism.
+    pub fn new(mechanism: M) -> Self {
+        Self {
+            mechanism,
+            engine: TimestampingEngine::new(),
+            revealed: BipartiteGraph::new(0, 0),
+            stats: MechanismStats::default(),
+        }
+    }
+
+    /// The mechanism driving component selection.
+    pub fn mechanism(&self) -> &M {
+        &self.mechanism
+    }
+
+    /// The thread–object graph revealed so far.
+    pub fn revealed_graph(&self) -> &BipartiteGraph {
+        &self.revealed
+    }
+
+    /// Current clock width.
+    pub fn clock_size(&self) -> usize {
+        self.engine.width()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> MechanismStats {
+        self.stats
+    }
+
+    /// The underlying timestamping engine (e.g. to inspect per-thread clocks).
+    pub fn engine(&self) -> &TimestampingEngine {
+        &self.engine
+    }
+
+    /// Observes one operation: reveals its edge, adds a component if the
+    /// operation is not covered, and returns its timestamp.
+    pub fn observe(&mut self, thread: ThreadId, object: ObjectId) -> VectorTimestamp {
+        self.revealed
+            .add_edge_growing(thread.index(), object.index());
+        if !self.engine.covers(thread, object) {
+            let component = self.mechanism.choose(&self.revealed, thread, object);
+            match component {
+                Component::Thread(_) => self.stats.thread_components += 1,
+                Component::Object(_) => self.stats.object_components += 1,
+            }
+            self.engine.add_component(component);
+        }
+        self.stats.events += 1;
+        self.engine
+            .observe(thread, object)
+            .expect("event is covered after adding a component for it")
+    }
+
+    /// Replays a whole computation in append order.
+    ///
+    /// Because components are added while the computation runs, events
+    /// observed early have narrower raw timestamps than later ones; the
+    /// returned timestamps are all padded to the final clock width (missing
+    /// components are zero, which is exactly the value those counters held at
+    /// the time), so they can be compared directly.
+    pub fn run(mut self, computation: &Computation) -> OnlineRun {
+        let raw: Vec<VectorTimestamp> = computation
+            .events()
+            .map(|e| self.observe(e.thread, e.object))
+            .collect();
+        let width = self.engine.width();
+        let timestamps = raw
+            .into_iter()
+            .map(|t| {
+                let mut v = t.as_slice().to_vec();
+                v.resize(width, 0);
+                VectorTimestamp::from_components(v)
+            })
+            .collect();
+        OnlineRun {
+            timestamps,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Replays only the component-selection decisions over an edge-reveal stream
+/// and returns the final clock size.
+///
+/// `edges` is the order in which distinct `(thread, object)` pairs are first
+/// revealed (repeat occurrences of a pair never trigger a decision, so they
+/// can be omitted).  This is the quantity plotted on the y-axis of Figures
+/// 4–7.
+pub fn simulate_final_size<M: OnlineMechanism>(
+    mechanism: &mut M,
+    edges: &[(usize, usize)],
+) -> usize {
+    let mut revealed = BipartiteGraph::new(0, 0);
+    let mut covered_threads = std::collections::HashSet::new();
+    let mut covered_objects = std::collections::HashSet::new();
+    let mut size = 0usize;
+    for &(t, o) in edges {
+        revealed.add_edge_growing(t, o);
+        if covered_threads.contains(&t) || covered_objects.contains(&o) {
+            continue;
+        }
+        match mechanism.choose(&revealed, ThreadId(t), ObjectId(o)) {
+            Component::Thread(id) => covered_threads.insert(id.index()),
+            Component::Object(id) => covered_objects.insert(id.index()),
+        };
+        size += 1;
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{Adaptive, Naive, NaiveSide, Popularity, Random};
+    use mvc_clock::validate::satisfies_vector_clock_condition;
+    use mvc_core::OfflineOptimizer;
+    use mvc_graph::{GraphScenario, RandomGraphBuilder};
+    use mvc_trace::{WorkloadBuilder, WorkloadKind};
+    use proptest::prelude::*;
+
+    #[test]
+    fn naive_threads_equals_active_thread_count() {
+        let c = WorkloadBuilder::new(10, 10).operations(200).seed(1).build();
+        let run = OnlineTimestamper::new(Naive::threads()).run(&c);
+        assert_eq!(run.stats.clock_size(), c.thread_count());
+        assert_eq!(run.stats.object_components, 0);
+        assert_eq!(run.stats.events, c.len());
+    }
+
+    #[test]
+    fn naive_objects_equals_active_object_count() {
+        let c = WorkloadBuilder::new(10, 10).operations(200).seed(2).build();
+        let run = OnlineTimestamper::new(Naive::objects()).run(&c);
+        assert_eq!(run.stats.clock_size(), c.object_count());
+        assert_eq!(run.stats.thread_components, 0);
+    }
+
+    #[test]
+    fn online_clock_is_valid_for_every_mechanism() {
+        let c = WorkloadBuilder::new(8, 8)
+            .operations(150)
+            .kind(WorkloadKind::Nonuniform {
+                hot_fraction: 0.25,
+                hot_boost: 5.0,
+            })
+            .seed(3)
+            .build();
+        let oracle = c.causality_oracle();
+        let runs: Vec<(&str, OnlineRun)> = vec![
+            ("naive", OnlineTimestamper::new(Naive::threads()).run(&c)),
+            ("random", OnlineTimestamper::new(Random::seeded(7)).run(&c)),
+            ("popularity", OnlineTimestamper::new(Popularity::new()).run(&c)),
+            (
+                "adaptive",
+                OnlineTimestamper::new(Adaptive::with_paper_thresholds()).run(&c),
+            ),
+        ];
+        for (name, run) in runs {
+            assert!(
+                satisfies_vector_clock_condition(&c, &run.timestamps, &oracle),
+                "{name} produced an invalid online clock"
+            );
+        }
+    }
+
+    #[test]
+    fn online_size_never_below_offline_optimum() {
+        for seed in 0..10 {
+            let c = WorkloadBuilder::new(12, 12).operations(150).seed(seed).build();
+            let optimal = OfflineOptimizer::new().plan_for_computation(&c).clock_size();
+            for run in [
+                OnlineTimestamper::new(Popularity::new()).run(&c),
+                OnlineTimestamper::new(Random::seeded(seed)).run(&c),
+                OnlineTimestamper::new(Naive::threads()).run(&c),
+            ] {
+                assert!(
+                    run.stats.clock_size() >= optimal,
+                    "online mechanism beat the offline optimum (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observe_reveals_edges_and_grows_clock() {
+        let mut ts = OnlineTimestamper::new(Popularity::new());
+        let a = ts.observe(ThreadId(0), ObjectId(0));
+        assert_eq!(ts.clock_size(), 1);
+        assert_eq!(a.len(), 1);
+        // Covered event does not add a component.
+        let b = ts.observe(ThreadId(5), ObjectId(0));
+        assert_eq!(ts.clock_size(), 1);
+        assert!(a.strictly_less_than(&b));
+        assert_eq!(ts.revealed_graph().edge_count(), 2);
+        assert_eq!(ts.stats().events, 2);
+        assert_eq!(ts.engine().events_observed(), 2);
+        assert_eq!(ts.mechanism().name(), "popularity");
+    }
+
+    #[test]
+    fn simulate_matches_full_run_for_deterministic_mechanisms() {
+        let (_, stream) = RandomGraphBuilder::new(30, 30)
+            .density(0.08)
+            .scenario(GraphScenario::default_nonuniform())
+            .seed(5)
+            .build_edge_stream();
+        let c = mvc_trace::generator::computation_from_edge_stream(&stream);
+
+        let sim = simulate_final_size(&mut Popularity::new(), &stream);
+        let full = OnlineTimestamper::new(Popularity::new()).run(&c);
+        assert_eq!(sim, full.stats.clock_size());
+
+        let sim_naive = simulate_final_size(&mut Naive::threads(), &stream);
+        let full_naive = OnlineTimestamper::new(Naive::threads()).run(&c);
+        assert_eq!(sim_naive, full_naive.stats.clock_size());
+    }
+
+    #[test]
+    fn simulate_ignores_repeated_edges() {
+        let edges = vec![(0, 0), (0, 0), (1, 0), (1, 0)];
+        let size = simulate_final_size(&mut Naive::threads(), &edges);
+        assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn adaptive_behaves_like_popularity_then_naive() {
+        // Low thresholds: adaptive switches almost immediately, so its final
+        // size is close to naive's.
+        let (_, stream) = RandomGraphBuilder::new(40, 40).density(0.1).seed(11).build_edge_stream();
+        let adaptive_size = simulate_final_size(
+            &mut Adaptive::new(0.0, 0, NaiveSide::Threads),
+            &stream,
+        );
+        let naive_size = simulate_final_size(&mut Naive::threads(), &stream);
+        assert_eq!(adaptive_size, naive_size);
+    }
+
+    proptest! {
+        /// Whatever the mechanism decides, the selected components always form a
+        /// vertex cover of the revealed graph, so the online clock is valid.
+        #[test]
+        fn prop_online_components_cover_revealed_graph(
+            threads in 1usize..10,
+            objects in 1usize..10,
+            ops in 0usize..120,
+            seed in 0u64..150,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects).operations(ops).seed(seed).build();
+            let mut ts = OnlineTimestamper::new(Random::seeded(seed));
+            for e in c.events() {
+                ts.observe(e.thread, e.object);
+            }
+            let map = ts.engine().components().clone();
+            for e in c.events() {
+                prop_assert!(map.contains_thread(e.thread) || map.contains_object(e.object));
+            }
+            prop_assert_eq!(ts.stats().clock_size(), ts.clock_size());
+        }
+
+        /// Online popularity timestamps are always valid vector clocks.
+        #[test]
+        fn prop_popularity_online_clock_valid(
+            threads in 1usize..7,
+            objects in 1usize..7,
+            ops in 1usize..80,
+            seed in 0u64..100,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects).operations(ops).seed(seed).build();
+            let run = OnlineTimestamper::new(Popularity::new()).run(&c);
+            let oracle = c.causality_oracle();
+            prop_assert!(satisfies_vector_clock_condition(&c, &run.timestamps, &oracle));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Trace sessions and thread registration.
+//!
+//! A [`TraceSession`] owns the identifier spaces (threads and objects get
+//! dense ids in registration order) and the event sink.  Operations are sent
+//! through an unbounded crossbeam channel; each [`SharedObject`] sends the
+//! event *while still holding its lock*, so for any single object the order
+//! of events in the channel matches the order in which the operations really
+//! serialised — exactly the per-object chain order the paper's model
+//! requires.  Per-thread order is preserved because a thread enqueues its own
+//! events in program order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use mvc_trace::{Computation, ObjectId, OpKind, ThreadId};
+
+use crate::object::SharedObject;
+
+/// One recorded operation, as sent over the event channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawEvent {
+    pub(crate) thread: ThreadId,
+    pub(crate) object: ObjectId,
+    pub(crate) kind: OpKind,
+}
+
+/// A handle identifying a registered application thread.
+///
+/// Handles are cheap to clone and can be moved into spawned threads; every
+/// traced operation takes a handle so the trace knows which logical thread
+/// performed it.
+#[derive(Debug, Clone)]
+pub struct ThreadHandle {
+    id: ThreadId,
+    name: Arc<str>,
+}
+
+impl ThreadHandle {
+    /// The thread's dense identifier.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The name given at registration.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Shared interior of a session, referenced by every [`SharedObject`].
+#[derive(Debug)]
+pub(crate) struct SessionInner {
+    pub(crate) sender: Sender<RawEvent>,
+    next_thread: AtomicUsize,
+    next_object: AtomicUsize,
+    names: Mutex<SessionNames>,
+}
+
+#[derive(Debug, Default)]
+struct SessionNames {
+    threads: Vec<String>,
+    objects: Vec<String>,
+}
+
+impl SessionInner {
+    fn register_thread(&self, name: &str) -> ThreadId {
+        let id = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
+        let mut names = self.names.lock();
+        debug_assert_eq!(names.threads.len(), id.index());
+        names.threads.push(name.to_owned());
+        id
+    }
+
+    fn register_object(&self, name: &str) -> ObjectId {
+        let id = ObjectId(self.next_object.fetch_add(1, Ordering::Relaxed));
+        let mut names = self.names.lock();
+        debug_assert_eq!(names.objects.len(), id.index());
+        names.objects.push(name.to_owned());
+        id
+    }
+}
+
+/// A tracing session: the factory for shared objects and thread handles, and
+/// the collector of the resulting computation.
+#[derive(Debug)]
+pub struct TraceSession {
+    inner: Arc<SessionInner>,
+    receiver: Receiver<RawEvent>,
+}
+
+impl Default for TraceSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded();
+        Self {
+            inner: Arc::new(SessionInner {
+                sender,
+                next_thread: AtomicUsize::new(0),
+                next_object: AtomicUsize::new(0),
+                names: Mutex::new(SessionNames::default()),
+            }),
+            receiver,
+        }
+    }
+
+    /// Registers an application thread and returns its handle.
+    pub fn register_thread(&self, name: &str) -> ThreadHandle {
+        let id = self.inner.register_thread(name);
+        ThreadHandle {
+            id,
+            name: Arc::from(name),
+        }
+    }
+
+    /// Creates a traced shared object holding `value`.
+    pub fn shared_object<T>(&self, name: &str, value: T) -> SharedObject<T> {
+        let id = self.inner.register_object(name);
+        SharedObject::new(id, name, value, Arc::clone(&self.inner))
+    }
+
+    /// The name a thread was registered with, if the id is known.
+    pub fn thread_name(&self, id: ThreadId) -> Option<String> {
+        self.inner.names.lock().threads.get(id.index()).cloned()
+    }
+
+    /// The name an object was created with, if the id is known.
+    pub fn object_name(&self, id: ObjectId) -> Option<String> {
+        self.inner.names.lock().objects.get(id.index()).cloned()
+    }
+
+    /// Number of threads registered so far.
+    pub fn thread_count(&self) -> usize {
+        self.inner.next_thread.load(Ordering::Relaxed)
+    }
+
+    /// Number of objects created so far.
+    pub fn object_count(&self) -> usize {
+        self.inner.next_object.load(Ordering::Relaxed)
+    }
+
+    /// Drains every recorded operation into a [`Computation`].
+    ///
+    /// Call this after all worker threads have been joined; operations still
+    /// being performed concurrently with the drain may or may not be
+    /// included.
+    pub fn into_computation(self) -> Computation {
+        let TraceSession { inner, receiver } = self;
+        // Dropping the last sender closes the channel so try_iter drains
+        // everything that was sent. SharedObjects may still hold clones of the
+        // inner; events they send after this point are intentionally dropped.
+        drop(inner);
+        let mut computation = Computation::new();
+        while let Ok(ev) = receiver.try_recv() {
+            computation.record_op(ev.thread, ev.object, ev.kind);
+        }
+        computation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn registration_assigns_dense_ids_and_names() {
+        let session = TraceSession::new();
+        let a = session.register_thread("a");
+        let b = session.register_thread("b");
+        assert_eq!(a.id(), ThreadId(0));
+        assert_eq!(b.id(), ThreadId(1));
+        assert_eq!(a.name(), "a");
+        assert_eq!(session.thread_name(ThreadId(1)).as_deref(), Some("b"));
+        assert_eq!(session.thread_name(ThreadId(9)), None);
+        assert_eq!(session.thread_count(), 2);
+
+        let o = session.shared_object("obj", 1i32);
+        assert_eq!(o.id(), ObjectId(0));
+        assert_eq!(session.object_name(ObjectId(0)).as_deref(), Some("obj"));
+        assert_eq!(session.object_count(), 1);
+    }
+
+    #[test]
+    fn empty_session_yields_empty_computation() {
+        let session = TraceSession::new();
+        session.register_thread("unused");
+        let _unused = session.shared_object("unused", ());
+        let c = session.into_computation();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_thread_trace_is_recorded_in_order() {
+        let session = TraceSession::new();
+        let t = session.register_thread("main");
+        let x = session.shared_object("x", 0u32);
+        let y = session.shared_object("y", 0u32);
+        x.write(&t, |v| *v = 1);
+        y.write(&t, |v| *v = 2);
+        x.read(&t, |v| *v);
+        let c = session.into_computation();
+        assert_eq!(c.len(), 3);
+        let events: Vec<_> = c.events().collect();
+        assert_eq!(events[0].object, ObjectId(0));
+        assert_eq!(events[1].object, ObjectId(1));
+        assert_eq!(events[2].object, ObjectId(0));
+        assert_eq!(events[0].kind, OpKind::Write);
+        assert_eq!(events[2].kind, OpKind::Read);
+        assert_eq!(c.thread_chain(ThreadId(0)).len(), 3);
+    }
+
+    #[test]
+    fn multithreaded_trace_preserves_object_serialization() {
+        let session = TraceSession::new();
+        let counter = session.shared_object("counter", 0u64);
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let handle = session.register_thread(&format!("worker-{i}"));
+            let counter = counter.clone();
+            joins.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    counter.write(&handle, |v| *v += 1);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let final_value = {
+            let probe = session.register_thread("probe");
+            counter.read(&probe, |v| *v)
+        };
+        assert_eq!(final_value, 200);
+        let c = session.into_computation();
+        // 200 writes + 1 read, all on one object.
+        assert_eq!(c.len(), 201);
+        assert_eq!(c.object_chain(ObjectId(0)).len(), 201);
+        // Each worker contributed exactly 50 events in its own chain.
+        for t in 0..4 {
+            assert_eq!(c.thread_chain(ThreadId(t)).len(), 50);
+        }
+    }
+}

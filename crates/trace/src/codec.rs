@@ -1,0 +1,223 @@
+//! Compact binary encoding of computations.
+//!
+//! Traces recorded by the runtime crate (or generated synthetically) can be
+//! persisted and replayed through the offline optimizer.  The format is a
+//! simple length-prefixed sequence of `(thread, object, kind)` triples using
+//! variable-length integers, built on the [`bytes`] crate.
+//!
+//! The format is versioned with a 4-byte magic so that accidental decoding of
+//! unrelated data fails loudly instead of producing a garbage computation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::computation::Computation;
+use crate::event::OpKind;
+use crate::ids::{ObjectId, ThreadId};
+
+/// Magic bytes identifying a serialized computation ("MVC" + version 1).
+const MAGIC: &[u8; 4] = b"MVC\x01";
+
+/// Errors produced when decoding a serialized computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The buffer ended in the middle of a record.
+    UnexpectedEof,
+    /// An operation-kind tag was not recognised.
+    BadOpKind(u8),
+    /// A varint was longer than the maximum allowed length.
+    VarintOverflow,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "buffer is not a serialized computation"),
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            DecodeError::BadOpKind(k) => write!(f, "unknown operation kind tag {k}"),
+            DecodeError::VarintOverflow => write!(f, "variable-length integer overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn op_kind_tag(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
+        OpKind::Acquire => 2,
+        OpKind::Release => 3,
+        OpKind::Op => 4,
+    }
+}
+
+fn op_kind_from_tag(tag: u8) -> Result<OpKind, DecodeError> {
+    Ok(match tag {
+        0 => OpKind::Read,
+        1 => OpKind::Write,
+        2 => OpKind::Acquire,
+        3 => OpKind::Release,
+        4 => OpKind::Op,
+        other => return Err(DecodeError::BadOpKind(other)),
+    })
+}
+
+fn put_varint(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        if shift >= 64 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        let byte = buf.get_u8();
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Serializes a computation into a compact binary buffer.
+pub fn encode(computation: &Computation) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + computation.len() * 4);
+    buf.put_slice(MAGIC);
+    put_varint(&mut buf, computation.len() as u64);
+    for e in computation.events() {
+        put_varint(&mut buf, e.thread.index() as u64);
+        put_varint(&mut buf, e.object.index() as u64);
+        buf.put_u8(op_kind_tag(e.kind));
+    }
+    buf.freeze()
+}
+
+/// Decodes a computation previously produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is malformed or truncated.
+pub fn decode(bytes: &[u8]) -> Result<Computation, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let count = get_varint(&mut buf)?;
+    let mut computation = Computation::new();
+    for _ in 0..count {
+        let thread = get_varint(&mut buf)? as usize;
+        let object = get_varint(&mut buf)? as usize;
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let kind = op_kind_from_tag(buf.get_u8())?;
+        computation.record_op(ThreadId(thread), ObjectId(object), kind);
+    }
+    Ok(computation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadBuilder, WorkloadKind};
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_empty() {
+        let c = Computation::new();
+        assert_eq!(decode(&encode(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let mut c = Computation::new();
+        c.record_op(ThreadId(0), ObjectId(3), OpKind::Write);
+        c.record_op(ThreadId(200), ObjectId(1), OpKind::Acquire);
+        c.record_op(ThreadId(0), ObjectId(3), OpKind::Read);
+        assert_eq!(decode(&encode(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn round_trip_generated_workload() {
+        let c = WorkloadBuilder::new(16, 32)
+            .operations(1000)
+            .kind(WorkloadKind::Nonuniform {
+                hot_fraction: 0.25,
+                hot_boost: 4.0,
+            })
+            .seed(77)
+            .build();
+        assert_eq!(decode(&encode(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOPE"), Err(DecodeError::BadMagic));
+        assert_eq!(decode(b""), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let c = WorkloadBuilder::new(4, 4).operations(10).seed(1).build();
+        let encoded = encode(&c);
+        let truncated = &encoded[..encoded.len() - 2];
+        assert_eq!(decode(truncated), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_op_kind_rejected() {
+        let mut c = Computation::new();
+        c.record(ThreadId(0), ObjectId(0));
+        let mut raw = encode(&c).to_vec();
+        let last = raw.len() - 1;
+        raw[last] = 99; // corrupt the op-kind tag
+        assert_eq!(decode(&raw), Err(DecodeError::BadOpKind(99)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(DecodeError::BadMagic.to_string().contains("not a serialized"));
+        assert!(DecodeError::BadOpKind(7).to_string().contains('7'));
+        assert!(DecodeError::UnexpectedEof.to_string().contains("end of buffer"));
+        assert!(DecodeError::VarintOverflow.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn varint_round_trip_large_values() {
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            put_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(ops in proptest::collection::vec((0usize..64, 0usize..64, 0u8..5), 0..200)) {
+            let mut c = Computation::new();
+            for (t, o, k) in ops {
+                c.record_op(ThreadId(t), ObjectId(o), op_kind_from_tag(k).unwrap());
+            }
+            prop_assert_eq!(decode(&encode(&c)).unwrap(), c);
+        }
+    }
+}

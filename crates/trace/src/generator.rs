@@ -1,0 +1,415 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on random bipartite graphs; real uses of the library
+//! need event-level computations.  This module generates both: given a target
+//! interaction structure it emits a full [`Computation`] (a sequence of
+//! thread–object operations), whose induced bipartite graph then has the
+//! requested shape.
+//!
+//! The available workload families are:
+//!
+//! * [`WorkloadKind::Uniform`] — every operation picks a uniformly random
+//!   (thread, object) pair; corresponds to the paper's *Uniform* scenario.
+//! * [`WorkloadKind::Nonuniform`] — a small hot set of threads and objects
+//!   receives a boosted share of operations; the paper's *Nonuniform*
+//!   scenario.
+//! * [`WorkloadKind::ProducerConsumer`] — producers write to queue objects,
+//!   consumers read from them; models the pipeline workloads used to motivate
+//!   causality tracking in debugging.
+//! * [`WorkloadKind::LockStriped`] — each thread mostly works on its own
+//!   stripe of objects with occasional cross-stripe accesses; models
+//!   partitioned data structures where the thread–object graph is sparse.
+//! * [`WorkloadKind::Phased`] — the computation alternates between phases that
+//!   use disjoint object sets; models barrier-style programs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mvc_graph::{BipartiteGraph, GraphScenario, RandomGraphBuilder};
+
+use crate::computation::Computation;
+use crate::event::OpKind;
+use crate::ids::{ObjectId, ThreadId};
+
+/// The family of synthetic workload to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Uniformly random (thread, object) pairs.
+    Uniform,
+    /// A hot fraction of threads/objects receives `hot_boost`× the traffic.
+    Nonuniform {
+        /// Fraction of threads and objects that are hot (0, 1].
+        hot_fraction: f64,
+        /// Relative weight of a hot vertex when sampling.
+        hot_boost: f64,
+    },
+    /// Producers append to queue objects; consumers drain them.
+    ProducerConsumer {
+        /// Number of queue objects shared between producers and consumers.
+        queues: usize,
+    },
+    /// Threads work mostly within their own stripe of objects.
+    LockStriped {
+        /// Probability that an operation escapes its stripe.
+        cross_stripe_prob: f64,
+    },
+    /// Phases use disjoint slices of the object space.
+    Phased {
+        /// Number of phases.
+        phases: usize,
+    },
+}
+
+impl Default for WorkloadKind {
+    fn default() -> Self {
+        WorkloadKind::Uniform
+    }
+}
+
+impl WorkloadKind {
+    /// Short, stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Nonuniform { .. } => "nonuniform",
+            WorkloadKind::ProducerConsumer { .. } => "producer-consumer",
+            WorkloadKind::LockStriped { .. } => "lock-striped",
+            WorkloadKind::Phased { .. } => "phased",
+        }
+    }
+}
+
+/// Builder for synthetic computations.
+///
+/// ```
+/// use mvc_trace::{WorkloadBuilder, WorkloadKind};
+/// let c = WorkloadBuilder::new(8, 8)
+///     .operations(200)
+///     .kind(WorkloadKind::Uniform)
+///     .seed(1)
+///     .build();
+/// assert_eq!(c.len(), 200);
+/// assert!(c.thread_count() <= 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    threads: usize,
+    objects: usize,
+    operations: usize,
+    kind: WorkloadKind,
+    write_fraction: f64,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for a workload over `threads` threads and `objects`
+    /// objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(threads: usize, objects: usize) -> Self {
+        assert!(threads > 0, "workload needs at least one thread");
+        assert!(objects > 0, "workload needs at least one object");
+        Self {
+            threads,
+            objects,
+            operations: threads * objects,
+            kind: WorkloadKind::Uniform,
+            write_fraction: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the total number of operations to generate.
+    pub fn operations(mut self, operations: usize) -> Self {
+        self.operations = operations;
+        self
+    }
+
+    /// Sets the workload family.
+    pub fn kind(mut self, kind: WorkloadKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the fraction of operations that are writes (the rest are reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `[0, 1]`.
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "write fraction must be within [0, 1], got {fraction}"
+        );
+        self.write_fraction = fraction;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the computation.
+    pub fn build(&self) -> Computation {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut c = Computation::new();
+        for step in 0..self.operations {
+            let (t, o) = self.sample_pair(step, &mut rng);
+            let kind = if rng.gen_bool(self.write_fraction) {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            };
+            c.record_op(ThreadId(t), ObjectId(o), kind);
+        }
+        c
+    }
+
+    fn sample_pair<R: Rng + ?Sized>(&self, step: usize, rng: &mut R) -> (usize, usize) {
+        match self.kind {
+            WorkloadKind::Uniform => (
+                rng.gen_range(0..self.threads),
+                rng.gen_range(0..self.objects),
+            ),
+            WorkloadKind::Nonuniform {
+                hot_fraction,
+                hot_boost,
+            } => (
+                sample_skewed(self.threads, hot_fraction, hot_boost, rng),
+                sample_skewed(self.objects, hot_fraction, hot_boost, rng),
+            ),
+            WorkloadKind::ProducerConsumer { queues } => {
+                let queues = queues.clamp(1, self.objects);
+                let q = rng.gen_range(0..queues);
+                let t = rng.gen_range(0..self.threads);
+                (t, q)
+            }
+            WorkloadKind::LockStriped { cross_stripe_prob } => {
+                let t = rng.gen_range(0..self.threads);
+                let stripe_size = (self.objects / self.threads).max(1);
+                let o = if rng.gen_bool(cross_stripe_prob.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..self.objects)
+                } else {
+                    let start = (t * stripe_size) % self.objects;
+                    (start + rng.gen_range(0..stripe_size)) % self.objects
+                };
+                (t, o)
+            }
+            WorkloadKind::Phased { phases } => {
+                let phases = phases.clamp(1, self.objects);
+                let ops_per_phase = (self.operations / phases).max(1);
+                let phase = (step / ops_per_phase).min(phases - 1);
+                let span = (self.objects / phases).max(1);
+                let start = phase * span;
+                let o = start + rng.gen_range(0..span);
+                (rng.gen_range(0..self.threads), o.min(self.objects - 1))
+            }
+        }
+    }
+}
+
+/// Samples an index in `0..n` where the first `ceil(n * hot_fraction)`
+/// indices are `hot_boost`× more likely than the rest.
+fn sample_skewed<R: Rng + ?Sized>(n: usize, hot_fraction: f64, hot_boost: f64, rng: &mut R) -> usize {
+    let hot = ((n as f64 * hot_fraction).ceil() as usize).clamp(1, n);
+    let cold = n - hot;
+    let hot_weight = hot as f64 * hot_boost;
+    let total = hot_weight + cold as f64;
+    if rng.gen_bool((hot_weight / total).clamp(0.0, 1.0)) {
+        rng.gen_range(0..hot)
+    } else if cold == 0 {
+        rng.gen_range(0..hot)
+    } else {
+        hot + rng.gen_range(0..cold)
+    }
+}
+
+/// Converts a bipartite graph plus a reveal order of its edges into a
+/// computation with exactly one operation per edge.
+///
+/// This is how the evaluation harness turns the paper's random graphs into
+/// event streams for the online mechanisms: each revealed edge becomes one
+/// event of its thread on its object.
+pub fn computation_from_edge_stream(edges: &[(usize, usize)]) -> Computation {
+    edges
+        .iter()
+        .map(|&(t, o)| (ThreadId(t), ObjectId(o)))
+        .collect()
+}
+
+/// Generates a random thread–object graph with the given parameters and the
+/// computation induced by revealing its edges in random order.
+///
+/// Returns `(graph, computation)`; the computation's bipartite graph equals
+/// `graph` up to isolated vertices.
+pub fn random_graph_computation(
+    threads: usize,
+    objects: usize,
+    density: f64,
+    scenario: GraphScenario,
+    seed: u64,
+) -> (BipartiteGraph, Computation) {
+    let (graph, stream) = RandomGraphBuilder::new(threads, objects)
+        .density(density)
+        .scenario(scenario)
+        .seed(seed)
+        .build_edge_stream();
+    let computation = computation_from_edge_stream(&stream);
+    (graph, computation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_workload_has_requested_size() {
+        let c = WorkloadBuilder::new(4, 4).operations(100).seed(3).build();
+        assert_eq!(c.len(), 100);
+        assert!(c.thread_count() <= 4);
+        assert!(c.object_count() <= 4);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let b = WorkloadBuilder::new(6, 9)
+            .operations(300)
+            .kind(WorkloadKind::Nonuniform {
+                hot_fraction: 0.2,
+                hot_boost: 5.0,
+            })
+            .seed(11);
+        assert_eq!(b.build(), b.build());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = WorkloadBuilder::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction")]
+    fn invalid_write_fraction_rejected() {
+        let _ = WorkloadBuilder::new(2, 2).write_fraction(1.5);
+    }
+
+    #[test]
+    fn producer_consumer_touches_only_queues() {
+        let c = WorkloadBuilder::new(8, 16)
+            .operations(500)
+            .kind(WorkloadKind::ProducerConsumer { queues: 3 })
+            .seed(5)
+            .build();
+        for e in c.events() {
+            assert!(e.object.index() < 3);
+        }
+    }
+
+    #[test]
+    fn lock_striped_is_sparse() {
+        let c = WorkloadBuilder::new(10, 100)
+            .operations(2000)
+            .kind(WorkloadKind::LockStriped {
+                cross_stripe_prob: 0.0,
+            })
+            .seed(7)
+            .build();
+        let g = c.bipartite_graph();
+        // With zero cross-stripe probability each thread touches only its own
+        // stripe of 10 objects.
+        for t in 0..10 {
+            assert!(g.degree_left(t) <= 10);
+        }
+    }
+
+    #[test]
+    fn phased_workload_respects_phase_object_ranges() {
+        let c = WorkloadBuilder::new(4, 20)
+            .operations(400)
+            .kind(WorkloadKind::Phased { phases: 4 })
+            .seed(9)
+            .build();
+        // Phase i (100 ops) uses objects [5i, 5i+5).
+        for (idx, e) in c.events().enumerate() {
+            let phase = (idx / 100).min(3);
+            let o = e.object.index();
+            assert!(o >= phase * 5 && o < phase * 5 + 5, "event {idx} object {o} phase {phase}");
+        }
+    }
+
+    #[test]
+    fn nonuniform_hot_threads_receive_more_operations() {
+        let c = WorkloadBuilder::new(20, 20)
+            .operations(4000)
+            .kind(WorkloadKind::Nonuniform {
+                hot_fraction: 0.1,
+                hot_boost: 20.0,
+            })
+            .seed(13)
+            .build();
+        let hot_ops = c.thread_chain(ThreadId(0)).len() + c.thread_chain(ThreadId(1)).len();
+        let cold_ops: usize = (2..20).map(|t| c.thread_chain(ThreadId(t)).len()).sum();
+        let hot_avg = hot_ops as f64 / 2.0;
+        let cold_avg = cold_ops as f64 / 18.0;
+        assert!(hot_avg > 3.0 * cold_avg, "hot {hot_avg} vs cold {cold_avg}");
+    }
+
+    #[test]
+    fn edge_stream_conversion_round_trips_edges() {
+        let (graph, computation) =
+            random_graph_computation(20, 20, 0.1, GraphScenario::Uniform, 17);
+        let induced = computation.bipartite_graph();
+        assert_eq!(induced.edge_count(), graph.edge_count());
+        for (l, r) in graph.edges() {
+            assert!(induced.has_edge(l, r));
+        }
+    }
+
+    #[test]
+    fn workload_kind_names() {
+        assert_eq!(WorkloadKind::Uniform.name(), "uniform");
+        assert_eq!(WorkloadKind::Phased { phases: 2 }.name(), "phased");
+        assert_eq!(WorkloadKind::default(), WorkloadKind::Uniform);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generated_events_stay_in_bounds(
+            threads in 1usize..12,
+            objects in 1usize..12,
+            ops in 0usize..400,
+            seed in 0u64..100,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects)
+                .operations(ops)
+                .seed(seed)
+                .build();
+            prop_assert_eq!(c.len(), ops);
+            for e in c.events() {
+                prop_assert!(e.thread.index() < threads);
+                prop_assert!(e.object.index() < objects);
+            }
+        }
+
+        #[test]
+        fn prop_skewed_sampler_in_range(
+            n in 1usize..50,
+            hot_fraction in 0.01f64..1.0,
+            hot_boost in 1.0f64..50.0,
+            seed in 0u64..50,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let x = sample_skewed(n, hot_fraction, hot_boost, &mut rng);
+                prop_assert!(x < n);
+            }
+        }
+    }
+}

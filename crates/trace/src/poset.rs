@@ -1,0 +1,292 @@
+//! Poset analysis of a computation: height, width, and minimum chain covers.
+//!
+//! The happened-before relation turns the event set into a partially ordered
+//! set.  Two classic quantities bound what any chain-based clock (including
+//! the paper's mixed clock and the Agarwal–Garg chain clock of Section VI)
+//! can achieve:
+//!
+//! * the **height** (longest chain) — the largest Lamport timestamp any event
+//!   receives;
+//! * the **width** (largest antichain) — by Dilworth's theorem, the minimum
+//!   number of chains needed to cover the poset, and therefore a lower bound
+//!   on the number of components of *any* vector clock built from chains of
+//!   the computation.
+//!
+//! The width and a minimum chain cover are computed exactly by the classical
+//! Fulkerson reduction: build a bipartite graph with a left copy and a right
+//! copy of every event, add an edge `(a, b)` whenever `a → b`, and find a
+//! maximum matching; `width = n − |matching|`, and following matched edges
+//! yields a minimum chain decomposition.  Because the reduction works on the
+//! transitive closure it is meant for analysis of test- and evaluation-sized
+//! computations, not for production tracing.
+
+use mvc_graph::matching::hopcroft_karp;
+use mvc_graph::BipartiteGraph;
+
+use crate::causality::CausalityOracle;
+use crate::computation::Computation;
+use crate::ids::EventId;
+
+/// Summary of a computation's poset structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PosetAnalysis {
+    /// Number of events.
+    pub events: usize,
+    /// Length of the longest chain (0 for an empty computation).
+    pub height: usize,
+    /// Size of the largest antichain; equivalently the minimum number of
+    /// chains covering the poset (Dilworth's theorem).
+    pub width: usize,
+    /// A minimum chain decomposition: each inner vector is one chain, listed
+    /// in happened-before order.
+    pub chains: Vec<Vec<EventId>>,
+}
+
+impl PosetAnalysis {
+    /// Analyses a computation.
+    pub fn analyze(computation: &Computation) -> Self {
+        let oracle = computation.causality_oracle();
+        Self::analyze_with_oracle(computation, &oracle)
+    }
+
+    /// Analyses a computation, reusing an already-built oracle.
+    pub fn analyze_with_oracle(computation: &Computation, oracle: &CausalityOracle) -> Self {
+        let n = computation.len();
+        if n == 0 {
+            return PosetAnalysis {
+                events: 0,
+                height: 0,
+                width: 0,
+                chains: Vec::new(),
+            };
+        }
+
+        // Height: longest path in the DAG of immediate predecessors. Because
+        // chain predecessors always have smaller ids, a forward scan works.
+        let mut depth = vec![1usize; n];
+        for e in computation.events() {
+            let id = e.id.index();
+            for p in [
+                computation.thread_predecessor(e.id),
+                computation.object_predecessor(e.id),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                depth[id] = depth[id].max(depth[p.index()] + 1);
+            }
+        }
+        let height = depth.iter().copied().max().unwrap_or(0);
+
+        // Width and minimum chain cover via Fulkerson's reduction over the
+        // transitive closure.
+        let mut split = BipartiteGraph::new(n, n);
+        for b in 0..n {
+            for a in 0..n {
+                if a != b && oracle.happened_before(EventId(a), EventId(b)) {
+                    split.add_edge(a, b);
+                }
+            }
+        }
+        let matching = hopcroft_karp(&split);
+        let width = n - matching.size();
+
+        // Build chains by following matched successor edges from chain heads
+        // (events that are nobody's matched successor).
+        let mut is_successor = vec![false; n];
+        for a in 0..n {
+            if let Some(b) = matching.partner_of_left(a) {
+                is_successor[b] = true;
+            }
+        }
+        let mut chains = Vec::new();
+        for start in 0..n {
+            if is_successor[start] {
+                continue;
+            }
+            let mut chain = vec![EventId(start)];
+            let mut current = start;
+            while let Some(next) = matching.partner_of_left(current) {
+                chain.push(EventId(next));
+                current = next;
+            }
+            chains.push(chain);
+        }
+        debug_assert_eq!(chains.len(), width);
+
+        PosetAnalysis {
+            events: n,
+            height,
+            width,
+            chains,
+        }
+    }
+
+    /// Returns `true` if every chain of the decomposition is totally ordered
+    /// under the oracle and every event appears in exactly one chain.
+    pub fn is_valid_decomposition(&self, oracle: &CausalityOracle) -> bool {
+        let mut seen = vec![false; self.events];
+        for chain in &self.chains {
+            for window in chain.windows(2) {
+                if !oracle.happened_before(window[0], window[1]) {
+                    return false;
+                }
+            }
+            for &event in chain {
+                if seen[event.index()] {
+                    return false;
+                }
+                seen[event.index()] = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+}
+
+/// Finds one maximum antichain: a largest set of pairwise concurrent events.
+///
+/// Uses the standard König-style construction on the same split graph as the
+/// width computation, so `antichain.len() == PosetAnalysis::width`.
+pub fn maximum_antichain(computation: &Computation) -> Vec<EventId> {
+    let n = computation.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let oracle = computation.causality_oracle();
+    let mut split = BipartiteGraph::new(n, n);
+    for b in 0..n {
+        for a in 0..n {
+            if a != b && oracle.happened_before(EventId(a), EventId(b)) {
+                split.add_edge(a, b);
+            }
+        }
+    }
+    let matching = hopcroft_karp(&split);
+    let cover = mvc_graph::cover::minimum_vertex_cover(&split, &matching);
+    // An event is in the antichain iff neither its left nor its right copy is
+    // in the minimum vertex cover of the comparability split graph.
+    let antichain: Vec<EventId> = (0..n)
+        .filter(|&e| !cover.contains_left(e) && !cover.contains_right(e))
+        .map(EventId)
+        .collect();
+    antichain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{paper_figure1, tiny};
+    use crate::generator::WorkloadBuilder;
+    use crate::ids::{ObjectId, ThreadId};
+    use proptest::prelude::*;
+
+    fn comp(ops: &[(usize, usize)]) -> Computation {
+        ops.iter()
+            .map(|&(t, o)| (ThreadId(t), ObjectId(o)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_computation_analysis() {
+        let analysis = PosetAnalysis::analyze(&Computation::new());
+        assert_eq!(analysis.events, 0);
+        assert_eq!(analysis.height, 0);
+        assert_eq!(analysis.width, 0);
+        assert!(analysis.chains.is_empty());
+        assert!(maximum_antichain(&Computation::new()).is_empty());
+    }
+
+    #[test]
+    fn totally_ordered_computation_has_width_one() {
+        let c = comp(&[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let analysis = PosetAnalysis::analyze(&c);
+        assert_eq!(analysis.width, 1);
+        assert_eq!(analysis.height, 4);
+        assert_eq!(analysis.chains.len(), 1);
+        assert_eq!(analysis.chains[0].len(), 4);
+        assert_eq!(maximum_antichain(&c).len(), 1);
+    }
+
+    #[test]
+    fn fully_concurrent_computation_has_width_n() {
+        let c = comp(&[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let analysis = PosetAnalysis::analyze(&c);
+        assert_eq!(analysis.width, 4);
+        assert_eq!(analysis.height, 1);
+        assert_eq!(analysis.chains.len(), 4);
+        assert_eq!(maximum_antichain(&c).len(), 4);
+    }
+
+    #[test]
+    fn paper_figure1_poset_structure() {
+        let c = paper_figure1();
+        let oracle = c.causality_oracle();
+        let analysis = PosetAnalysis::analyze(&c);
+        assert!(analysis.is_valid_decomposition(&oracle));
+        // The mixed clock has 3 components, so the poset width can be at most
+        // 3 chains... the other way round: any chain cover needs >= width
+        // chains, and the paper's clock works with 3 components, so width <= 3.
+        assert!(analysis.width <= 3);
+        assert!(analysis.height >= 3, "T2's four operations force a long chain");
+        assert_eq!(
+            analysis.chains.iter().map(Vec::len).sum::<usize>(),
+            c.len(),
+            "every event appears in exactly one chain"
+        );
+    }
+
+    #[test]
+    fn tiny_example_width_two() {
+        let analysis = PosetAnalysis::analyze(&tiny());
+        assert_eq!(analysis.width, 2);
+    }
+
+    #[test]
+    fn antichain_events_are_pairwise_concurrent() {
+        let c = WorkloadBuilder::new(5, 5).operations(40).seed(3).build();
+        let oracle = c.causality_oracle();
+        let antichain = maximum_antichain(&c);
+        for (i, &a) in antichain.iter().enumerate() {
+            for &b in &antichain[i + 1..] {
+                assert!(oracle.concurrent(a, b), "{a} and {b} are not concurrent");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Dilworth's theorem, checked both ways: the chain cover has exactly
+        /// `width` chains, is a valid partition into chains, and the maximum
+        /// antichain has the same size.
+        #[test]
+        fn prop_dilworth(
+            threads in 1usize..6,
+            objects in 1usize..6,
+            ops in 0usize..40,
+            seed in 0u64..100,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects).operations(ops).seed(seed).build();
+            let oracle = c.causality_oracle();
+            let analysis = PosetAnalysis::analyze_with_oracle(&c, &oracle);
+            prop_assert_eq!(analysis.chains.len(), analysis.width);
+            prop_assert!(analysis.is_valid_decomposition(&oracle));
+            prop_assert_eq!(maximum_antichain(&c).len(), analysis.width);
+        }
+
+        /// The poset width never exceeds the number of threads (thread chains
+        /// are a chain cover), and the height never exceeds the event count.
+        #[test]
+        fn prop_width_and_height_bounds(
+            threads in 1usize..6,
+            objects in 1usize..6,
+            ops in 0usize..40,
+            seed in 0u64..100,
+        ) {
+            let c = WorkloadBuilder::new(threads, objects).operations(ops).seed(seed).build();
+            let analysis = PosetAnalysis::analyze(&c);
+            prop_assert!(analysis.width <= threads.max(1));
+            prop_assert!(analysis.height <= c.len());
+        }
+    }
+}

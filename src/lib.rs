@@ -1,0 +1,66 @@
+//! Optimal mixed vector clocks for multithreaded systems — facade crate.
+//!
+//! This crate re-exports the whole workspace behind one dependency, which is
+//! what an application would normally add:
+//!
+//! * [`graph`] — bipartite graphs, Hopcroft–Karp matching, Kőnig–Egerváry
+//!   minimum vertex cover, random graph generators.
+//! * [`trace`] — the thread–object computation model, happened-before oracle
+//!   and synthetic workload generators.
+//! * [`clock`] — vector timestamps and the thread / object / mixed / chain
+//!   clock assigners.
+//! * [`core`] — the offline optimal algorithm (Algorithm 1) and the
+//!   incremental timestamping engine.
+//! * [`online`] — the Naive / Random / Popularity / Adaptive online
+//!   mechanisms.
+//! * [`runtime`] — traced shared objects, trace sessions, the live causality
+//!   monitor and the conflict analyzer.
+//! * [`eval`] — the harness that regenerates the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use mixed_vector_clock::prelude::*;
+//!
+//! // Build a computation: two threads sharing one queue object.
+//! let mut computation = Computation::new();
+//! computation.record(ThreadId(0), ObjectId(0));
+//! computation.record(ThreadId(1), ObjectId(0));
+//! computation.record(ThreadId(1), ObjectId(1));
+//!
+//! // The optimal mixed clock needs fewer components than threads or objects.
+//! let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+//! assert!(plan.clock_size() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mvc_clock as clock;
+pub use mvc_core as core;
+pub use mvc_eval as eval;
+pub use mvc_graph as graph;
+pub use mvc_online as online;
+pub use mvc_runtime as runtime;
+pub use mvc_trace as trace;
+
+/// The most commonly used types, re-exported from `mvc_core::prelude` plus
+/// the online mechanisms and runtime session types.
+pub mod prelude {
+    pub use mvc_core::prelude::*;
+    pub use mvc_online::{Adaptive, Naive, OnlineMechanism, OnlineTimestamper, Popularity, Random};
+    pub use mvc_runtime::{ConflictAnalyzer, OnlineMonitor, SharedObject, ThreadHandle, TraceSession};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let mut c = Computation::new();
+        c.record(ThreadId(0), ObjectId(0));
+        let plan = OfflineOptimizer::new().plan_for_computation(&c);
+        assert_eq!(plan.clock_size(), 1);
+    }
+}

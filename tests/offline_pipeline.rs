@@ -1,0 +1,126 @@
+//! End-to-end integration tests of the offline pipeline: workload generation
+//! → bipartite graph → matching → minimum cover → mixed clock → validity.
+
+use mixed_vector_clock::prelude::*;
+use mvc_clock::chain::ChainClockAssigner;
+use mvc_clock::validate::satisfies_vector_clock_condition;
+use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
+use mvc_clock::TimestampAssigner;
+use mvc_core::analysis::verify_all_clocks;
+use mvc_trace::examples::paper_figure1;
+use mvc_trace::{WorkloadBuilder, WorkloadKind};
+
+#[test]
+fn paper_running_example_end_to_end() {
+    let computation = paper_figure1();
+    let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+
+    // The paper's claims about Figures 1-3.
+    assert_eq!(plan.clock_size(), 3);
+    assert_eq!(plan.matching_size(), 3);
+    assert!(plan.clock_size() < computation.thread_count());
+    assert!(plan.clock_size() < computation.object_count());
+
+    // Every clock implementation agrees that it is a valid vector clock.
+    for (name, size, valid) in verify_all_clocks(&computation) {
+        assert!(valid, "{name} invalid on the paper example");
+        assert!(size >= plan.clock_size() || name == "mixed-vector-clock" || name == "chain-clock",
+            "{name} reported size {size} below the optimum {}", plan.clock_size());
+    }
+}
+
+#[test]
+fn all_clock_kinds_induce_the_same_order_on_random_workloads() {
+    for seed in 0..5u64 {
+        let computation = WorkloadBuilder::new(10, 10)
+            .operations(150)
+            .kind(WorkloadKind::Nonuniform {
+                hot_fraction: 0.3,
+                hot_boost: 4.0,
+            })
+            .seed(seed)
+            .build();
+        let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+        let thread = ThreadVectorClockAssigner::new().assign(&computation);
+        let object = ObjectVectorClockAssigner::new().assign(&computation);
+        let mixed = plan.assigner().assign(&computation);
+        let chain = ChainClockAssigner::new().assign(&computation);
+
+        for i in 0..computation.len() {
+            for j in 0..computation.len() {
+                if i == j {
+                    continue;
+                }
+                let reference = thread[i].strictly_less_than(&thread[j]);
+                assert_eq!(reference, object[i].strictly_less_than(&object[j]), "object clock disagrees (seed {seed})");
+                assert_eq!(reference, mixed[i].strictly_less_than(&mixed[j]), "mixed clock disagrees (seed {seed})");
+                assert_eq!(reference, chain[i].strictly_less_than(&chain[j]), "chain clock disagrees (seed {seed})");
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_mixed_clock_is_never_larger_and_often_smaller() {
+    let mut strictly_smaller = 0;
+    for seed in 0..20u64 {
+        let computation = WorkloadBuilder::new(30, 30)
+            .operations(120)
+            .kind(WorkloadKind::Nonuniform {
+                hot_fraction: 0.15,
+                hot_boost: 10.0,
+            })
+            .seed(seed)
+            .build();
+        let report = ClockSizeReport::analyze(&computation);
+        assert!(report.optimal_mixed <= report.naive_best);
+        if report.optimal_mixed < report.naive_best {
+            strictly_smaller += 1;
+        }
+    }
+    assert!(
+        strictly_smaller >= 15,
+        "expected most skewed sparse workloads to benefit, got {strictly_smaller}/20"
+    );
+}
+
+#[test]
+fn trace_codec_round_trip_preserves_the_optimal_plan() {
+    let original = WorkloadBuilder::new(24, 40)
+        .operations(2_000)
+        .kind(WorkloadKind::LockStriped {
+            cross_stripe_prob: 0.1,
+        })
+        .seed(3)
+        .build();
+    let bytes = mvc_trace::codec::encode(&original);
+    let decoded = mvc_trace::codec::decode(&bytes).expect("decode");
+    assert_eq!(original, decoded);
+
+    let plan_a = OfflineOptimizer::new().plan_for_computation(&original);
+    let plan_b = OfflineOptimizer::new().plan_for_computation(&decoded);
+    assert_eq!(plan_a.clock_size(), plan_b.clock_size());
+    assert_eq!(plan_a.cover(), plan_b.cover());
+}
+
+#[test]
+fn degenerate_computations_are_handled() {
+    // Single thread, many objects: the optimal clock is that one thread.
+    let single_thread = WorkloadBuilder::new(1, 20).operations(100).seed(1).build();
+    let plan = OfflineOptimizer::new().plan_for_computation(&single_thread);
+    assert_eq!(plan.clock_size(), 1);
+    let stamps = plan.assigner().assign(&single_thread);
+    let oracle = single_thread.causality_oracle();
+    assert!(satisfies_vector_clock_condition(&single_thread, &stamps, &oracle));
+
+    // Single object, many threads: the optimal clock is that one object.
+    let single_object = WorkloadBuilder::new(20, 1).operations(100).seed(1).build();
+    let plan = OfflineOptimizer::new().plan_for_computation(&single_object);
+    assert_eq!(plan.clock_size(), 1);
+
+    // Empty computation.
+    let empty = Computation::new();
+    let plan = OfflineOptimizer::new().plan_for_computation(&empty);
+    assert_eq!(plan.clock_size(), 0);
+    assert!(plan.assigner().assign(&empty).is_empty());
+}
