@@ -42,7 +42,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig5", |b| b.iter(|| total_points(&fig5(1))));
     group.bench_function("fig6", |b| b.iter(|| total_points(&fig6(1))));
     group.bench_function("fig7", |b| b.iter(|| total_points(&fig7(1))));
-    group.bench_function("adaptive", |b| b.iter(|| total_points(&adaptive_ablation(1))));
+    group.bench_function("adaptive", |b| {
+        b.iter(|| total_points(&adaptive_ablation(1)))
+    });
     group.finish();
 }
 

@@ -14,11 +14,9 @@ fn bench_matching_algorithms(c: &mut Criterion) {
     for &nodes in GRAPH_SIZES {
         let graph = bench_graph(nodes, 0.05, 42);
         group.throughput(Throughput::Elements(graph.edge_count() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("hopcroft-karp", nodes),
-            &graph,
-            |b, g| b.iter(|| hopcroft_karp(g).size()),
-        );
+        group.bench_with_input(BenchmarkId::new("hopcroft-karp", nodes), &graph, |b, g| {
+            b.iter(|| hopcroft_karp(g).size())
+        });
         group.bench_with_input(
             BenchmarkId::new("simple-augmenting", nodes),
             &graph,

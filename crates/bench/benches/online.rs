@@ -27,16 +27,12 @@ fn bench_online_mechanisms(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("random", events), &workload, |b, w| {
         b.iter(|| run_mechanism(Random::seeded(3), w))
     });
-    group.bench_with_input(
-        BenchmarkId::new("popularity", events),
-        &workload,
-        |b, w| b.iter(|| run_mechanism(Popularity::new(), w)),
-    );
-    group.bench_with_input(
-        BenchmarkId::new("adaptive", events),
-        &workload,
-        |b, w| b.iter(|| run_mechanism(Adaptive::with_paper_thresholds(), w)),
-    );
+    group.bench_with_input(BenchmarkId::new("popularity", events), &workload, |b, w| {
+        b.iter(|| run_mechanism(Popularity::new(), w))
+    });
+    group.bench_with_input(BenchmarkId::new("adaptive", events), &workload, |b, w| {
+        b.iter(|| run_mechanism(Adaptive::with_paper_thresholds(), w))
+    });
     group.finish();
 }
 

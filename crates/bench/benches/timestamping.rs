@@ -49,21 +49,16 @@ fn bench_streaming_engine(c: &mut Criterion) {
         let workload = bench_workload(events, 13);
         let plan = OfflineOptimizer::new().plan_for_computation(&workload);
         group.throughput(Throughput::Elements(events as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(events),
-            &workload,
-            |b, w| {
-                b.iter(|| {
-                    let mut engine =
-                        TimestampingEngine::with_components(plan.components().clone());
-                    let mut last_len = 0;
-                    for e in w.events() {
-                        last_len = engine.observe(e.thread, e.object).unwrap().len();
-                    }
-                    last_len
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(events), &workload, |b, w| {
+            b.iter(|| {
+                let mut engine = TimestampingEngine::with_components(plan.components().clone());
+                let mut last_len = 0;
+                for e in w.events() {
+                    last_len = engine.observe(e.thread, e.object).unwrap().len();
+                }
+                last_len
+            })
+        });
     }
     group.finish();
 }
@@ -73,11 +68,9 @@ fn bench_offline_plan_on_computation(c: &mut Criterion) {
     for &events in WORKLOAD_EVENTS {
         let workload = bench_workload(events, 17);
         group.throughput(Throughput::Elements(events as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(events),
-            &workload,
-            |b, w| b.iter(|| OfflineOptimizer::new().plan_for_computation(w).clock_size()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(events), &workload, |b, w| {
+            b.iter(|| OfflineOptimizer::new().plan_for_computation(w).clock_size())
+        });
     }
     group.finish();
 }

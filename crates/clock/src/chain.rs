@@ -53,10 +53,8 @@ impl ChainClockAssigner {
     pub fn decompose(&self, computation: &Computation) -> ChainDecomposition {
         // Working timestamps grow in width as new chains appear; they are
         // padded to the final width at the end.
-        let mut thread_clock: Vec<Vec<u64>> =
-            vec![Vec::new(); computation.thread_index_bound()];
-        let mut object_clock: Vec<Vec<u64>> =
-            vec![Vec::new(); computation.object_index_bound()];
+        let mut thread_clock: Vec<Vec<u64>> = vec![Vec::new(); computation.thread_index_bound()];
+        let mut object_clock: Vec<Vec<u64>> = vec![Vec::new(); computation.object_index_bound()];
         // Last timestamp appended to each chain.
         let mut chain_last: Vec<Vec<u64>> = Vec::new();
         let mut raw_stamps: Vec<Vec<u64>> = Vec::with_capacity(computation.len());
@@ -122,7 +120,12 @@ impl TimestampAssigner for ChainClockAssigner {
 fn merge(a: &[u64], b: &[u64]) -> Vec<u64> {
     let len = a.len().max(b.len());
     (0..len)
-        .map(|i| a.get(i).copied().unwrap_or(0).max(b.get(i).copied().unwrap_or(0)))
+        .map(|i| {
+            a.get(i)
+                .copied()
+                .unwrap_or(0)
+                .max(b.get(i).copied().unwrap_or(0))
+        })
         .collect()
 }
 
@@ -183,7 +186,10 @@ mod tests {
     #[test]
     fn chain_count_bounded_by_events_and_at_least_width_one() {
         for seed in 0..10 {
-            let c = WorkloadBuilder::new(6, 12).operations(150).seed(seed).build();
+            let c = WorkloadBuilder::new(6, 12)
+                .operations(150)
+                .seed(seed)
+                .build();
             let d = ChainClockAssigner::new().decompose(&c);
             assert!(d.chains >= 1);
             assert!(d.chains <= c.len());

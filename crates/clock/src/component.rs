@@ -187,8 +187,8 @@ impl FromIterator<Component> for ComponentMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvc_graph::BipartiteGraph;
     use mvc_graph::cover::minimum_vertex_cover_of;
+    use mvc_graph::BipartiteGraph;
     use mvc_trace::{EventId, OpKind};
 
     fn event(t: usize, o: usize) -> Event {
@@ -290,7 +290,10 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(
             m.components(),
-            &[Component::Thread(ThreadId(1)), Component::Object(ObjectId(2))]
+            &[
+                Component::Thread(ThreadId(1)),
+                Component::Object(ObjectId(2))
+            ]
         );
     }
 }

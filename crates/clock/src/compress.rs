@@ -189,7 +189,12 @@ mod tests {
 
     #[test]
     fn decoder_reconstructs_the_original_stream() {
-        let stream = vec![ts(&[1, 0, 0]), ts(&[1, 1, 0]), ts(&[2, 1, 3]), ts(&[2, 1, 3])];
+        let stream = vec![
+            ts(&[1, 0, 0]),
+            ts(&[1, 1, 0]),
+            ts(&[2, 1, 3]),
+            ts(&[2, 1, 3]),
+        ];
         let (deltas, _) = encode_stream(&stream);
         let mut decoder = DeltaDecoder::new();
         let decoded: Vec<_> = deltas.iter().map(|d| decoder.decode(d)).collect();

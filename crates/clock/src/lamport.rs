@@ -48,7 +48,9 @@ mod tests {
 
     #[test]
     fn empty_computation() {
-        assert!(LamportClockAssigner::new().assign(&Computation::new()).is_empty());
+        assert!(LamportClockAssigner::new()
+            .assign(&Computation::new())
+            .is_empty());
     }
 
     #[test]

@@ -202,9 +202,8 @@ mod tests {
         // thread component of each event whenever the object is not a
         // component — i.e. always — so it coincides with the thread clock.
         let c = WorkloadBuilder::new(5, 5).operations(150).seed(3).build();
-        let mixed = MixedVectorClockAssigner::new(ComponentMap::all_threads(
-            c.thread_index_bound(),
-        ));
+        let mixed =
+            MixedVectorClockAssigner::new(ComponentMap::all_threads(c.thread_index_bound()));
         let thread = ThreadVectorClockAssigner::new();
         assert_eq!(mixed.assign(&c), thread.assign(&c));
     }
@@ -212,7 +211,10 @@ mod tests {
     #[test]
     fn optimal_mixed_clock_never_larger_than_either_side() {
         for seed in 0..10 {
-            let c = WorkloadBuilder::new(10, 14).operations(120).seed(seed).build();
+            let c = WorkloadBuilder::new(10, 14)
+                .operations(120)
+                .seed(seed)
+                .build();
             let a = optimal_assigner(&c);
             assert!(a.width() <= c.thread_count().min(c.object_count()));
         }

@@ -46,13 +46,22 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::MissingOrder { earlier, later } => {
-                write!(f, "{earlier} happened before {later} but its timestamp is not smaller")
+                write!(
+                    f,
+                    "{earlier} happened before {later} but its timestamp is not smaller"
+                )
             }
             Violation::SpuriousOrder { smaller, larger } => {
-                write!(f, "timestamp of {smaller} is smaller than {larger} but they are not ordered")
+                write!(
+                    f,
+                    "timestamp of {smaller} is smaller than {larger} but they are not ordered"
+                )
             }
             Violation::LengthMismatch { events, timestamps } => {
-                write!(f, "computation has {events} events but {timestamps} timestamps were supplied")
+                write!(
+                    f,
+                    "computation has {events} events but {timestamps} timestamps were supplied"
+                )
             }
         }
     }
@@ -195,7 +204,9 @@ mod tests {
         let stamps = vec![VectorTimestamp::zeros(2); c.len()];
         assert!(!satisfies_vector_clock_condition(&c, &stamps, &oracle));
         let v = violations(&c, &stamps, &oracle);
-        assert!(v.iter().any(|x| matches!(x, Violation::MissingOrder { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MissingOrder { .. })));
         // Equal stamps fail even the weaker Lamport-style consistency check:
         // ordered events must receive strictly increasing timestamps.
         assert!(!consistent_with_causality(&c, &stamps, &oracle));
@@ -211,7 +222,9 @@ mod tests {
             .map(|i| VectorTimestamp::from_components(vec![i as u64, 0]))
             .collect();
         let v = violations(&c, &stamps, &oracle);
-        assert!(v.iter().any(|x| matches!(x, Violation::SpuriousOrder { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::SpuriousOrder { .. })));
     }
 
     #[test]

@@ -110,8 +110,14 @@ pub fn verify_all_clocks(computation: &Computation) -> Vec<(&'static str, usize,
     let plan = OfflineOptimizer::new().plan_for_computation(computation);
     let mixed = plan.assigner();
     let assigners: Vec<(&'static str, Box<dyn TimestampAssigner>)> = vec![
-        ("thread-vector-clock", Box::new(ThreadVectorClockAssigner::new())),
-        ("object-vector-clock", Box::new(ObjectVectorClockAssigner::new())),
+        (
+            "thread-vector-clock",
+            Box::new(ThreadVectorClockAssigner::new()),
+        ),
+        (
+            "object-vector-clock",
+            Box::new(ObjectVectorClockAssigner::new()),
+        ),
         ("mixed-vector-clock", Box::new(mixed)),
         ("chain-clock", Box::new(ChainClockAssigner::new())),
     ];
@@ -119,8 +125,7 @@ pub fn verify_all_clocks(computation: &Computation) -> Vec<(&'static str, usize,
         .into_iter()
         .map(|(name, a)| {
             let stamps = a.assign(computation);
-            let valid =
-                validate::satisfies_vector_clock_condition(computation, &stamps, &oracle);
+            let valid = validate::satisfies_vector_clock_condition(computation, &stamps, &oracle);
             (name, a.clock_size(computation), valid)
         })
         .collect()
@@ -159,7 +164,10 @@ mod tests {
     #[test]
     fn optimal_never_exceeds_naive_best() {
         for seed in 0..10 {
-            let c = WorkloadBuilder::new(15, 10).operations(150).seed(seed).build();
+            let c = WorkloadBuilder::new(15, 10)
+                .operations(150)
+                .seed(seed)
+                .build();
             let r = ClockSizeReport::analyze(&c);
             assert!(r.optimal_mixed <= r.naive_best);
             assert!(r.reduction_ratio() <= 1.0);
@@ -183,7 +191,10 @@ mod tests {
             assert!(valid, "{name} reported an invalid clock");
             assert!(*size >= 1);
         }
-        let mixed = results.iter().find(|(n, _, _)| *n == "mixed-vector-clock").unwrap();
+        let mixed = results
+            .iter()
+            .find(|(n, _, _)| *n == "mixed-vector-clock")
+            .unwrap();
         assert_eq!(mixed.1, 3);
     }
 

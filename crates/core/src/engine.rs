@@ -169,7 +169,12 @@ fn grow(clocks: &mut Vec<Vec<u64>>, index: usize) {
 
 fn merged(a: &[u64], b: &[u64], width: usize) -> Vec<u64> {
     (0..width)
-        .map(|i| a.get(i).copied().unwrap_or(0).max(b.get(i).copied().unwrap_or(0)))
+        .map(|i| {
+            a.get(i)
+                .copied()
+                .unwrap_or(0)
+                .max(b.get(i).copied().unwrap_or(0))
+        })
         .collect()
 }
 

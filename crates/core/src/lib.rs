@@ -46,7 +46,7 @@ pub mod analysis;
 pub mod engine;
 pub mod offline;
 
-pub use analysis::{ClockSizeReport, verify_assignment};
+pub use analysis::{verify_assignment, ClockSizeReport};
 pub use engine::{EngineError, TimestampingEngine};
 pub use offline::{OfflineOptimizer, OfflinePlan};
 

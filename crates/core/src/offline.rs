@@ -163,7 +163,11 @@ mod tests {
         let plan = OfflineOptimizer::new().plan_for_computation(&paper_figure1());
         assert_eq!(plan.clock_size(), 3);
         assert_eq!(plan.matching_size(), 3);
-        assert_eq!(plan.naive_clock_size(), 4, "4 threads and 4 objects are active");
+        assert_eq!(
+            plan.naive_clock_size(),
+            4,
+            "4 threads and 4 objects are active"
+        );
         assert_eq!(plan.savings(), 1);
         // T2 (thread index 1) and O3 (object index 2) are in every minimum cover.
         assert!(plan.cover().contains_left(1));

@@ -47,8 +47,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 csv_dir = Some(PathBuf::from(value));
             }
             "--help" | "-h" => {
-                return Err("usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|all] [--trials N] [--csv DIR]"
-                    .into())
+                return Err(
+                    "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|all] [--trials N] [--csv DIR]"
+                        .into(),
+                )
             }
             name => figures.push(name.to_string()),
         }
@@ -77,7 +79,9 @@ fn run_figure(name: &str, trials: usize) -> Result<Vec<FigureData>, String> {
             fig7(trials),
             adaptive_ablation(trials),
         ]),
-        other => Err(format!("unknown figure '{other}' (expected fig4|fig5|fig6|fig7|adaptive|all)")),
+        other => Err(format!(
+            "unknown figure '{other}' (expected fig4|fig5|fig6|fig7|adaptive|all)"
+        )),
     }
 }
 

@@ -290,7 +290,10 @@ mod tests {
                 "naive size should not shrink as nodes grow"
             );
         }
-        assert_eq!(f.x_values(), NODE_SWEEP.iter().map(|&n| n as f64).collect::<Vec<_>>());
+        assert_eq!(
+            f.x_values(),
+            NODE_SWEEP.iter().map(|&n| n as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]

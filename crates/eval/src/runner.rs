@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use mvc_core::OfflineOptimizer;
 use mvc_graph::{GraphScenario, RandomGraphBuilder};
-use mvc_online::{simulate_final_size, Adaptive, NaiveSide, Popularity, Random};
+use mvc_online::{simulate_final_size, Adaptive, Popularity, Random};
 
 /// Which clock-size algorithm a data point measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,7 +105,10 @@ pub fn single_run(config: &SweepConfig, algorithm: AlgorithmKind, seed: u64) -> 
             let (_, stream) = builder.build_edge_stream();
             // Derive the mechanism seed from the graph seed so that trials are
             // independent but reproducible.
-            simulate_final_size(&mut Random::seeded(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5), &stream)
+            simulate_final_size(
+                &mut Random::seeded(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5),
+                &stream,
+            )
         }
         AlgorithmKind::Popularity => {
             let (_, stream) = builder.build_edge_stream();
@@ -113,10 +116,7 @@ pub fn single_run(config: &SweepConfig, algorithm: AlgorithmKind, seed: u64) -> 
         }
         AlgorithmKind::Adaptive => {
             let (_, stream) = builder.build_edge_stream();
-            simulate_final_size(
-                &mut Adaptive::new(0.2, 70, NaiveSide::Threads),
-                &stream,
-            )
+            simulate_final_size(&mut Adaptive::with_paper_thresholds(), &stream)
         }
     }
 }

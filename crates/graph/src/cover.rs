@@ -38,7 +38,10 @@ impl VertexCover {
     }
 
     /// Builds a cover from explicit left/right vertex sets.
-    pub fn from_sets(left: impl IntoIterator<Item = usize>, right: impl IntoIterator<Item = usize>) -> Self {
+    pub fn from_sets(
+        left: impl IntoIterator<Item = usize>,
+        right: impl IntoIterator<Item = usize>,
+    ) -> Self {
         Self {
             left: left.into_iter().collect(),
             right: right.into_iter().collect(),
@@ -165,11 +168,11 @@ pub fn minimum_vertex_cover(graph: &BipartiteGraph, matching: &Matching) -> Vert
     let mut z_right = vec![false; graph.n_right()];
     let mut queue = VecDeque::new();
 
-    for l in 0..n_left {
+    for (l, in_z) in z_left.iter_mut().enumerate() {
         // Only consider left vertices that participate in the graph at all;
         // isolated threads are irrelevant to the cover.
         if graph.degree_left(l) > 0 && !matching.is_left_matched(l) {
-            z_left[l] = true;
+            *in_z = true;
             queue.push_back(Vertex::Left(l));
         }
     }

@@ -22,15 +22,23 @@ pub fn to_dot(graph: &BipartiteGraph, cover: Option<&VertexCover>) -> String {
     writeln!(out, "  rankdir=LR;").unwrap();
     writeln!(out, "  subgraph cluster_threads {{ label=\"threads\";").unwrap();
     for l in 0..graph.n_left() {
-        let filled = cover.map_or(false, |c| c.contains_left(l));
-        let style = if filled { ",style=filled,fillcolor=gray" } else { "" };
+        let filled = cover.is_some_and(|c| c.contains_left(l));
+        let style = if filled {
+            ",style=filled,fillcolor=gray"
+        } else {
+            ""
+        };
         writeln!(out, "    t{l} [label=\"T{l}\",shape=box{style}];").unwrap();
     }
     writeln!(out, "  }}").unwrap();
     writeln!(out, "  subgraph cluster_objects {{ label=\"objects\";").unwrap();
     for r in 0..graph.n_right() {
-        let filled = cover.map_or(false, |c| c.contains_right(r));
-        let style = if filled { ",style=filled,fillcolor=gray" } else { "" };
+        let filled = cover.is_some_and(|c| c.contains_right(r));
+        let style = if filled {
+            ",style=filled,fillcolor=gray"
+        } else {
+            ""
+        };
         writeln!(out, "    o{r} [label=\"O{r}\",shape=ellipse{style}];").unwrap();
     }
     writeln!(out, "  }}").unwrap();

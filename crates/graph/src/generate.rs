@@ -20,9 +20,10 @@ use serde::{Deserialize, Serialize};
 use crate::bipartite::BipartiteGraph;
 
 /// Which of the paper's two evaluation scenarios to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum GraphScenario {
     /// Every (thread, object) pair is an edge with the same probability.
+    #[default]
     Uniform,
     /// A `hot_fraction` of threads and objects are `hot_boost`× more likely
     /// to be an endpoint of any given edge than cold vertices.
@@ -33,12 +34,6 @@ pub enum GraphScenario {
         /// endpoint (a hot–hot pair gets `hot_boost²` before clamping).
         hot_boost: f64,
     },
-}
-
-impl Default for GraphScenario {
-    fn default() -> Self {
-        GraphScenario::Uniform
-    }
 }
 
 impl GraphScenario {
@@ -149,8 +144,16 @@ impl RandomGraphBuilder {
                 // Choose a base probability for cold-cold pairs such that the
                 // expected number of edges matches `density * n_left * n_right`.
                 // Pair weights: cold-cold 1, hot-cold hot_boost, hot-hot hot_boost².
-                let f_l = if self.n_left == 0 { 0.0 } else { hot_left as f64 / self.n_left as f64 };
-                let f_r = if self.n_right == 0 { 0.0 } else { hot_right as f64 / self.n_right as f64 };
+                let f_l = if self.n_left == 0 {
+                    0.0
+                } else {
+                    hot_left as f64 / self.n_left as f64
+                };
+                let f_r = if self.n_right == 0 {
+                    0.0
+                } else {
+                    hot_right as f64 / self.n_right as f64
+                };
                 let mean_weight = (1.0 - f_l) * (1.0 - f_r)
                     + (f_l * (1.0 - f_r) + f_r * (1.0 - f_l)) * hot_boost
                     + f_l * f_r * hot_boost * hot_boost;

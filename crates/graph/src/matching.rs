@@ -89,7 +89,10 @@ impl Matching {
             assert_eq!(existing, r, "left vertex {l} already matched to {existing}");
         }
         if let Some(existing) = self.pair_right[r] {
-            assert_eq!(existing, l, "right vertex {r} already matched to {existing}");
+            assert_eq!(
+                existing, l,
+                "right vertex {r} already matched to {existing}"
+            );
         }
         self.pair_left[l] = Some(r);
         self.pair_right[r] = Some(l);
@@ -147,8 +150,7 @@ pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
         }
         let mut augmented = false;
         for l in 0..n_left {
-            if pair_left[l] == NIL && hk_dfs(graph, l, &mut pair_left, &mut pair_right, &mut dist)
-            {
+            if pair_left[l] == NIL && hk_dfs(graph, l, &mut pair_left, &mut pair_right, &mut dist) {
                 augmented = true;
             }
         }
@@ -249,9 +251,7 @@ pub fn simple_augmenting(graph: &BipartiteGraph) -> Matching {
                 continue;
             }
             visited[r] = true;
-            if pair_right[r] == NIL
-                || try_augment(graph, pair_right[r], visited, pair_right)
-            {
+            if pair_right[r] == NIL || try_augment(graph, pair_right[r], visited, pair_right) {
                 pair_right[r] = l;
                 return true;
             }
@@ -284,7 +284,16 @@ mod tests {
         BipartiteGraph::from_edges(
             4,
             4,
-            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 3),
+                (3, 3),
+                (3, 0),
+            ],
         )
     }
 

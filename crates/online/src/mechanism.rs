@@ -21,12 +21,7 @@ pub trait OnlineMechanism {
     fn name(&self) -> &'static str;
 
     /// Chooses which endpoint of the uncovered event becomes a component.
-    fn choose(
-        &mut self,
-        graph: &BipartiteGraph,
-        thread: ThreadId,
-        object: ObjectId,
-    ) -> Component;
+    fn choose(&mut self, graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component;
 }
 
 /// Which side the [`Naive`] mechanism always chooses.
@@ -78,12 +73,7 @@ impl OnlineMechanism for Naive {
         }
     }
 
-    fn choose(
-        &mut self,
-        _graph: &BipartiteGraph,
-        thread: ThreadId,
-        object: ObjectId,
-    ) -> Component {
+    fn choose(&mut self, _graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component {
         match self.side {
             NaiveSide::Threads => Component::Thread(thread),
             NaiveSide::Objects => Component::Object(object),
@@ -112,12 +102,7 @@ impl OnlineMechanism for Random {
         "random"
     }
 
-    fn choose(
-        &mut self,
-        _graph: &BipartiteGraph,
-        thread: ThreadId,
-        object: ObjectId,
-    ) -> Component {
+    fn choose(&mut self, _graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component {
         if self.rng.gen_bool(0.5) {
             Component::Thread(thread)
         } else {
@@ -143,12 +128,7 @@ impl OnlineMechanism for Popularity {
         "popularity"
     }
 
-    fn choose(
-        &mut self,
-        graph: &BipartiteGraph,
-        thread: ThreadId,
-        object: ObjectId,
-    ) -> Component {
+    fn choose(&mut self, graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component {
         match more_popular(graph, thread.index(), object.index()) {
             Vertex::Left(t) => Component::Thread(ThreadId(t)),
             Vertex::Right(o) => Component::Object(ObjectId(o)),
@@ -159,6 +139,12 @@ impl OnlineMechanism for Popularity {
 /// The practical hybrid from the paper's Section V conclusion: start with
 /// [`Popularity`], and once the revealed graph exceeds a density threshold or
 /// a node-count threshold, behave like [`Naive`] for all later decisions.
+///
+/// Density is measured over the *active* vertices of the revealed graph and
+/// only consulted once at least [`Adaptive::DENSITY_WARMUP_ACTIVE_NODES`]
+/// vertices are active: a freshly revealed graph of a handful of nodes is
+/// always near density 1.0, and switching on that noise would collapse the
+/// mechanism into plain Naive from the first event.
 #[derive(Debug, Clone)]
 pub struct Adaptive {
     popularity: Popularity,
@@ -169,6 +155,11 @@ pub struct Adaptive {
 }
 
 impl Adaptive {
+    /// Minimum number of active vertices before the density trigger is
+    /// consulted (below this, observed density is dominated by small-sample
+    /// noise).
+    pub const DENSITY_WARMUP_ACTIVE_NODES: usize = 16;
+
     /// Creates the hybrid with explicit thresholds.
     ///
     /// # Panics
@@ -205,15 +196,22 @@ impl OnlineMechanism for Adaptive {
         "adaptive"
     }
 
-    fn choose(
-        &mut self,
-        graph: &BipartiteGraph,
-        thread: ThreadId,
-        object: ObjectId,
-    ) -> Component {
+    fn choose(&mut self, graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component {
         if !self.switched {
-            let active_nodes = graph.active_left().count() + graph.active_right().count();
-            if graph.density() > self.density_threshold || active_nodes > self.node_threshold {
+            let active_left = graph.active_left().count();
+            let active_right = graph.active_right().count();
+            let active_nodes = active_left + active_right;
+            // Density over active vertices only: the allocated sides of a
+            // grown revealed graph track the highest ids seen, not the
+            // population that matters for cover size.
+            let active_density = if active_left == 0 || active_right == 0 {
+                0.0
+            } else {
+                graph.edge_count() as f64 / (active_left * active_right) as f64
+            };
+            let density_tripped = active_nodes >= Self::DENSITY_WARMUP_ACTIVE_NODES
+                && active_density > self.density_threshold;
+            if density_tripped || active_nodes > self.node_threshold {
                 self.switched = true;
             }
         }
@@ -237,7 +235,10 @@ mod tests {
     fn naive_threads_always_picks_thread() {
         let mut m = Naive::threads();
         let g = graph_with(&[(0, 0)]);
-        assert_eq!(m.choose(&g, ThreadId(0), ObjectId(0)), Component::Thread(ThreadId(0)));
+        assert_eq!(
+            m.choose(&g, ThreadId(0), ObjectId(0)),
+            Component::Thread(ThreadId(0))
+        );
         assert_eq!(m.name(), "naive-threads");
         assert_eq!(m.side(), NaiveSide::Threads);
     }
@@ -246,7 +247,10 @@ mod tests {
     fn naive_objects_always_picks_object() {
         let mut m = Naive::objects();
         let g = graph_with(&[(3, 7)]);
-        assert_eq!(m.choose(&g, ThreadId(3), ObjectId(7)), Component::Object(ObjectId(7)));
+        assert_eq!(
+            m.choose(&g, ThreadId(3), ObjectId(7)),
+            Component::Object(ObjectId(7))
+        );
         assert_eq!(m.name(), "naive-objects");
         assert_eq!(Naive::default().side(), NaiveSide::Threads);
     }
@@ -279,11 +283,17 @@ mod tests {
         // Object 0 touched by threads 0,1,2; thread 0 touched objects 0 only.
         let g = graph_with(&[(0, 0), (1, 0), (2, 0)]);
         let mut m = Popularity::new();
-        assert_eq!(m.choose(&g, ThreadId(0), ObjectId(0)), Component::Object(ObjectId(0)));
+        assert_eq!(
+            m.choose(&g, ThreadId(0), ObjectId(0)),
+            Component::Object(ObjectId(0))
+        );
         // Thread 5 with degree 3 vs object 6 with degree 1.
         let g2 = graph_with(&[(5, 6), (5, 7), (5, 8)]);
         let mut m2 = Popularity::new();
-        assert_eq!(m2.choose(&g2, ThreadId(5), ObjectId(6)), Component::Thread(ThreadId(5)));
+        assert_eq!(
+            m2.choose(&g2, ThreadId(5), ObjectId(6)),
+            Component::Thread(ThreadId(5))
+        );
         assert_eq!(m2.name(), "popularity");
     }
 
@@ -291,7 +301,10 @@ mod tests {
     fn popularity_tie_goes_to_object() {
         let g = graph_with(&[(0, 0)]);
         let mut m = Popularity::new();
-        assert_eq!(m.choose(&g, ThreadId(0), ObjectId(0)), Component::Object(ObjectId(0)));
+        assert_eq!(
+            m.choose(&g, ThreadId(0), ObjectId(0)),
+            Component::Object(ObjectId(0))
+        );
     }
 
     #[test]
@@ -299,31 +312,63 @@ mod tests {
         let mut m = Adaptive::new(1.0, 3, NaiveSide::Threads);
         // Small graph: behaves like popularity (object on ties).
         let small = graph_with(&[(0, 0)]);
-        assert_eq!(m.choose(&small, ThreadId(0), ObjectId(0)), Component::Object(ObjectId(0)));
+        assert_eq!(
+            m.choose(&small, ThreadId(0), ObjectId(0)),
+            Component::Object(ObjectId(0))
+        );
         assert!(!m.has_switched());
         // Larger graph: 4 active nodes > 3 -> switch to naive-threads, permanently.
         let big = graph_with(&[(0, 0), (1, 1)]);
-        assert_eq!(m.choose(&big, ThreadId(1), ObjectId(1)), Component::Thread(ThreadId(1)));
+        assert_eq!(
+            m.choose(&big, ThreadId(1), ObjectId(1)),
+            Component::Thread(ThreadId(1))
+        );
         assert!(m.has_switched());
         // Even on a small graph again, it stays naive.
-        assert_eq!(m.choose(&small, ThreadId(0), ObjectId(0)), Component::Thread(ThreadId(0)));
+        assert_eq!(
+            m.choose(&small, ThreadId(0), ObjectId(0)),
+            Component::Thread(ThreadId(0))
+        );
         assert_eq!(m.name(), "adaptive");
     }
 
     #[test]
     fn adaptive_switches_on_density_threshold() {
         let mut m = Adaptive::new(0.4, 1000, NaiveSide::Objects);
-        // Density 1/100 = 0.01: below threshold.
+        // Density over active nodes 1/1 = 1.0, but only 2 active vertices:
+        // below the warm-up, so the trigger must not fire.
         let sparse = graph_with(&[(0, 0)]);
         m.choose(&sparse, ThreadId(0), ObjectId(0));
         assert!(!m.has_switched());
-        // Density 0.5 on a 2x2 graph: above threshold.
-        let dense = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        // Complete 8x8 graph: 16 active vertices (warm-up reached), active
+        // density 1.0 > 0.4.
+        let mut edges = Vec::new();
+        for t in 0..8 {
+            for o in 0..8 {
+                edges.push((t, o));
+            }
+        }
+        let dense = BipartiteGraph::from_edges(8, 8, &edges);
         assert_eq!(
             m.choose(&dense, ThreadId(1), ObjectId(1)),
             Component::Object(ObjectId(1))
         );
         assert!(m.has_switched());
+    }
+
+    #[test]
+    fn adaptive_ignores_small_sample_density() {
+        // Regression: a freshly revealed graph is always near density 1.0;
+        // before the warm-up the mechanism must keep behaving like
+        // Popularity instead of collapsing into Naive on the first event.
+        let mut m = Adaptive::with_paper_thresholds();
+        let tiny = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
+        assert_eq!(
+            m.choose(&tiny, ThreadId(0), ObjectId(0)),
+            Component::Object(ObjectId(0)),
+            "popularity tie-break (object), not naive-threads"
+        );
+        assert!(!m.has_switched());
     }
 
     #[test]

@@ -203,7 +203,10 @@ mod tests {
         let runs: Vec<(&str, OnlineRun)> = vec![
             ("naive", OnlineTimestamper::new(Naive::threads()).run(&c)),
             ("random", OnlineTimestamper::new(Random::seeded(7)).run(&c)),
-            ("popularity", OnlineTimestamper::new(Popularity::new()).run(&c)),
+            (
+                "popularity",
+                OnlineTimestamper::new(Popularity::new()).run(&c),
+            ),
             (
                 "adaptive",
                 OnlineTimestamper::new(Adaptive::with_paper_thresholds()).run(&c),
@@ -220,8 +223,13 @@ mod tests {
     #[test]
     fn online_size_never_below_offline_optimum() {
         for seed in 0..10 {
-            let c = WorkloadBuilder::new(12, 12).operations(150).seed(seed).build();
-            let optimal = OfflineOptimizer::new().plan_for_computation(&c).clock_size();
+            let c = WorkloadBuilder::new(12, 12)
+                .operations(150)
+                .seed(seed)
+                .build();
+            let optimal = OfflineOptimizer::new()
+                .plan_for_computation(&c)
+                .clock_size();
             for run in [
                 OnlineTimestamper::new(Popularity::new()).run(&c),
                 OnlineTimestamper::new(Random::seeded(seed)).run(&c),
@@ -280,11 +288,12 @@ mod tests {
     fn adaptive_behaves_like_popularity_then_naive() {
         // Low thresholds: adaptive switches almost immediately, so its final
         // size is close to naive's.
-        let (_, stream) = RandomGraphBuilder::new(40, 40).density(0.1).seed(11).build_edge_stream();
-        let adaptive_size = simulate_final_size(
-            &mut Adaptive::new(0.0, 0, NaiveSide::Threads),
-            &stream,
-        );
+        let (_, stream) = RandomGraphBuilder::new(40, 40)
+            .density(0.1)
+            .seed(11)
+            .build_edge_stream();
+        let adaptive_size =
+            simulate_final_size(&mut Adaptive::new(0.0, 0, NaiveSide::Threads), &stream);
         let naive_size = simulate_final_size(&mut Naive::threads(), &stream);
         assert_eq!(adaptive_size, naive_size);
     }

@@ -128,10 +128,7 @@ mod tests {
     use super::*;
     use mvc_trace::{OpKind, ThreadId};
 
-    fn record(
-        c: &mut Computation,
-        ops: &[(usize, usize, OpKind)],
-    ) {
+    fn record(c: &mut Computation, ops: &[(usize, usize, OpKind)]) {
         for &(t, o, k) in ops {
             c.record_op(ThreadId(t), ObjectId(o), k);
         }
@@ -152,10 +149,7 @@ mod tests {
         // Thread 0 writes account A while thread 1 writes account B; nothing
         // orders them, and A+B form an invariant group.
         let mut c = Computation::new();
-        record(
-            &mut c,
-            &[(0, 0, OpKind::Write), (1, 1, OpKind::Write)],
-        );
+        record(&mut c, &[(0, 0, OpKind::Write), (1, 1, OpKind::Write)]);
         let mut analyzer = ConflictAnalyzer::new();
         let g = analyzer.add_group([ObjectId(0), ObjectId(1)]);
         let conflicts = analyzer.analyze(&c);

@@ -77,7 +77,10 @@ impl CausalityOracle {
     ///
     /// Panics if either id is out of range.
     pub fn happened_before(&self, a: EventId, b: EventId) -> bool {
-        assert!(a.index() < self.n && b.index() < self.n, "event id out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "event id out of range"
+        );
         let ai = a.index();
         (self.pred[b.index()][ai / 64] >> (ai % 64)) & 1 == 1
     }
@@ -179,7 +182,10 @@ mod tests {
         assert!(o.concurrent(EventId(0), EventId(3)));
         assert!(!o.concurrent(EventId(0), EventId(2)), "same thread");
         assert!(o.comparable(EventId(0), EventId(2)));
-        assert!(o.comparable(EventId(1), EventId(1)), "an event is comparable to itself");
+        assert!(
+            o.comparable(EventId(1), EventId(1)),
+            "an event is comparable to itself"
+        );
     }
 
     #[test]

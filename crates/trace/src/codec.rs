@@ -192,10 +192,16 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(DecodeError::BadMagic.to_string().contains("not a serialized"));
+        assert!(DecodeError::BadMagic
+            .to_string()
+            .contains("not a serialized"));
         assert!(DecodeError::BadOpKind(7).to_string().contains('7'));
-        assert!(DecodeError::UnexpectedEof.to_string().contains("end of buffer"));
-        assert!(DecodeError::VarintOverflow.to_string().contains("overflows"));
+        assert!(DecodeError::UnexpectedEof
+            .to_string()
+            .contains("end of buffer"));
+        assert!(DecodeError::VarintOverflow
+            .to_string()
+            .contains("overflows"));
     }
 
     #[test]

@@ -60,8 +60,14 @@ impl Computation {
         };
         thread_chain.push(id);
         object_chain.push(id);
-        self.max_thread = Some(self.max_thread.map_or(thread.index(), |m| m.max(thread.index())));
-        self.max_object = Some(self.max_object.map_or(object.index(), |m| m.max(object.index())));
+        self.max_thread = Some(
+            self.max_thread
+                .map_or(thread.index(), |m| m.max(thread.index())),
+        );
+        self.max_object = Some(
+            self.max_object
+                .map_or(object.index(), |m| m.max(object.index())),
+        );
         self.events.push(event);
         id
     }
@@ -259,7 +265,11 @@ mod tests {
         let mut c = Computation::new();
         c.record(ThreadId(5), ObjectId(2));
         assert_eq!(c.thread_count(), 1);
-        assert_eq!(c.thread_index_bound(), 6, "bound follows the raw index, not the count");
+        assert_eq!(
+            c.thread_index_bound(),
+            6,
+            "bound follows the raw index, not the count"
+        );
         assert_eq!(c.object_index_bound(), 3);
         assert_eq!(c.threads().collect::<Vec<_>>(), vec![ThreadId(5)]);
         assert_eq!(c.objects().collect::<Vec<_>>(), vec![ObjectId(2)]);
@@ -281,10 +291,7 @@ mod tests {
     #[test]
     fn record_all_returns_ids_in_order() {
         let mut c = Computation::new();
-        let ids = c.record_all(&[
-            (ThreadId(0), ObjectId(0)),
-            (ThreadId(1), ObjectId(1)),
-        ]);
+        let ids = c.record_all(&[(ThreadId(0), ObjectId(0)), (ThreadId(1), ObjectId(1))]);
         assert_eq!(ids, vec![EventId(0), EventId(1)]);
     }
 

@@ -33,9 +33,10 @@ use crate::event::OpKind;
 use crate::ids::{ObjectId, ThreadId};
 
 /// The family of synthetic workload to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum WorkloadKind {
     /// Uniformly random (thread, object) pairs.
+    #[default]
     Uniform,
     /// A hot fraction of threads/objects receives `hot_boost`× the traffic.
     Nonuniform {
@@ -59,12 +60,6 @@ pub enum WorkloadKind {
         /// Number of phases.
         phases: usize,
     },
-}
-
-impl Default for WorkloadKind {
-    fn default() -> Self {
-        WorkloadKind::Uniform
-    }
 }
 
 impl WorkloadKind {
@@ -215,14 +210,17 @@ impl WorkloadBuilder {
 
 /// Samples an index in `0..n` where the first `ceil(n * hot_fraction)`
 /// indices are `hot_boost`× more likely than the rest.
-fn sample_skewed<R: Rng + ?Sized>(n: usize, hot_fraction: f64, hot_boost: f64, rng: &mut R) -> usize {
+fn sample_skewed<R: Rng + ?Sized>(
+    n: usize,
+    hot_fraction: f64,
+    hot_boost: f64,
+    rng: &mut R,
+) -> usize {
     let hot = ((n as f64 * hot_fraction).ceil() as usize).clamp(1, n);
     let cold = n - hot;
     let hot_weight = hot as f64 * hot_boost;
     let total = hot_weight + cold as f64;
-    if rng.gen_bool((hot_weight / total).clamp(0.0, 1.0)) {
-        rng.gen_range(0..hot)
-    } else if cold == 0 {
+    if cold == 0 || rng.gen_bool((hot_weight / total).clamp(0.0, 1.0)) {
         rng.gen_range(0..hot)
     } else {
         hot + rng.gen_range(0..cold)
@@ -340,7 +338,10 @@ mod tests {
         for (idx, e) in c.events().enumerate() {
             let phase = (idx / 100).min(3);
             let o = e.object.index();
-            assert!(o >= phase * 5 && o < phase * 5 + 5, "event {idx} object {o} phase {phase}");
+            assert!(
+                o >= phase * 5 && o < phase * 5 + 5,
+                "event {idx} object {o} phase {phase}"
+            );
         }
     }
 

@@ -100,8 +100,8 @@ impl PosetAnalysis {
             }
         }
         let mut chains = Vec::new();
-        for start in 0..n {
-            if is_successor[start] {
+        for (start, &reached) in is_successor.iter().enumerate() {
+            if reached {
                 continue;
             }
             let mut chain = vec![EventId(start)];
@@ -227,7 +227,10 @@ mod tests {
         // 3 chains... the other way round: any chain cover needs >= width
         // chains, and the paper's clock works with 3 components, so width <= 3.
         assert!(analysis.width <= 3);
-        assert!(analysis.height >= 3, "T2's four operations force a long chain");
+        assert!(
+            analysis.height >= 3,
+            "T2's four operations force a long chain"
+        );
         assert_eq!(
             analysis.chains.iter().map(Vec::len).sum::<usize>(),
             c.len(),

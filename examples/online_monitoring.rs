@@ -36,10 +36,26 @@ fn main() {
         .clock_size();
 
     let runs: Vec<(&str, usize)> = vec![
-        run("naive (threads)", OnlineTimestamper::new(Naive::threads()), &computation),
-        run("naive (objects)", OnlineTimestamper::new(Naive::objects()), &computation),
-        run("random", OnlineTimestamper::new(Random::seeded(7)), &computation),
-        run("popularity", OnlineTimestamper::new(Popularity::new()), &computation),
+        run(
+            "naive (threads)",
+            OnlineTimestamper::new(Naive::threads()),
+            &computation,
+        ),
+        run(
+            "naive (objects)",
+            OnlineTimestamper::new(Naive::objects()),
+            &computation,
+        ),
+        run(
+            "random",
+            OnlineTimestamper::new(Random::seeded(7)),
+            &computation,
+        ),
+        run(
+            "popularity",
+            OnlineTimestamper::new(Popularity::new()),
+            &computation,
+        ),
         run(
             "adaptive",
             OnlineTimestamper::new(Adaptive::with_paper_thresholds()),
@@ -59,8 +75,14 @@ fn main() {
     let dequeue = monitor.record(ThreadId(1), ObjectId(0));
     let unrelated = monitor.record(ThreadId(2), ObjectId(9));
     println!("\nlive monitor demo:");
-    println!("  enqueue -> dequeue ordered:   {}", monitor.happened_before(&enqueue, &dequeue));
-    println!("  enqueue || unrelated:         {}", monitor.concurrent(&enqueue, &unrelated));
+    println!(
+        "  enqueue -> dequeue ordered:   {}",
+        monitor.happened_before(&enqueue, &dequeue)
+    );
+    println!(
+        "  enqueue || unrelated:         {}",
+        monitor.concurrent(&enqueue, &unrelated)
+    );
     println!("  monitor clock size so far:    {}", monitor.clock_size());
 }
 

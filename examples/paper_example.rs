@@ -34,9 +34,15 @@ fn main() {
     );
     println!("minimum vertex cover (mixed clock components):");
     for component in plan.components().components() {
-        println!("  - {component} (paper numbering: {})", paper_name(component));
+        println!(
+            "  - {component} (paper numbering: {})",
+            paper_name(component)
+        );
     }
-    println!("\nGraphviz DOT (filled vertices = cover):\n{}", to_dot(plan.graph(), Some(plan.cover())));
+    println!(
+        "\nGraphviz DOT (filled vertices = cover):\n{}",
+        to_dot(plan.graph(), Some(plan.cover()))
+    );
 
     // Figure 3: timestamps of every event under the mixed clock.
     println!("=== Figure 3: mixed-vector-clock timestamps ===");

@@ -24,8 +24,12 @@ fn main() {
 
     // 1. Offline optimal plan: which threads/objects become clock components?
     let plan = OfflineOptimizer::new().plan_for_computation(&computation);
-    println!("computation: {} events, {} threads, {} objects", computation.len(),
-             computation.thread_count(), computation.object_count());
+    println!(
+        "computation: {} events, {} threads, {} objects",
+        computation.len(),
+        computation.thread_count(),
+        computation.object_count()
+    );
     println!("optimal mixed clock components ({}):", plan.clock_size());
     for component in plan.components().components() {
         println!("  - {component}");

@@ -1,0 +1,251 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the API subset used by `crates/bench/benches/*`: benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], and timed [`Bencher::iter`]
+//! loops, reporting a median per-iteration time (and derived throughput) on
+//! stdout.  No statistical analysis, warm-up modelling, or HTML reports —
+//! enough to compile every bench target and give honest ballpark numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a benchmark result, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Expected work per iteration, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+    /// The iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` with parameter `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified only by its parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the median of several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed pass to touch caches.
+        black_box(routine());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.median = times[times.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the expected work per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, throughput, samples, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`cargo bench -- <filter>`).
+    pub fn configure_from_args(mut self) -> Self {
+        // First non-flag argument, if any, filters benchmarks by substring.
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        self.run_one(&full, None, 10, routine);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        samples: usize,
+        mut routine: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples,
+            median: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let median = bencher.median;
+        match throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("bench: {name:<50} median {median:>12?}  ({rate:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("bench: {name:<50} median {median:>12?}  ({rate:.0} B/s)");
+            }
+            _ => println!("bench: {name:<50} median {median:>12?}"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the bench `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 100), &100usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+        });
+        group.bench_function("plain", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides just
+//! enough surface for the workspace to compile: the `Serialize` /
+//! `Deserialize` traits as markers plus the no-op derive macros from the
+//! sibling `serde_derive` shim.  No code in the workspace serializes through
+//! serde yet (the trace codec is hand-rolled in `mvc_trace::codec`), so the
+//! traits carry no methods.  Replacing this shim with the real `serde` is a
+//! `Cargo.toml`-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::ser::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::de::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Serialization half of the shim, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization half of the shim, mirroring `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+}

@@ -49,7 +49,9 @@ pub use mvc_trace as trace;
 pub mod prelude {
     pub use mvc_core::prelude::*;
     pub use mvc_online::{Adaptive, Naive, OnlineMechanism, OnlineTimestamper, Popularity, Random};
-    pub use mvc_runtime::{ConflictAnalyzer, OnlineMonitor, SharedObject, ThreadHandle, TraceSession};
+    pub use mvc_runtime::{
+        ConflictAnalyzer, OnlineMonitor, SharedObject, ThreadHandle, TraceSession,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,320 @@
+//! Cross-crate conformance suite: the paper's load-bearing theorems as
+//! executable oracles.
+//!
+//! Three invariant families from Zheng & Garg (ICDCS 2019) are encoded so
+//! that any future refactor of the graph, clock, core or online crates is
+//! checked against the mathematics rather than against snapshots:
+//!
+//! 1. **Kőnig duality (Theorem: offline optimality).**  The offline
+//!    optimizer's clock size equals the maximum matching of the
+//!    thread–object bipartite graph — cross-checked against both matching
+//!    algorithms in `mvc_graph` and, on small graphs, against a brute-force
+//!    enumeration of *all* vertex covers.
+//! 2. **Order embedding (the vector clock condition).**  Every timestamp
+//!    assigner that claims to characterise happened-before must map vector
+//!    comparison exactly onto poset reachability: `s → t ⇔ s.v < t.v`,
+//!    with concurrency ⇔ incomparability.
+//! 3. **Online lower bound and the Adaptive budget.**  Every online
+//!    mechanism's final clock is lower-bounded by the offline optimum of the
+//!    final revealed graph (its component set is a vertex cover too), and
+//!    the Adaptive mechanism respects its design bound on adversarial
+//!    streams: at most `node_threshold` non-thread components, while pure
+//!    Naive degenerates linearly on the star stream.
+
+mod support;
+
+use mvc_clock::chain::ChainClockAssigner;
+use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
+use mvc_clock::{ClockOrd, TimestampAssigner, VectorTimestamp};
+use mvc_core::{verify_assignment, OfflineOptimizer};
+use mvc_graph::matching::{hopcroft_karp, simple_augmenting};
+use mvc_graph::BipartiteGraph;
+use mvc_online::{
+    Adaptive, CompetitiveTracker, Naive, OnlineMechanism, OnlineTimestamper, Popularity, Random,
+};
+use mvc_trace::generator::computation_from_edge_stream;
+use mvc_trace::{CausalityOracle, Computation, EventId};
+use proptest::prelude::*;
+
+use support::{ComputationStrategy, EdgeStreamStrategy, GraphComputationStrategy};
+
+// ---------------------------------------------------------------------------
+// Oracle 1: Kőnig duality / offline optimality
+// ---------------------------------------------------------------------------
+
+/// Exhaustive minimum vertex cover over the graph's active vertices.
+///
+/// Only usable on small graphs (≲ 16 active vertices); serves as the
+/// algorithm-independent ground truth for the Kőnig–Egerváry construction.
+fn brute_force_min_cover(graph: &BipartiteGraph) -> usize {
+    let left: Vec<usize> = graph.active_left().collect();
+    let right: Vec<usize> = graph.active_right().collect();
+    let edges: Vec<(usize, usize)> = graph.edges().collect();
+    let n = left.len() + right.len();
+    assert!(n <= 20, "brute force cover limited to small graphs");
+    let mut best = n;
+    for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        let in_cover = |l: usize, r: usize| {
+            let li = left.iter().position(|&x| x == l);
+            let ri = right.iter().position(|&x| x == r);
+            li.is_some_and(|i| mask & (1 << i) != 0)
+                || ri.is_some_and(|i| mask & (1 << (left.len() + i)) != 0)
+        };
+        if edges.iter().all(|&(l, r)| in_cover(l, r)) {
+            best = size;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kőnig duality, algorithm cross-check: the offline clock size equals
+    /// the maximum matching computed by *both* matching algorithms, and the
+    /// produced component set is a genuine vertex cover of that size.
+    #[test]
+    fn offline_clock_size_equals_maximum_matching(
+        gc in GraphComputationStrategy::medium(),
+    ) {
+        let (graph, computation) = gc;
+        let plan = OfflineOptimizer::new().plan_for_graph(graph.clone());
+
+        let hk = hopcroft_karp(&graph);
+        let simple = simple_augmenting(&graph);
+        prop_assert!(hk.is_valid_for(&graph));
+        prop_assert_eq!(hk.size(), simple.size());
+        prop_assert_eq!(plan.clock_size(), hk.size());
+        prop_assert_eq!(plan.matching_size(), hk.size());
+
+        prop_assert!(plan.cover().covers_all_edges(&graph));
+        prop_assert_eq!(plan.cover().size(), plan.clock_size());
+
+        // The plan built from the equivalent computation agrees.
+        let from_computation = OfflineOptimizer::new().plan_for_computation(&computation);
+        prop_assert_eq!(from_computation.clock_size(), plan.clock_size());
+    }
+
+    /// Kőnig duality, ground truth: on small graphs no vertex cover of any
+    /// kind — not just covers the constructive proof can reach — is smaller
+    /// than the matching-sized one the optimizer returns.
+    #[test]
+    fn offline_cover_is_globally_minimal(
+        gc in GraphComputationStrategy::small(),
+    ) {
+        let (graph, _) = gc;
+        let plan = OfflineOptimizer::new().plan_for_graph(graph.clone());
+        prop_assert_eq!(plan.clock_size(), brute_force_min_cover(&graph));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2: timestamps order-embed the happened-before poset
+// ---------------------------------------------------------------------------
+
+/// Checks `compare ⇔ reachability` for every ordered pair of events.
+fn order_embeds(
+    computation: &Computation,
+    oracle: &CausalityOracle,
+    stamps: &[VectorTimestamp],
+) -> Result<(), String> {
+    for i in 0..computation.len() {
+        for j in 0..computation.len() {
+            let (a, b) = (EventId(i), EventId(j));
+            let cmp = stamps[i].compare(&stamps[j]);
+            let expected = if i == j {
+                ClockOrd::Equal
+            } else if oracle.happened_before(a, b) {
+                ClockOrd::Before
+            } else if oracle.happened_before(b, a) {
+                ClockOrd::After
+            } else {
+                ClockOrd::Concurrent
+            };
+            if cmp != expected {
+                return Err(format!(
+                    "events {i} vs {j}: expected {expected}, timestamps say {cmp}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The vector clock condition for every characterising assigner: thread
+    /// vector clocks, object vector clocks, the optimal mixed clock, and the
+    /// chain clock all order-embed the happened-before poset.
+    #[test]
+    fn timestamps_order_embed_happened_before(
+        computation in ComputationStrategy::small(),
+    ) {
+        let oracle = computation.causality_oracle();
+        let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+
+        let assigners: [(&str, Vec<VectorTimestamp>); 4] = [
+            ("thread", ThreadVectorClockAssigner::new().assign(&computation)),
+            ("object", ObjectVectorClockAssigner::new().assign(&computation)),
+            ("mixed", plan.assigner().assign(&computation)),
+            ("chain", ChainClockAssigner::new().assign(&computation)),
+        ];
+        for (name, stamps) in assigners {
+            prop_assert_eq!(stamps.len(), computation.len());
+            if let Err(msg) = order_embeds(&computation, &oracle, &stamps) {
+                prop_assert!(false, "{name} clock does not order-embed: {msg}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 3: online lower bound + the Adaptive mechanism's budget
+// ---------------------------------------------------------------------------
+
+/// Replays one stream through a mechanism, checking the run against the
+/// offline optimum of the final graph.
+fn check_online_run<M: OnlineMechanism>(
+    mechanism: M,
+    computation: &Computation,
+    offline_optimum: usize,
+) -> Result<(), String> {
+    let run = OnlineTimestamper::new(mechanism).run(computation);
+    let size = run.stats.clock_size();
+    if size < offline_optimum {
+        return Err(format!(
+            "online clock {size} beat the offline optimum {offline_optimum}"
+        ));
+    }
+    let ceiling = computation.thread_count() + computation.object_count();
+    if size > ceiling {
+        return Err(format!(
+            "online clock {size} exceeds the trivial ceiling {ceiling}"
+        ));
+    }
+    if !verify_assignment(computation, &run.timestamps) {
+        return Err("online timestamps violate the vector clock condition".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every mechanism's final clock size is sandwiched between the offline
+    /// optimum (its components are also a vertex cover of the final graph)
+    /// and the trivial `threads + objects` ceiling, and its timestamps stay
+    /// valid for the whole reveal order.
+    #[test]
+    fn online_clock_never_smaller_than_offline_optimum(
+        stream in EdgeStreamStrategy { nodes: 2..12, density: 0.01..0.45 },
+        seed in 0u64..1000,
+    ) {
+        let (graph, edges) = stream;
+        let computation = computation_from_edge_stream(&edges);
+        let optimum = OfflineOptimizer::new().plan_for_graph(graph).clock_size();
+
+        for result in [
+            check_online_run(Naive::threads(), &computation, optimum),
+            check_online_run(Naive::objects(), &computation, optimum),
+            check_online_run(Random::seeded(seed), &computation, optimum),
+            check_online_run(Popularity::new(), &computation, optimum),
+            check_online_run(Adaptive::with_paper_thresholds(), &computation, optimum),
+        ] {
+            if let Err(msg) = result {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+
+    /// Section IV's characterisation of the Naive mechanism: always choosing
+    /// threads reproduces exactly the traditional thread vector clock size —
+    /// one component per active thread.
+    #[test]
+    fn naive_threads_is_exactly_the_thread_vector_clock(
+        computation in ComputationStrategy::small(),
+    ) {
+        let run = OnlineTimestamper::new(Naive::threads()).run(&computation);
+        prop_assert_eq!(run.stats.clock_size(), computation.thread_count());
+        prop_assert_eq!(run.stats.object_components, 0);
+    }
+
+    /// The competitive trajectory never dips below optimal at any prefix:
+    /// after every reveal, the online size dominates the optimum of the
+    /// graph revealed so far.
+    #[test]
+    fn competitive_trajectory_dominates_prefix_optimum(
+        stream in EdgeStreamStrategy { nodes: 2..10, density: 0.02..0.4 },
+    ) {
+        let (_, edges) = stream;
+        let report = CompetitiveTracker::new(Popularity::new()).run(&edges);
+        for point in &report.trajectory {
+            prop_assert!(point.online_size >= point.offline_optimum);
+            prop_assert!(point.ratio() >= 1.0);
+        }
+    }
+}
+
+/// The paper's adversarial family for Naive: a star around one hot object.
+/// Naive-threads promotes every thread (ratio `n`); Popularity and Adaptive
+/// promote the hub after at most one misstep (ratio ≤ 2).
+#[test]
+fn adaptive_and_popularity_stay_bounded_on_adversarial_star() {
+    let n = 120;
+    let star: Vec<(usize, usize)> = (0..n).map(|t| (t, 0)).collect();
+
+    let naive = CompetitiveTracker::new(Naive::threads()).run(&star);
+    assert_eq!(naive.final_point().unwrap().offline_optimum, 1);
+    assert_eq!(naive.final_point().unwrap().online_size, n);
+
+    for report in [
+        CompetitiveTracker::new(Popularity::new()).run(&star),
+        CompetitiveTracker::new(Adaptive::with_paper_thresholds()).run(&star),
+    ] {
+        let last = report.final_point().unwrap();
+        assert_eq!(last.offline_optimum, 1);
+        assert!(
+            last.online_size <= 2,
+            "hub mechanisms must converge on the star, got {}",
+            last.online_size
+        );
+        assert!(report.worst_ratio() <= 2.0);
+    }
+}
+
+/// The Adaptive mechanism's design bound: non-thread components can only be
+/// added before the switch to Naive, so they never exceed the node
+/// threshold — even on a stream engineered to force the switch.
+#[test]
+fn adaptive_respects_its_switch_budget_on_adversarial_stream() {
+    // A perfect matching on 100+100 nodes: every reveal is uncovered, the
+    // active node count blows through the threshold, and the mechanism must
+    // switch to Naive partway through.
+    let n = 100;
+    let matching_stream: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+    let computation = computation_from_edge_stream(&matching_stream);
+
+    let adaptive = Adaptive::with_paper_thresholds();
+    let mut timestamper = OnlineTimestamper::new(adaptive);
+    for event in computation.events() {
+        timestamper.observe(event.thread, event.object);
+    }
+    assert!(
+        timestamper.mechanism().has_switched(),
+        "the matching stream must force the switch"
+    );
+    let stats = timestamper.stats();
+    assert!(
+        stats.object_components <= 70,
+        "non-thread components exceed the switch budget: {}",
+        stats.object_components
+    );
+    // The final size is optimal here anyway (the stream IS a matching), so
+    // the lower bound still holds.
+    assert_eq!(stats.clock_size(), n);
+}

@@ -24,8 +24,11 @@ fn paper_running_example_end_to_end() {
     // Every clock implementation agrees that it is a valid vector clock.
     for (name, size, valid) in verify_all_clocks(&computation) {
         assert!(valid, "{name} invalid on the paper example");
-        assert!(size >= plan.clock_size() || name == "mixed-vector-clock" || name == "chain-clock",
-            "{name} reported size {size} below the optimum {}", plan.clock_size());
+        assert!(
+            size >= plan.clock_size() || name == "mixed-vector-clock" || name == "chain-clock",
+            "{name} reported size {size} below the optimum {}",
+            plan.clock_size()
+        );
     }
 }
 
@@ -52,9 +55,21 @@ fn all_clock_kinds_induce_the_same_order_on_random_workloads() {
                     continue;
                 }
                 let reference = thread[i].strictly_less_than(&thread[j]);
-                assert_eq!(reference, object[i].strictly_less_than(&object[j]), "object clock disagrees (seed {seed})");
-                assert_eq!(reference, mixed[i].strictly_less_than(&mixed[j]), "mixed clock disagrees (seed {seed})");
-                assert_eq!(reference, chain[i].strictly_less_than(&chain[j]), "chain clock disagrees (seed {seed})");
+                assert_eq!(
+                    reference,
+                    object[i].strictly_less_than(&object[j]),
+                    "object clock disagrees (seed {seed})"
+                );
+                assert_eq!(
+                    reference,
+                    mixed[i].strictly_less_than(&mixed[j]),
+                    "mixed clock disagrees (seed {seed})"
+                );
+                assert_eq!(
+                    reference,
+                    chain[i].strictly_less_than(&chain[j]),
+                    "chain clock disagrees (seed {seed})"
+                );
             }
         }
     }
@@ -111,7 +126,11 @@ fn degenerate_computations_are_handled() {
     assert_eq!(plan.clock_size(), 1);
     let stamps = plan.assigner().assign(&single_thread);
     let oracle = single_thread.causality_oracle();
-    assert!(satisfies_vector_clock_condition(&single_thread, &stamps, &oracle));
+    assert!(satisfies_vector_clock_condition(
+        &single_thread,
+        &stamps,
+        &oracle
+    ));
 
     // Single object, many threads: the optimal clock is that one object.
     let single_object = WorkloadBuilder::new(20, 1).operations(100).seed(1).build();

@@ -16,9 +16,21 @@ fn online_clocks_are_valid_and_never_beat_the_optimum() {
             .clock_size();
 
         let mechanisms: Vec<(&str, usize, Vec<_>)> = vec![
-            online_run("naive", OnlineTimestamper::new(Naive::threads()), &computation),
-            online_run("random", OnlineTimestamper::new(Random::seeded(seed)), &computation),
-            online_run("popularity", OnlineTimestamper::new(Popularity::new()), &computation),
+            online_run(
+                "naive",
+                OnlineTimestamper::new(Naive::threads()),
+                &computation,
+            ),
+            online_run(
+                "random",
+                OnlineTimestamper::new(Random::seeded(seed)),
+                &computation,
+            ),
+            online_run(
+                "popularity",
+                OnlineTimestamper::new(Popularity::new()),
+                &computation,
+            ),
             online_run(
                 "adaptive",
                 OnlineTimestamper::new(Adaptive::with_paper_thresholds()),
@@ -56,7 +68,10 @@ fn figure6_shape_offline_below_popularity_below_naive_at_low_density() {
     let popularity = average_size(&cfg, AlgorithmKind::Popularity, 0.05).mean_size;
     let naive = average_size(&cfg, AlgorithmKind::NaiveThreads, 0.05).mean_size;
 
-    assert!(offline < naive, "offline {offline} should be below naive {naive}");
+    assert!(
+        offline < naive,
+        "offline {offline} should be below naive {naive}"
+    );
     assert!(
         offline <= popularity,
         "offline {offline} should not exceed popularity {popularity}"
@@ -79,7 +94,10 @@ fn figure4_shape_crossover_with_density() {
 
     let pop_low = average_size(&low, AlgorithmKind::Popularity, 0.02).mean_size;
     let naive_low = average_size(&low, AlgorithmKind::NaiveThreads, 0.02).mean_size;
-    assert!(pop_low < naive_low, "popularity {pop_low} vs naive {naive_low} at low density");
+    assert!(
+        pop_low < naive_low,
+        "popularity {pop_low} vs naive {naive_low} at low density"
+    );
 
     let pop_high = average_size(&high, AlgorithmKind::Popularity, 0.9).mean_size;
     let naive_high = average_size(&high, AlgorithmKind::NaiveThreads, 0.9).mean_size;

@@ -27,7 +27,7 @@ fn traced_execution_feeds_the_offline_optimizer() {
     }
     for i in 0..2 {
         let handle = session.register_thread(&format!("consumer-{i}"));
-        let queues: Vec<_> = queues.iter().cloned().collect();
+        let queues: Vec<_> = queues.to_vec();
         workers.push(thread::spawn(move || {
             let mut drained = 0usize;
             for _ in 0..10 {
