@@ -10,7 +10,7 @@ use std::sync::Once;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mvc_eval::{adaptive_ablation, fig4, fig5, fig6, fig7, render_table, FigureData};
+use mvc_eval::{adaptive_ablation, fig4, fig5, fig6, fig7, render_table, star_sweep, FigureData};
 
 const TRIALS: usize = 3;
 
@@ -24,6 +24,7 @@ fn print_all_figures_once() {
             fig6(TRIALS),
             fig7(TRIALS),
             adaptive_ablation(TRIALS),
+            star_sweep(TRIALS),
         ] {
             println!("{}", render_table(&figure));
         }
@@ -45,6 +46,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("adaptive", |b| {
         b.iter(|| total_points(&adaptive_ablation(1)))
     });
+    group.bench_function("star", |b| b.iter(|| total_points(&star_sweep(1))));
     group.finish();
 }
 

@@ -1,15 +1,21 @@
 //! Per-event overhead of the online mechanisms (Section IV): how much does
 //! component selection plus incremental timestamping cost per operation?
+//!
+//! Mechanisms are built by name through the `MechanismRegistry` — the bench
+//! never names a concrete mechanism type, so anything added to the registry
+//! is measured automatically.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use mvc_bench::bench_workload;
-use mvc_online::{Adaptive, Naive, OnlineMechanism, OnlineTimestamper, Popularity, Random};
+use mvc_online::{MechanismRegistry, OnlineTimestamper};
 use mvc_trace::Computation;
 
-fn run_mechanism<M: OnlineMechanism>(mechanism: M, workload: &Computation) -> usize {
+fn run_mechanism(registry: &MechanismRegistry, name: &str, workload: &Computation) -> usize {
+    let mechanism = registry.from_name(name).expect("registry name");
     OnlineTimestamper::new(mechanism)
         .run(workload)
+        .expect("paper mechanisms cover their own events")
         .stats
         .clock_size()
 }
@@ -18,21 +24,13 @@ fn bench_online_mechanisms(c: &mut Criterion) {
     let mut group = c.benchmark_group("online-mechanisms");
     let events = 20_000;
     let workload = bench_workload(events, 23);
+    let registry = MechanismRegistry::new().seed(3);
     group.throughput(Throughput::Elements(events as u64));
-    group.bench_with_input(
-        BenchmarkId::new("naive-threads", events),
-        &workload,
-        |b, w| b.iter(|| run_mechanism(Naive::threads(), w)),
-    );
-    group.bench_with_input(BenchmarkId::new("random", events), &workload, |b, w| {
-        b.iter(|| run_mechanism(Random::seeded(3), w))
-    });
-    group.bench_with_input(BenchmarkId::new("popularity", events), &workload, |b, w| {
-        b.iter(|| run_mechanism(Popularity::new(), w))
-    });
-    group.bench_with_input(BenchmarkId::new("adaptive", events), &workload, |b, w| {
-        b.iter(|| run_mechanism(Adaptive::with_paper_thresholds(), w))
-    });
+    for &name in MechanismRegistry::names() {
+        group.bench_with_input(BenchmarkId::new(name, events), &workload, |b, w| {
+            b.iter(|| run_mechanism(&registry, name, w))
+        });
+    }
     group.finish();
 }
 
@@ -46,17 +44,16 @@ fn bench_online_decision_only(c: &mut Criterion) {
         .scenario(GraphScenario::default_nonuniform())
         .seed(31)
         .build_edge_stream();
+    let registry = MechanismRegistry::new();
     group.throughput(Throughput::Elements(stream.len() as u64));
-    group.bench_with_input(
-        BenchmarkId::new("popularity", stream.len()),
-        &stream,
-        |b, s| b.iter(|| simulate_final_size(&mut Popularity::new(), s)),
-    );
-    group.bench_with_input(
-        BenchmarkId::new("naive-threads", stream.len()),
-        &stream,
-        |b, s| b.iter(|| simulate_final_size(&mut Naive::threads(), s)),
-    );
+    for name in ["popularity", "naive-threads"] {
+        group.bench_with_input(BenchmarkId::new(name, stream.len()), &stream, |b, s| {
+            b.iter(|| {
+                let mut mechanism = registry.from_name(name).expect("registry name");
+                simulate_final_size(mechanism.as_mut(), s)
+            })
+        });
+    }
     group.finish();
 }
 

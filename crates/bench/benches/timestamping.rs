@@ -10,7 +10,8 @@ use mvc_bench::{bench_workload, WORKLOAD_EVENTS};
 use mvc_clock::chain::ChainClockAssigner;
 use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
 use mvc_clock::TimestampAssigner;
-use mvc_core::{OfflineOptimizer, TimestampingEngine};
+use mvc_core::{replay, OfflineOptimizer, Timestamper, TimestampingEngine};
+use mvc_online::{OnlineTimestamper, Popularity};
 
 fn bench_batch_assigners(c: &mut Criterion) {
     let mut group = c.benchmark_group("timestamping");
@@ -63,6 +64,40 @@ fn bench_streaming_engine(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_unified_timestampers(c: &mut Criterion) {
+    // The three Timestamper impls behind the unified trait, dyn-dispatched as
+    // a harness would drive them.
+    let mut group = c.benchmark_group("unified-timestampers");
+    let events = 10_000;
+    let workload = bench_workload(events, 19);
+    let plan = OfflineOptimizer::new().plan_for_computation(&workload);
+    group.throughput(Throughput::Elements(events as u64));
+    type MakeTimestamper = fn(&mvc_core::OfflinePlan) -> Box<dyn Timestamper>;
+    let cases: Vec<(&str, MakeTimestamper)> = vec![
+        ("batch-replay", |plan| Box::new(plan.timestamper())),
+        ("engine", |plan| {
+            Box::new(TimestampingEngine::with_components(
+                plan.components().clone(),
+            ))
+        }),
+        ("online-popularity", |_| {
+            Box::new(OnlineTimestamper::new(Popularity::new()))
+        }),
+    ];
+    for (name, make) in cases {
+        group.bench_with_input(BenchmarkId::new(name, events), &workload, |b, w| {
+            b.iter(|| {
+                let mut timestamper = make(&plan);
+                replay(timestamper.as_mut(), w)
+                    .expect("covered")
+                    .timestamps
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_offline_plan_on_computation(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan-from-computation");
     for &events in WORKLOAD_EVENTS {
@@ -79,6 +114,7 @@ criterion_group!(
     benches,
     bench_batch_assigners,
     bench_streaming_engine,
+    bench_unified_timestampers,
     bench_offline_plan_on_computation
 );
 criterion_main!(benches);

@@ -89,10 +89,7 @@ impl ChainClockAssigner {
         let width = chain_last.len();
         let timestamps = raw_stamps
             .into_iter()
-            .map(|mut v| {
-                v.resize(width, 0);
-                VectorTimestamp::from_components(v)
-            })
+            .map(|v| VectorTimestamp::from_components(v).padded_to(width))
             .collect();
         ChainDecomposition {
             timestamps,

@@ -157,6 +157,28 @@ impl VectorTimestamp {
     pub fn magnitude(&self) -> u64 {
         self.components.iter().sum()
     }
+
+    /// Returns a copy padded with zeros to `width` components.
+    ///
+    /// A timestamp taken while a growing clock was still narrow misses the
+    /// components added later; those counters were zero at the time, so
+    /// zero-padding makes the timestamp directly comparable with wider ones
+    /// from the same run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current length — truncation
+    /// would silently discard counters.
+    pub fn padded_to(&self, width: usize) -> VectorTimestamp {
+        assert!(
+            width >= self.len(),
+            "cannot pad a width-{} timestamp down to {width} components",
+            self.len()
+        );
+        let mut components = self.components.clone();
+        components.resize(width, 0);
+        Self { components }
+    }
 }
 
 impl Index<usize> for VectorTimestamp {
@@ -243,6 +265,23 @@ mod tests {
     fn merging_different_widths_panics() {
         let mut a = VectorTimestamp::zeros(2);
         a.merge_max(&VectorTimestamp::zeros(1));
+    }
+
+    #[test]
+    fn padded_to_extends_with_zeros() {
+        let t = VectorTimestamp::from(vec![3, 1]);
+        assert_eq!(t.padded_to(4).as_slice(), &[3, 1, 0, 0]);
+        assert_eq!(t.padded_to(2), t, "padding to the current width is a copy");
+        // Padding preserves comparability: the padded old stamp still sits
+        // below a wider successor.
+        let wide = VectorTimestamp::from(vec![3, 2, 1, 0]);
+        assert!(t.padded_to(4).strictly_less_than(&wide));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pad")]
+    fn padded_to_rejects_truncation() {
+        let _ = VectorTimestamp::from(vec![1, 2, 3]).padded_to(2);
     }
 
     #[test]

@@ -146,18 +146,41 @@ impl TimestampingEngine {
 
     /// The current clock of a thread, padded to the current width.
     pub fn thread_clock(&self, thread: ThreadId) -> VectorTimestamp {
-        VectorTimestamp::from_components(padded(
-            self.thread_clock.get(thread.index()),
-            self.width(),
-        ))
+        padded(self.thread_clock.get(thread.index()), self.width())
     }
 
     /// The current clock of an object, padded to the current width.
     pub fn object_clock(&self, object: ObjectId) -> VectorTimestamp {
-        VectorTimestamp::from_components(padded(
-            self.object_clock.get(object.index()),
-            self.width(),
-        ))
+        padded(self.object_clock.get(object.index()), self.width())
+    }
+}
+
+impl crate::timestamper::Timestamper for TimestampingEngine {
+    fn name(&self) -> &str {
+        "timestamping-engine"
+    }
+
+    /// Observes one operation, like [`TimestampingEngine::observe`], but with
+    /// the error mapped into the unified
+    /// [`TimestampError`](crate::timestamper::TimestampError).
+    fn observe(
+        &mut self,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Result<VectorTimestamp, crate::timestamper::TimestampError> {
+        TimestampingEngine::observe(self, thread, object).map_err(Into::into)
+    }
+
+    fn width(&self) -> usize {
+        TimestampingEngine::width(self)
+    }
+
+    fn finish(&self) -> crate::timestamper::TimestampReport {
+        crate::timestamper::TimestampReport {
+            name: "timestamping-engine".to_owned(),
+            events: self.events_observed,
+            components: self.components.clone(),
+        }
     }
 }
 
@@ -178,10 +201,8 @@ fn merged(a: &[u64], b: &[u64], width: usize) -> Vec<u64> {
         .collect()
 }
 
-fn padded(v: Option<&Vec<u64>>, width: usize) -> Vec<u64> {
-    let mut out = v.cloned().unwrap_or_default();
-    out.resize(width, 0);
-    out
+fn padded(v: Option<&Vec<u64>>, width: usize) -> VectorTimestamp {
+    VectorTimestamp::from_components(v.cloned().unwrap_or_default()).padded_to(width)
 }
 
 #[cfg(test)]

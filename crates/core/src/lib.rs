@@ -18,6 +18,10 @@
 //!   is what the `mvc-online` mechanisms need.
 //! * [`analysis`] — side-by-side clock size accounting and validity checking
 //!   across thread / object / mixed / chain clocks.
+//! * [`timestamper`] — [`Timestamper`]: the unified streaming interface over
+//!   the batch replay path ([`BatchReplay`]), the incremental engine, and the
+//!   online timestampers of `mvc-online`, plus [`replay`] to drive a whole
+//!   computation through any of them.
 //!
 //! # Quickstart
 //!
@@ -45,16 +49,23 @@
 pub mod analysis;
 pub mod engine;
 pub mod offline;
+pub mod timestamper;
 
 pub use analysis::{verify_assignment, ClockSizeReport};
 pub use engine::{EngineError, TimestampingEngine};
 pub use offline::{OfflineOptimizer, OfflinePlan};
+pub use timestamper::{
+    replay, BatchReplay, TimestampError, TimestampReport, TimestampedRun, Timestamper,
+};
 
 /// Convenient re-exports of the types most applications need.
 pub mod prelude {
     pub use crate::analysis::ClockSizeReport;
     pub use crate::engine::TimestampingEngine;
     pub use crate::offline::{OfflineOptimizer, OfflinePlan};
+    pub use crate::timestamper::{
+        replay, BatchReplay, TimestampError, TimestampReport, TimestampedRun, Timestamper,
+    };
     pub use mvc_clock::{
         ClockOrd, Component, ComponentMap, MixedVectorClockAssigner, TimestampAssigner,
         VectorTimestamp,

@@ -91,6 +91,12 @@ impl OfflinePlan {
     pub fn assigner(&self) -> MixedVectorClockAssigner {
         MixedVectorClockAssigner::new(self.components.clone())
     }
+
+    /// Builds the streaming [`Timestamper`](crate::Timestamper) replaying the
+    /// batch protocol over this plan's components.
+    pub fn timestamper(&self) -> crate::BatchReplay {
+        crate::BatchReplay::new(self.components.clone())
+    }
 }
 
 /// The offline optimizer: computes an [`OfflinePlan`] for a computation or a

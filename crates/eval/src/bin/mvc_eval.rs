@@ -1,31 +1,66 @@
 //! Command-line entry point that regenerates the paper's figures.
 //!
 //! ```text
-//! mvc-eval [fig4|fig5|fig6|fig7|adaptive|all] [--trials N] [--csv DIR]
+//! mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|all] [--trials N] [--csv DIR]
+//! mvc-eval sweep [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]
 //! ```
 //!
 //! Each figure is printed as an aligned table; with `--csv DIR` the raw series
-//! are additionally written as `DIR/<figure>.csv`.
+//! are additionally written as `DIR/<figure>.csv`.  The `sweep` command runs
+//! arbitrary [`MechanismRegistry`] mechanisms — selected **by name**, never as
+//! concrete types — over a synthetic workload family (`uniform`,
+//! `nonuniform`, `producer-consumer`, `lock-striped`, `phased`, or the
+//! adversarial `star`).
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mvc_eval::{adaptive_ablation, fig4, fig5, fig6, fig7, render_csv, render_table, FigureData};
+use mvc_eval::{
+    adaptive_ablation, fig4, fig5, fig6, fig7, registry_sweep, render_csv, render_table,
+    star_sweep, FigureData,
+};
+use mvc_online::MechanismRegistry;
+use mvc_trace::WorkloadKind;
 
 const DEFAULT_TRIALS: usize = 10;
 
+#[derive(Debug)]
 struct Options {
     figures: Vec<String>,
     trials: usize,
     csv_dir: Option<PathBuf>,
+    mechanisms: Vec<String>,
+    workload: WorkloadKind,
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
+    match name {
+        "uniform" => Ok(WorkloadKind::Uniform),
+        "nonuniform" => Ok(WorkloadKind::Nonuniform {
+            hot_fraction: 0.2,
+            hot_boost: 6.0,
+        }),
+        "producer-consumer" => Ok(WorkloadKind::ProducerConsumer { queues: 4 }),
+        "lock-striped" => Ok(WorkloadKind::LockStriped {
+            cross_stripe_prob: 0.1,
+        }),
+        "phased" => Ok(WorkloadKind::Phased { phases: 4 }),
+        "star" => Ok(WorkloadKind::Star { hubs: 1 }),
+        other => Err(format!(
+            "unknown workload '{other}' (expected uniform|nonuniform|producer-consumer|\
+             lock-striped|phased|star)"
+        )),
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut figures = Vec::new();
     let mut trials = DEFAULT_TRIALS;
     let mut csv_dir = None;
+    let mut mechanisms = Vec::new();
+    let mut workload = WorkloadKind::Star { hubs: 1 };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -46,9 +81,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--csv requires a directory".to_string())?;
                 csv_dir = Some(PathBuf::from(value));
             }
+            "--mechanisms" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--mechanisms requires a comma-separated list".to_string())?;
+                let registry = MechanismRegistry::new();
+                for name in value.split(',').filter(|n| !n.is_empty()) {
+                    registry.from_name(name).map_err(|e| e.to_string())?;
+                    mechanisms.push(name.to_string());
+                }
+                if mechanisms.is_empty() {
+                    return Err("--mechanisms requires at least one name".into());
+                }
+            }
+            "--workload" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--workload requires a family name".to_string())?;
+                workload = parse_workload(value)?;
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|all] [--trials N] [--csv DIR]"
+                    "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|all] [--trials N] \
+                     [--csv DIR]\n       mvc-eval sweep [--mechanisms a,b,c] [--workload KIND] \
+                     [--trials N] [--csv DIR]"
                         .into(),
                 )
             }
@@ -62,25 +118,43 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         figures,
         trials,
         csv_dir,
+        mechanisms,
+        workload,
     })
 }
 
-fn run_figure(name: &str, trials: usize) -> Result<Vec<FigureData>, String> {
+fn run_figure(name: &str, options: &Options) -> Result<Vec<FigureData>, String> {
+    let trials = options.trials;
     match name {
         "fig4" => Ok(vec![fig4(trials)]),
         "fig5" => Ok(vec![fig5(trials)]),
         "fig6" => Ok(vec![fig6(trials)]),
         "fig7" => Ok(vec![fig7(trials)]),
         "adaptive" => Ok(vec![adaptive_ablation(trials)]),
+        "star" => Ok(vec![star_sweep(trials)]),
+        "sweep" => {
+            let names = if options.mechanisms.is_empty() {
+                MechanismRegistry::names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            } else {
+                options.mechanisms.clone()
+            };
+            registry_sweep(&names, options.workload, trials)
+                .map(|f| vec![f])
+                .map_err(|e| e.to_string())
+        }
         "all" => Ok(vec![
             fig4(trials),
             fig5(trials),
             fig6(trials),
             fig7(trials),
             adaptive_ablation(trials),
+            star_sweep(trials),
         ]),
         other => Err(format!(
-            "unknown figure '{other}' (expected fig4|fig5|fig6|fig7|adaptive|all)"
+            "unknown figure '{other}' (expected fig4|fig5|fig6|fig7|adaptive|star|sweep|all)"
         )),
     }
 }
@@ -96,7 +170,7 @@ fn main() -> ExitCode {
     };
 
     for name in &options.figures {
-        let figures = match run_figure(name, options.trials) {
+        let figures = match run_figure(name, &options) {
             Ok(f) => f,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -130,12 +204,23 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn opts(trials: usize) -> Options {
+        Options {
+            figures: vec![],
+            trials,
+            csv_dir: None,
+            mechanisms: vec![],
+            workload: WorkloadKind::Star { hubs: 1 },
+        }
+    }
+
     #[test]
     fn default_options_run_everything() {
         let o = parse_args(&[]).unwrap();
         assert_eq!(o.figures, vec!["all"]);
         assert_eq!(o.trials, DEFAULT_TRIALS);
         assert!(o.csv_dir.is_none());
+        assert!(o.mechanisms.is_empty());
     }
 
     #[test]
@@ -147,19 +232,68 @@ mod tests {
     }
 
     #[test]
+    fn sweep_options_validate_mechanisms_through_the_registry() {
+        let o = parse_args(&args(&[
+            "sweep",
+            "--mechanisms",
+            "popularity,adaptive",
+            "--workload",
+            "star",
+        ]))
+        .unwrap();
+        assert_eq!(o.figures, vec!["sweep"]);
+        assert_eq!(o.mechanisms, vec!["popularity", "adaptive"]);
+        assert_eq!(o.workload, WorkloadKind::Star { hubs: 1 });
+
+        let err = parse_args(&args(&["sweep", "--mechanisms", "quantum"])).unwrap_err();
+        assert!(err.contains("unknown mechanism 'quantum'"));
+        assert!(err.contains("popularity"), "error lists the candidates");
+    }
+
+    #[test]
+    fn workload_names_parse() {
+        for name in [
+            "uniform",
+            "nonuniform",
+            "producer-consumer",
+            "lock-striped",
+            "phased",
+            "star",
+        ] {
+            assert_eq!(parse_workload(name).unwrap().name(), name);
+        }
+        assert!(parse_workload("fractal").is_err());
+    }
+
+    #[test]
     fn invalid_arguments_are_rejected() {
         assert!(parse_args(&args(&["--trials"])).is_err());
         assert!(parse_args(&args(&["--trials", "zero"])).is_err());
         assert!(parse_args(&args(&["--trials", "0"])).is_err());
         assert!(parse_args(&args(&["--csv"])).is_err());
+        assert!(parse_args(&args(&["--mechanisms"])).is_err());
+        assert!(parse_args(&args(&["--mechanisms", ""])).is_err());
+        assert!(parse_args(&args(&["--workload"])).is_err());
         assert!(parse_args(&args(&["--help"])).is_err());
-        assert!(run_figure("fig99", 1).is_err());
+        assert!(run_figure("fig99", &opts(1)).is_err());
     }
 
     #[test]
     fn run_figure_dispatches_names() {
-        assert_eq!(run_figure("fig4", 1).unwrap().len(), 1);
-        assert_eq!(run_figure("adaptive", 1).unwrap().len(), 1);
-        assert_eq!(run_figure("all", 1).unwrap().len(), 5);
+        assert_eq!(run_figure("fig4", &opts(1)).unwrap().len(), 1);
+        assert_eq!(run_figure("adaptive", &opts(1)).unwrap().len(), 1);
+        assert_eq!(run_figure("star", &opts(1)).unwrap().len(), 1);
+        assert_eq!(run_figure("all", &opts(1)).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn sweep_defaults_to_every_registry_mechanism() {
+        let figures = run_figure("sweep", &opts(1)).unwrap();
+        assert_eq!(figures.len(), 1);
+        // Every registry mechanism plus the offline-optimal reference.
+        assert_eq!(
+            figures[0].series.len(),
+            MechanismRegistry::names().len() + 1
+        );
     }
 }

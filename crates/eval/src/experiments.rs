@@ -1,8 +1,13 @@
-//! Figure drivers: one function per figure of the paper's evaluation.
+//! Figure drivers: one function per figure of the paper's evaluation, plus
+//! the registry sweep over synthetic workload families (including the
+//! adversarial star stream).
 
 use serde::{Deserialize, Serialize};
 
+use mvc_core::{replay, OfflineOptimizer};
 use mvc_graph::GraphScenario;
+use mvc_online::{MechanismRegistry, OnlineTimestamper, UnknownMechanismError};
+use mvc_trace::{WorkloadBuilder, WorkloadKind};
 
 use crate::runner::{average_size, AlgorithmKind, DataPoint, SweepConfig};
 
@@ -79,7 +84,7 @@ fn density_sweep_series(
 ) -> Vec<Series> {
     let mut series = Vec::new();
     for &scenario in scenarios {
-        for &alg in algorithms {
+        for alg in algorithms {
             let points = DENSITY_SWEEP
                 .iter()
                 .map(|&density| {
@@ -109,7 +114,7 @@ fn node_sweep_series(
 ) -> Vec<Series> {
     let mut series = Vec::new();
     for &scenario in scenarios {
-        for &alg in algorithms {
+        for alg in algorithms {
             let points = NODE_SWEEP
                 .iter()
                 .map(|&nodes| {
@@ -143,8 +148,8 @@ pub fn fig4(trials: usize) -> FigureData {
         series: density_sweep_series(
             &[
                 AlgorithmKind::NaiveThreads,
-                AlgorithmKind::Random,
-                AlgorithmKind::Popularity,
+                AlgorithmKind::online("random"),
+                AlgorithmKind::online("popularity"),
             ],
             &[GraphScenario::Uniform, GraphScenario::default_nonuniform()],
             trials,
@@ -163,8 +168,8 @@ pub fn fig5(trials: usize) -> FigureData {
         series: node_sweep_series(
             &[
                 AlgorithmKind::NaiveThreads,
-                AlgorithmKind::Random,
-                AlgorithmKind::Popularity,
+                AlgorithmKind::online("random"),
+                AlgorithmKind::online("popularity"),
             ],
             &[GraphScenario::Uniform, GraphScenario::default_nonuniform()],
             trials,
@@ -183,7 +188,7 @@ pub fn fig6(trials: usize) -> FigureData {
         series: density_sweep_series(
             &[
                 AlgorithmKind::OfflineOptimal,
-                AlgorithmKind::Popularity,
+                AlgorithmKind::online("popularity"),
                 AlgorithmKind::NaiveThreads,
             ],
             &[GraphScenario::Uniform],
@@ -203,7 +208,7 @@ pub fn fig7(trials: usize) -> FigureData {
         series: node_sweep_series(
             &[
                 AlgorithmKind::OfflineOptimal,
-                AlgorithmKind::Popularity,
+                AlgorithmKind::online("popularity"),
                 AlgorithmKind::NaiveThreads,
             ],
             &[GraphScenario::Uniform],
@@ -223,14 +228,120 @@ pub fn adaptive_ablation(trials: usize) -> FigureData {
         y_label: "final vector clock size".into(),
         series: node_sweep_series(
             &[
-                AlgorithmKind::Adaptive,
-                AlgorithmKind::Popularity,
+                AlgorithmKind::online("adaptive"),
+                AlgorithmKind::online("popularity"),
                 AlgorithmKind::NaiveThreads,
             ],
             &[GraphScenario::default_nonuniform()],
             trials,
         ),
     }
+}
+
+/// Operations generated per side-node in the registry workload sweep; enough
+/// for the round-robin star to reach every thread several times.
+const SWEEP_OPS_PER_NODE: usize = 4;
+
+/// Sweeps registry mechanisms (by name) over a synthetic workload family,
+/// driving each through the **full** unified timestamping pipeline — a
+/// `Box<dyn OnlineMechanism>` inside an [`OnlineTimestamper`], with the
+/// final size taken from the [`TimestampReport`](mvc_core::TimestampReport)
+/// — rather than the decision-only simulation the graph figures use.  An
+/// `offline-optimal` reference series over the same computations is appended.
+///
+/// The x axis is the thread count per side over [`NODE_SWEEP`].
+///
+/// # Errors
+///
+/// Returns [`UnknownMechanismError`] (before measuring anything) when a name
+/// is not in the [`MechanismRegistry`].
+pub fn registry_sweep(
+    mechanisms: &[String],
+    kind: WorkloadKind,
+    trials: usize,
+) -> Result<FigureData, UnknownMechanismError> {
+    assert!(trials > 0, "at least one trial is required");
+    let registry = MechanismRegistry::new();
+    for name in mechanisms {
+        registry.from_name(name)?;
+    }
+
+    let measure = |sizes: &[usize], nodes: usize| DataPoint {
+        x: nodes as f64,
+        mean_size: sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
+        min_size: *sizes.iter().min().expect("trials > 0"),
+        max_size: *sizes.iter().max().expect("trials > 0"),
+    };
+
+    // One series per requested mechanism plus the offline-optimal reference;
+    // each (nodes, trial) computation is generated once and shared by all of
+    // them, so every series really measures the same computations.
+    let offline_index = mechanisms.len();
+    let mut sizes = vec![vec![Vec::with_capacity(trials); NODE_SWEEP.len()]; mechanisms.len() + 1];
+    for (node_index, &nodes) in NODE_SWEEP.iter().enumerate() {
+        for trial in 0..trials {
+            let c = WorkloadBuilder::new(nodes, nodes)
+                .operations(nodes * SWEEP_OPS_PER_NODE)
+                .kind(kind)
+                .seed(trial as u64)
+                .build();
+            for (mechanism_index, name) in mechanisms.iter().enumerate() {
+                let mechanism = registry
+                    .clone()
+                    .seed(crate::runner::mechanism_seed(trial as u64))
+                    .from_name(name)
+                    .expect("validated above");
+                let mut timestamper = OnlineTimestamper::new(mechanism);
+                let run = replay(&mut timestamper, &c)
+                    .expect("registry mechanisms honor the endpoint contract");
+                sizes[mechanism_index][node_index].push(run.report.clock_size());
+            }
+            sizes[offline_index][node_index].push(
+                OfflineOptimizer::new()
+                    .plan_for_computation(&c)
+                    .clock_size(),
+            );
+        }
+    }
+
+    let series_names = mechanisms
+        .iter()
+        .cloned()
+        .chain(std::iter::once("offline-optimal".to_owned()));
+    let series = series_names
+        .zip(sizes)
+        .map(|(name, per_node)| Series {
+            name,
+            points: per_node
+                .iter()
+                .zip(NODE_SWEEP)
+                .map(|(sizes, &nodes)| measure(sizes, nodes))
+                .collect(),
+        })
+        .collect();
+
+    Ok(FigureData {
+        id: format!("sweep-{}", kind.name()),
+        title: format!(
+            "Registry mechanisms on the {} workload (full pipeline)",
+            kind.name()
+        ),
+        x_label: "threads per side".into(),
+        y_label: "final vector clock size".into(),
+        series,
+    })
+}
+
+/// The adversarial lower-bound sweep: every registry mechanism on the
+/// single-hub [`WorkloadKind::Star`] stream, where naive-threads degenerates
+/// to one component per thread while the optimum stays at 1.
+pub fn star_sweep(trials: usize) -> FigureData {
+    let names: Vec<String> = MechanismRegistry::names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    registry_sweep(&names, WorkloadKind::Star { hubs: 1 }, trials)
+        .expect("registry names are always valid")
 }
 
 #[cfg(test)]
@@ -311,6 +422,52 @@ mod tests {
                 n.mean_size,
                 a.x
             );
+        }
+    }
+
+    #[test]
+    fn star_sweep_shows_the_lower_bound_gap() {
+        let f = star_sweep(2);
+        assert_eq!(f.id, "sweep-star");
+        let naive = f.series_named("naive-threads").unwrap();
+        let popularity = f.series_named("popularity").unwrap();
+        let adaptive = f.series_named("adaptive").unwrap();
+        let offline = f.series_named("offline-optimal").unwrap();
+        for (i, &nodes) in NODE_SWEEP.iter().enumerate() {
+            assert_eq!(
+                offline.points[i].mean_size, 1.0,
+                "one hub covers the whole star"
+            );
+            assert_eq!(
+                naive.points[i].mean_size, nodes as f64,
+                "naive-threads pays one component per thread"
+            );
+            assert!(
+                popularity.points[i].mean_size <= 2.0,
+                "popularity must converge on the hub"
+            );
+            assert!(adaptive.points[i].mean_size <= 2.0);
+        }
+    }
+
+    #[test]
+    fn registry_sweep_rejects_unknown_names_before_measuring() {
+        let err = registry_sweep(&["warp-drive".to_string()], WorkloadKind::Uniform, 1)
+            .err()
+            .unwrap();
+        assert_eq!(err.name, "warp-drive");
+    }
+
+    #[test]
+    fn registry_sweep_works_on_any_workload_family() {
+        let names = vec!["popularity".to_string()];
+        let f = registry_sweep(&names, WorkloadKind::Uniform, 1).unwrap();
+        assert_eq!(f.id, "sweep-uniform");
+        assert_eq!(f.series.len(), 2, "requested mechanism + offline reference");
+        let pop = f.series_named("popularity").unwrap();
+        let offline = f.series_named("offline-optimal").unwrap();
+        for (p, o) in pop.points.iter().zip(offline.points.iter()) {
+            assert!(p.mean_size >= o.mean_size, "online below offline optimum");
         }
     }
 

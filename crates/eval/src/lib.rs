@@ -14,6 +14,14 @@
 //! | [`experiments::fig6`] | density, 50+50 nodes | Offline optimal, Popularity, Naive | Fig. 6 |
 //! | [`experiments::fig7`] | nodes/side, density 0.05 | Offline optimal, Popularity, Naive | Fig. 7 |
 //! | [`experiments::adaptive_ablation`] | nodes/side, density 0.05 | Adaptive vs its ingredients | §V last paragraph |
+//! | [`experiments::star_sweep`] | nodes/side, star workload | every registry mechanism | §IV lower bound |
+//!
+//! Mechanisms are selected **by name** through
+//! [`MechanismRegistry`](mvc_online::MechanismRegistry) — the harness holds
+//! no concrete mechanism types — and [`experiments::registry_sweep`] sweeps
+//! any registry subset over any synthetic workload family (including the
+//! adversarial [`WorkloadKind::Star`](mvc_trace::WorkloadKind) stream)
+//! through the full unified timestamping pipeline.
 //!
 //! Every data point is averaged over a configurable number of seeds; graphs,
 //! reveal orders and random mechanisms are all seeded, so a report is
@@ -27,6 +35,8 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use experiments::{adaptive_ablation, fig4, fig5, fig6, fig7, FigureData, Series};
+pub use experiments::{
+    adaptive_ablation, fig4, fig5, fig6, fig7, registry_sweep, star_sweep, FigureData, Series,
+};
 pub use report::{render_csv, render_table};
-pub use runner::{average_size, AlgorithmKind, DataPoint, SweepConfig};
+pub use runner::{average_size, single_run, AlgorithmKind, DataPoint, SweepConfig};

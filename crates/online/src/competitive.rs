@@ -10,7 +10,7 @@
 //! revealed so far — which the ablation experiments use to show where a
 //! mechanism falls behind.
 
-use mvc_clock::Component;
+use mvc_clock::ComponentMap;
 use mvc_core::OfflineOptimizer;
 use mvc_graph::BipartiteGraph;
 use mvc_trace::{ObjectId, ThreadId};
@@ -76,8 +76,7 @@ impl CompetitiveReport {
 pub struct CompetitiveTracker<M> {
     mechanism: M,
     revealed: BipartiteGraph,
-    covered_threads: std::collections::HashSet<usize>,
-    covered_objects: std::collections::HashSet<usize>,
+    components: ComponentMap,
     trajectory: Vec<TrajectoryPoint>,
 }
 
@@ -87,15 +86,14 @@ impl<M: OnlineMechanism> CompetitiveTracker<M> {
         Self {
             mechanism,
             revealed: BipartiteGraph::new(0, 0),
-            covered_threads: std::collections::HashSet::new(),
-            covered_objects: std::collections::HashSet::new(),
+            components: ComponentMap::new(),
             trajectory: Vec::new(),
         }
     }
 
     /// Current online clock size.
     pub fn online_size(&self) -> usize {
-        self.covered_threads.len() + self.covered_objects.len()
+        self.components.len()
     }
 
     /// Reveals one event.  A trajectory point is appended only when the event
@@ -107,13 +105,9 @@ impl<M: OnlineMechanism> CompetitiveTracker<M> {
         if !is_new {
             return;
         }
-        if !self.covered_threads.contains(&thread.index())
-            && !self.covered_objects.contains(&object.index())
-        {
-            match self.mechanism.choose(&self.revealed, thread, object) {
-                Component::Thread(t) => self.covered_threads.insert(t.index()),
-                Component::Object(o) => self.covered_objects.insert(o.index()),
-            };
+        if !self.components.contains_thread(thread) && !self.components.contains_object(object) {
+            self.components
+                .push(self.mechanism.choose(&self.revealed, thread, object));
         }
         let offline_optimum = OfflineOptimizer::new()
             .plan_for_graph(self.revealed.clone())

@@ -19,17 +19,28 @@
 //!
 //! The [`OnlineTimestamper`] couples any mechanism with the incremental
 //! [`TimestampingEngine`](mvc_core::TimestampingEngine), so the chosen
-//! components immediately drive real timestamps; [`simulate_final_size`]
-//! replays only the component-selection decision over an edge stream, which
-//! is what the evaluation figures need.
+//! components immediately drive real timestamps, and implements the unified
+//! [`Timestamper`](mvc_core::Timestamper) trait so harnesses can swap it for
+//! the batch replay path or the raw engine; [`simulate_final_size`] replays
+//! only the component-selection decision over an edge stream, which is what
+//! the evaluation figures need.
+//!
+//! [`OnlineMechanism`] is dyn-compatible, and the [`MechanismRegistry`]
+//! builds any of the paper's mechanisms as a `Box<dyn OnlineMechanism>` from
+//! its stable name, so sweeps are configured with strings instead of type
+//! lists.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod competitive;
 pub mod mechanism;
+pub mod registry;
 pub mod timestamper;
 
 pub use competitive::{CompetitiveReport, CompetitiveTracker, TrajectoryPoint};
 pub use mechanism::{Adaptive, Naive, NaiveSide, OnlineMechanism, Popularity, Random};
-pub use timestamper::{simulate_final_size, MechanismStats, OnlineRun, OnlineTimestamper};
+pub use registry::{mechanism_from_name, MechanismRegistry, UnknownMechanismError};
+pub use timestamper::{
+    simulate_components, simulate_final_size, MechanismStats, OnlineRun, OnlineTimestamper,
+};

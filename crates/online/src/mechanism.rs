@@ -16,12 +16,37 @@ use mvc_trace::{ObjectId, ThreadId};
 ///
 /// `graph` is the thread–object bipartite graph of the computation revealed
 /// so far, *including* the edge of the current event.
+///
+/// The trait is dyn-compatible: every driver in the workspace accepts
+/// `Box<dyn OnlineMechanism>`, so mechanisms can be selected by name at
+/// runtime through the [`MechanismRegistry`](crate::MechanismRegistry)
+/// instead of being enumerated as concrete types.
 pub trait OnlineMechanism {
     /// A short, stable name for reports.
     fn name(&self) -> &'static str;
 
     /// Chooses which endpoint of the uncovered event becomes a component.
     fn choose(&mut self, graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component;
+}
+
+impl<M: OnlineMechanism + ?Sized> OnlineMechanism for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn choose(&mut self, graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component {
+        (**self).choose(graph, thread, object)
+    }
+}
+
+impl<M: OnlineMechanism + ?Sized> OnlineMechanism for &mut M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn choose(&mut self, graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component {
+        (**self).choose(graph, thread, object)
+    }
 }
 
 /// Which side the [`Naive`] mechanism always chooses.

@@ -3,12 +3,15 @@
 //! [`OnlineTimestamper`] is the full pipeline — it maintains the revealed
 //! thread–object graph, asks the mechanism for a new component whenever an
 //! uncovered event arrives, and produces a real timestamp for every event via
-//! the incremental [`TimestampingEngine`].  [`simulate_final_size`] is the
-//! lightweight variant used by the evaluation figures, which only need the
-//! final clock size for a stream of revealed edges.
+//! the incremental [`TimestampingEngine`].  It implements the unified
+//! [`Timestamper`] trait, so harnesses can drive it interchangeably with the
+//! batch replay path and the raw engine.  [`simulate_final_size`] replays
+//! only the component-selection decisions over an edge-reveal stream — the
+//! lightweight variant the evaluation figures need — using the same
+//! [`ComponentMap`] cover tracking as the full pipeline.
 
-use mvc_clock::{Component, VectorTimestamp};
-use mvc_core::TimestampingEngine;
+use mvc_clock::{Component, ComponentMap, VectorTimestamp};
+use mvc_core::{replay, TimestampError, TimestampReport, Timestamper, TimestampingEngine};
 use mvc_graph::BipartiteGraph;
 use mvc_trace::{Computation, ObjectId, ThreadId};
 
@@ -19,14 +22,15 @@ use crate::mechanism::OnlineMechanism;
 pub struct MechanismStats {
     /// Number of events observed.
     pub events: usize,
-    /// Number of thread components added.
+    /// Number of thread components added by the mechanism.
     pub thread_components: usize,
-    /// Number of object components added.
+    /// Number of object components added by the mechanism.
     pub object_components: usize,
 }
 
 impl MechanismStats {
-    /// Final size of the online mixed vector clock.
+    /// Number of components the mechanism added (for a timestamper started
+    /// empty, the final size of the online mixed vector clock).
     pub fn clock_size(&self) -> usize {
         self.thread_components + self.object_components
     }
@@ -51,11 +55,22 @@ pub struct OnlineTimestamper<M> {
 }
 
 impl<M: OnlineMechanism> OnlineTimestamper<M> {
-    /// Creates an online timestamper around a mechanism.
+    /// Creates an online timestamper around a mechanism, starting from an
+    /// empty component set.
     pub fn new(mechanism: M) -> Self {
+        Self::with_components(mechanism, ComponentMap::new())
+    }
+
+    /// Creates an online timestamper warm-started with an existing component
+    /// map (e.g. one computed by the offline optimizer for the part of the
+    /// computation already known).  The mechanism is only consulted for
+    /// events the seeded components do not cover;
+    /// [`stats`](OnlineTimestamper::stats) counts the mechanism's additions,
+    /// not the seeded components.
+    pub fn with_components(mechanism: M, components: ComponentMap) -> Self {
         Self {
             mechanism,
-            engine: TimestampingEngine::new(),
+            engine: TimestampingEngine::with_components(components),
             revealed: BipartiteGraph::new(0, 0),
             stats: MechanismStats::default(),
         }
@@ -86,23 +101,44 @@ impl<M: OnlineMechanism> OnlineTimestamper<M> {
         &self.engine
     }
 
-    /// Observes one operation: reveals its edge, adds a component if the
-    /// operation is not covered, and returns its timestamp.
-    pub fn observe(&mut self, thread: ThreadId, object: ObjectId) -> VectorTimestamp {
+    /// Observes one operation: reveals its edge, asks the mechanism for a
+    /// component if the operation is not covered, and returns its timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimestampError::RogueComponent`] when the mechanism violates
+    /// its contract and chooses a component covering neither endpoint.  The
+    /// rogue component is discarded and neither the clock nor the stats
+    /// change (the event's edge stays revealed — it genuinely was observed —
+    /// but re-revealing it on a retry is a no-op), so the call is safe to
+    /// retry.
+    pub fn observe(
+        &mut self,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Result<VectorTimestamp, TimestampError> {
         self.revealed
             .add_edge_growing(thread.index(), object.index());
         if !self.engine.covers(thread, object) {
             let component = self.mechanism.choose(&self.revealed, thread, object);
+            let covers_event =
+                component == Component::Thread(thread) || component == Component::Object(object);
+            if !covers_event {
+                return Err(TimestampError::RogueComponent {
+                    thread,
+                    object,
+                    component,
+                });
+            }
             match component {
                 Component::Thread(_) => self.stats.thread_components += 1,
                 Component::Object(_) => self.stats.object_components += 1,
             }
             self.engine.add_component(component);
         }
+        let stamp = self.engine.observe(thread, object)?;
         self.stats.events += 1;
-        self.engine
-            .observe(thread, object)
-            .expect("event is covered after adding a component for it")
+        Ok(stamp)
     }
 
     /// Replays a whole computation in append order.
@@ -112,54 +148,79 @@ impl<M: OnlineMechanism> OnlineTimestamper<M> {
     /// returned timestamps are all padded to the final clock width (missing
     /// components are zero, which is exactly the value those counters held at
     /// the time), so they can be compared directly.
-    pub fn run(mut self, computation: &Computation) -> OnlineRun {
-        let raw: Vec<VectorTimestamp> = computation
-            .events()
-            .map(|e| self.observe(e.thread, e.object))
-            .collect();
-        let width = self.engine.width();
-        let timestamps = raw
-            .into_iter()
-            .map(|t| {
-                let mut v = t.as_slice().to_vec();
-                v.resize(width, 0);
-                VectorTimestamp::from_components(v)
-            })
-            .collect();
-        OnlineRun {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TimestampError`] an observation reports (see
+    /// [`OnlineTimestamper::observe`]).
+    pub fn run(mut self, computation: &Computation) -> Result<OnlineRun, TimestampError> {
+        let timestamps = replay(&mut self, computation)?.timestamps;
+        Ok(OnlineRun {
             timestamps,
             stats: self.stats,
+        })
+    }
+}
+
+impl<M: OnlineMechanism> Timestamper for OnlineTimestamper<M> {
+    fn name(&self) -> &str {
+        self.mechanism.name()
+    }
+
+    fn observe(
+        &mut self,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Result<VectorTimestamp, TimestampError> {
+        OnlineTimestamper::observe(self, thread, object)
+    }
+
+    fn width(&self) -> usize {
+        self.engine.width()
+    }
+
+    fn finish(&self) -> TimestampReport {
+        TimestampReport {
+            name: self.mechanism.name().to_owned(),
+            events: self.stats.events,
+            components: self.engine.components().clone(),
         }
     }
 }
 
 /// Replays only the component-selection decisions over an edge-reveal stream
-/// and returns the final clock size.
+/// and returns the selected components.
 ///
 /// `edges` is the order in which distinct `(thread, object)` pairs are first
 /// revealed (repeat occurrences of a pair never trigger a decision, so they
-/// can be omitted).  This is the quantity plotted on the y-axis of Figures
-/// 4–7.
-pub fn simulate_final_size<M: OnlineMechanism>(
+/// can be omitted).  The cover bookkeeping is the same [`ComponentMap`] the
+/// full timestamping pipeline uses — only the engine's vector arithmetic is
+/// skipped.
+pub fn simulate_components<M: OnlineMechanism + ?Sized>(
+    mechanism: &mut M,
+    edges: &[(usize, usize)],
+) -> ComponentMap {
+    let mut revealed = BipartiteGraph::new(0, 0);
+    let mut components = ComponentMap::new();
+    for &(t, o) in edges {
+        revealed.add_edge_growing(t, o);
+        let (thread, object) = (ThreadId(t), ObjectId(o));
+        if components.contains_thread(thread) || components.contains_object(object) {
+            continue;
+        }
+        components.push(mechanism.choose(&revealed, thread, object));
+    }
+    components
+}
+
+/// Replays only the component-selection decisions over an edge-reveal stream
+/// and returns the final clock size — the quantity plotted on the y-axis of
+/// Figures 4–7.  See [`simulate_components`].
+pub fn simulate_final_size<M: OnlineMechanism + ?Sized>(
     mechanism: &mut M,
     edges: &[(usize, usize)],
 ) -> usize {
-    let mut revealed = BipartiteGraph::new(0, 0);
-    let mut covered_threads = std::collections::HashSet::new();
-    let mut covered_objects = std::collections::HashSet::new();
-    let mut size = 0usize;
-    for &(t, o) in edges {
-        revealed.add_edge_growing(t, o);
-        if covered_threads.contains(&t) || covered_objects.contains(&o) {
-            continue;
-        }
-        match mechanism.choose(&revealed, ThreadId(t), ObjectId(o)) {
-            Component::Thread(id) => covered_threads.insert(id.index()),
-            Component::Object(id) => covered_objects.insert(id.index()),
-        };
-        size += 1;
-    }
-    size
+    simulate_components(mechanism, edges).len()
 }
 
 #[cfg(test)]
@@ -167,6 +228,7 @@ mod tests {
     use super::*;
     use crate::mechanism::{Adaptive, Naive, NaiveSide, Popularity, Random};
     use mvc_clock::validate::satisfies_vector_clock_condition;
+    use mvc_clock::TimestampAssigner;
     use mvc_core::OfflineOptimizer;
     use mvc_graph::{GraphScenario, RandomGraphBuilder};
     use mvc_trace::{WorkloadBuilder, WorkloadKind};
@@ -175,7 +237,7 @@ mod tests {
     #[test]
     fn naive_threads_equals_active_thread_count() {
         let c = WorkloadBuilder::new(10, 10).operations(200).seed(1).build();
-        let run = OnlineTimestamper::new(Naive::threads()).run(&c);
+        let run = OnlineTimestamper::new(Naive::threads()).run(&c).unwrap();
         assert_eq!(run.stats.clock_size(), c.thread_count());
         assert_eq!(run.stats.object_components, 0);
         assert_eq!(run.stats.events, c.len());
@@ -184,7 +246,7 @@ mod tests {
     #[test]
     fn naive_objects_equals_active_object_count() {
         let c = WorkloadBuilder::new(10, 10).operations(200).seed(2).build();
-        let run = OnlineTimestamper::new(Naive::objects()).run(&c);
+        let run = OnlineTimestamper::new(Naive::objects()).run(&c).unwrap();
         assert_eq!(run.stats.clock_size(), c.object_count());
         assert_eq!(run.stats.thread_components, 0);
     }
@@ -201,15 +263,23 @@ mod tests {
             .build();
         let oracle = c.causality_oracle();
         let runs: Vec<(&str, OnlineRun)> = vec![
-            ("naive", OnlineTimestamper::new(Naive::threads()).run(&c)),
-            ("random", OnlineTimestamper::new(Random::seeded(7)).run(&c)),
+            (
+                "naive",
+                OnlineTimestamper::new(Naive::threads()).run(&c).unwrap(),
+            ),
+            (
+                "random",
+                OnlineTimestamper::new(Random::seeded(7)).run(&c).unwrap(),
+            ),
             (
                 "popularity",
-                OnlineTimestamper::new(Popularity::new()).run(&c),
+                OnlineTimestamper::new(Popularity::new()).run(&c).unwrap(),
             ),
             (
                 "adaptive",
-                OnlineTimestamper::new(Adaptive::with_paper_thresholds()).run(&c),
+                OnlineTimestamper::new(Adaptive::with_paper_thresholds())
+                    .run(&c)
+                    .unwrap(),
             ),
         ];
         for (name, run) in runs {
@@ -231,9 +301,11 @@ mod tests {
                 .plan_for_computation(&c)
                 .clock_size();
             for run in [
-                OnlineTimestamper::new(Popularity::new()).run(&c),
-                OnlineTimestamper::new(Random::seeded(seed)).run(&c),
-                OnlineTimestamper::new(Naive::threads()).run(&c),
+                OnlineTimestamper::new(Popularity::new()).run(&c).unwrap(),
+                OnlineTimestamper::new(Random::seeded(seed))
+                    .run(&c)
+                    .unwrap(),
+                OnlineTimestamper::new(Naive::threads()).run(&c).unwrap(),
             ] {
                 assert!(
                     run.stats.clock_size() >= optimal,
@@ -246,17 +318,78 @@ mod tests {
     #[test]
     fn observe_reveals_edges_and_grows_clock() {
         let mut ts = OnlineTimestamper::new(Popularity::new());
-        let a = ts.observe(ThreadId(0), ObjectId(0));
+        let a = ts.observe(ThreadId(0), ObjectId(0)).unwrap();
         assert_eq!(ts.clock_size(), 1);
         assert_eq!(a.len(), 1);
         // Covered event does not add a component.
-        let b = ts.observe(ThreadId(5), ObjectId(0));
+        let b = ts.observe(ThreadId(5), ObjectId(0)).unwrap();
         assert_eq!(ts.clock_size(), 1);
         assert!(a.strictly_less_than(&b));
         assert_eq!(ts.revealed_graph().edge_count(), 2);
         assert_eq!(ts.stats().events, 2);
         assert_eq!(ts.engine().events_observed(), 2);
         assert_eq!(ts.mechanism().name(), "popularity");
+    }
+
+    /// A contract-violating mechanism: promotes a thread unrelated to the
+    /// uncovered event.
+    struct Rogue;
+
+    impl OnlineMechanism for Rogue {
+        fn name(&self) -> &'static str {
+            "rogue"
+        }
+
+        fn choose(
+            &mut self,
+            _graph: &BipartiteGraph,
+            thread: ThreadId,
+            _object: ObjectId,
+        ) -> Component {
+            Component::Thread(ThreadId(thread.index() + 1000))
+        }
+    }
+
+    #[test]
+    fn uncovered_event_surfaces_as_error_not_panic() {
+        let mut ts = OnlineTimestamper::new(Rogue);
+        let err = ts.observe(ThreadId(0), ObjectId(0)).unwrap_err();
+        assert_eq!(
+            err,
+            TimestampError::RogueComponent {
+                thread: ThreadId(0),
+                object: ObjectId(0),
+                component: Component::Thread(ThreadId(1000)),
+            }
+        );
+        assert_eq!(ts.stats().events, 0, "failed observation must not count");
+        assert_eq!(ts.clock_size(), 0, "the rogue component is discarded");
+        assert_eq!(
+            ts.stats().clock_size(),
+            0,
+            "stats stay in step with the clock"
+        );
+        // Retrying is safe and reports the same error again.
+        assert_eq!(ts.observe(ThreadId(0), ObjectId(0)).unwrap_err(), err);
+        assert_eq!(ts.clock_size(), 0);
+        // The run API propagates the same error.
+        let mut c = Computation::new();
+        c.record(ThreadId(0), ObjectId(0));
+        let err = OnlineTimestamper::new(Rogue).run(&c).unwrap_err();
+        assert!(matches!(err, TimestampError::RogueComponent { .. }));
+        assert!(err.to_string().contains("T1000"));
+    }
+
+    #[test]
+    fn warm_started_timestamper_skips_the_mechanism_for_covered_events() {
+        let c = WorkloadBuilder::new(6, 6).operations(80).seed(17).build();
+        let plan = OfflineOptimizer::new().plan_for_computation(&c);
+        let run = OnlineTimestamper::with_components(Rogue, plan.components().clone())
+            .run(&c)
+            .expect("every event is covered by the seeded plan");
+        assert_eq!(run.timestamps, plan.assigner().assign(&c));
+        let stats = OnlineTimestamper::with_components(Rogue, plan.components().clone()).stats();
+        assert_eq!(stats.clock_size(), 0, "stats count mechanism additions");
     }
 
     #[test]
@@ -269,12 +402,27 @@ mod tests {
         let c = mvc_trace::generator::computation_from_edge_stream(&stream);
 
         let sim = simulate_final_size(&mut Popularity::new(), &stream);
-        let full = OnlineTimestamper::new(Popularity::new()).run(&c);
+        let full = OnlineTimestamper::new(Popularity::new()).run(&c).unwrap();
         assert_eq!(sim, full.stats.clock_size());
 
         let sim_naive = simulate_final_size(&mut Naive::threads(), &stream);
-        let full_naive = OnlineTimestamper::new(Naive::threads()).run(&c);
+        let full_naive = OnlineTimestamper::new(Naive::threads()).run(&c).unwrap();
         assert_eq!(sim_naive, full_naive.stats.clock_size());
+    }
+
+    #[test]
+    fn simulate_components_match_full_run_component_map() {
+        let (_, stream) = RandomGraphBuilder::new(20, 20)
+            .density(0.1)
+            .seed(8)
+            .build_edge_stream();
+        let c = mvc_trace::generator::computation_from_edge_stream(&stream);
+        let sim = simulate_components(&mut Popularity::new(), &stream);
+        let mut full = OnlineTimestamper::new(Popularity::new());
+        for e in c.events() {
+            full.observe(e.thread, e.object).unwrap();
+        }
+        assert_eq!(&sim, full.engine().components());
     }
 
     #[test]
@@ -282,6 +430,13 @@ mod tests {
         let edges = vec![(0, 0), (0, 0), (1, 0), (1, 0)];
         let size = simulate_final_size(&mut Naive::threads(), &edges);
         assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn simulate_accepts_dyn_mechanisms() {
+        let mut boxed = crate::registry::mechanism_from_name("popularity").unwrap();
+        let size = simulate_final_size(boxed.as_mut(), &[(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(size, 1);
     }
 
     #[test]
@@ -298,6 +453,22 @@ mod tests {
         assert_eq!(adaptive_size, naive_size);
     }
 
+    #[test]
+    fn timestamper_trait_reports_the_online_run() {
+        let c = WorkloadBuilder::new(5, 5).operations(60).seed(9).build();
+        let mut ts = OnlineTimestamper::new(Popularity::new());
+        let run = replay(&mut ts, &c).unwrap();
+        assert_eq!(run.report.name, "popularity");
+        assert_eq!(run.report.events, c.len());
+        assert_eq!(run.report.clock_size(), ts.clock_size());
+        assert_eq!(
+            run.report.thread_components() + run.report.object_components(),
+            ts.stats().clock_size()
+        );
+        assert_eq!(Timestamper::width(&ts), ts.clock_size());
+        assert_eq!(Timestamper::name(&ts), "popularity");
+    }
+
     proptest! {
         /// Whatever the mechanism decides, the selected components always form a
         /// vertex cover of the revealed graph, so the online clock is valid.
@@ -311,7 +482,7 @@ mod tests {
             let c = WorkloadBuilder::new(threads, objects).operations(ops).seed(seed).build();
             let mut ts = OnlineTimestamper::new(Random::seeded(seed));
             for e in c.events() {
-                ts.observe(e.thread, e.object);
+                ts.observe(e.thread, e.object).unwrap();
             }
             let map = ts.engine().components().clone();
             for e in c.events() {
@@ -329,7 +500,7 @@ mod tests {
             seed in 0u64..100,
         ) {
             let c = WorkloadBuilder::new(threads, objects).operations(ops).seed(seed).build();
-            let run = OnlineTimestamper::new(Popularity::new()).run(&c);
+            let run = OnlineTimestamper::new(Popularity::new()).run(&c).unwrap();
             let oracle = c.causality_oracle();
             prop_assert!(satisfies_vector_clock_condition(&c, &run.timestamps, &oracle));
         }

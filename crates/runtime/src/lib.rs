@@ -11,6 +11,9 @@
 //!   Each operation is recorded while the object's lock is held, so the
 //!   per-object order in the trace is exactly the serialization order the
 //!   paper's model assumes.
+//! * [`live`] — [`LiveSession`]: the same session switched into live mode,
+//!   where any [`Timestamper`](mvc_core::Timestamper) stamps events as they
+//!   drain from the channel instead of waiting for a post-hoc batch replay.
 //! * [`object`] — [`SharedObject<T>`]: a value behind a `parking_lot` mutex
 //!   whose reads and writes are traced.
 //! * [`monitor`] — [`OnlineMonitor`]: a thread-safe live causality monitor
@@ -41,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod conflict;
+pub mod live;
 pub mod monitor;
 pub mod object;
 pub mod session;
 
 pub use conflict::{ConflictAnalyzer, ConflictPair};
+pub use live::{LiveRun, LiveSession};
 pub use monitor::OnlineMonitor;
 pub use object::SharedObject;
 pub use session::{ThreadHandle, TraceSession};

@@ -1,0 +1,372 @@
+//! Live timestamping: events are stamped as they drain from the channel.
+//!
+//! A plain [`TraceSession`] only *collects* a [`Computation`] for later
+//! batch processing.
+//! [`LiveSession`] attaches any [`Timestamper`] to the same event channel, so
+//! operations receive their mixed-clock timestamps while the program is still
+//! running — the streaming half of the unified timestamping API.  Because the
+//! session records the drained interleaving as a computation at the same
+//! time, a live run can always be cross-checked against a post-hoc batch
+//! replay of the identical event order.
+//!
+//! ```
+//! use mvc_runtime::TraceSession;
+//! use mvc_online::{OnlineTimestamper, Popularity};
+//!
+//! let session = TraceSession::new();
+//! let worker = session.register_thread("worker");
+//! let counter = session.shared_object("counter", 0u64);
+//!
+//! // Switch into live mode; the traced operations below are timestamped as
+//! // they are pumped out of the channel.
+//! let mut live = session.live(OnlineTimestamper::new(Popularity::new()));
+//! counter.write(&worker, |v| *v += 1);
+//! counter.read(&worker, |v| *v);
+//! live.pump().unwrap();
+//! assert_eq!(live.timestamps().len(), 2);
+//!
+//! let run = live.finish().unwrap();
+//! assert_eq!(run.computation.len(), 2);
+//! assert!(run.timestamps[0].strictly_less_than(&run.timestamps[1]));
+//! ```
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+
+use mvc_clock::VectorTimestamp;
+use mvc_core::{TimestampError, TimestampReport, Timestamper};
+use mvc_trace::Computation;
+
+use crate::session::{RawEvent, SessionInner, ThreadHandle, TraceSession};
+use crate::SharedObject;
+
+/// The completed output of a live session.
+#[derive(Debug, Clone)]
+pub struct LiveRun {
+    /// The drained interleaving, in the order events left the channel (the
+    /// same order the timestamper observed them).
+    pub computation: Computation,
+    /// Per-event timestamps in that order, all padded to the final clock
+    /// width so they are mutually comparable.
+    pub timestamps: Vec<VectorTimestamp>,
+    /// The timestamper's final report.
+    pub report: TimestampReport,
+}
+
+/// A [`TraceSession`] in live mode: a [`Timestamper`] stamps events as they
+/// drain from the event channel.
+///
+/// Threads and objects can still be registered after the switch; draining
+/// happens whenever [`pump`](LiveSession::pump) is called and once more in
+/// [`finish`](LiveSession::finish).  Per-object and per-thread orders are
+/// preserved exactly as in batch mode, because the channel is filled while
+/// each object's lock is held.
+#[derive(Debug)]
+pub struct LiveSession<T> {
+    inner: Arc<SessionInner>,
+    receiver: Receiver<RawEvent>,
+    timestamper: T,
+    computation: Computation,
+    timestamps: Vec<VectorTimestamp>,
+    /// An event popped from the channel whose observation failed; retried
+    /// ahead of the channel on the next drain so a recoverable error never
+    /// loses an operation that really executed.
+    pending: Option<RawEvent>,
+}
+
+impl TraceSession {
+    /// Switches the session into live mode around the given timestamper.
+    ///
+    /// Existing [`SharedObject`]s and [`ThreadHandle`]s keep working — they
+    /// feed the same channel the live session drains.
+    pub fn live<T: Timestamper>(self, timestamper: T) -> LiveSession<T> {
+        let TraceSession { inner, receiver } = self;
+        LiveSession {
+            inner,
+            receiver,
+            timestamper,
+            computation: Computation::new(),
+            timestamps: Vec::new(),
+            pending: None,
+        }
+    }
+}
+
+impl<T: Timestamper> LiveSession<T> {
+    /// Registers an application thread and returns its handle.
+    pub fn register_thread(&self, name: &str) -> ThreadHandle {
+        self.inner.register_thread_handle(name)
+    }
+
+    /// Creates a traced shared object holding `value`.
+    pub fn shared_object<V>(&self, name: &str, value: V) -> SharedObject<V> {
+        let id = self.inner.register_object(name);
+        SharedObject::new(id, name, value, Arc::clone(&self.inner))
+    }
+
+    /// Drains every event currently queued in the channel through the
+    /// timestamper, returning how many were stamped.
+    ///
+    /// Events sent concurrently with the call may or may not be included;
+    /// call [`finish`](LiveSession::finish) after joining the workers to
+    /// drain everything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TimestampError`] an observation reports.
+    /// Events drained before the failure keep their timestamps; the failing
+    /// event is held back and retried first by the next `pump` (or by
+    /// [`finish`](LiveSession::finish)), so after recovering — e.g. adding a
+    /// component via [`timestamper_mut`](LiveSession::timestamper_mut) — no
+    /// operation is lost.
+    pub fn pump(&mut self) -> Result<usize, TimestampError> {
+        drain(
+            &self.receiver,
+            &mut self.timestamper,
+            &mut self.computation,
+            &mut self.timestamps,
+            &mut self.pending,
+        )
+    }
+
+    /// The timestamps assigned so far, in drain order, at the raw width each
+    /// observation had (see [`LiveRun::timestamps`] for the padded form).
+    pub fn timestamps(&self) -> &[VectorTimestamp] {
+        &self.timestamps
+    }
+
+    /// The interleaving drained so far.
+    pub fn computation(&self) -> &Computation {
+        &self.computation
+    }
+
+    /// The attached timestamper.
+    pub fn timestamper(&self) -> &T {
+        &self.timestamper
+    }
+
+    /// Mutable access to the attached timestamper — the recovery hook after
+    /// a failed [`pump`](LiveSession::pump) (e.g. to add the missing
+    /// component to an engine before retrying).
+    pub fn timestamper_mut(&mut self) -> &mut T {
+        &mut self.timestamper
+    }
+
+    /// Current clock width.
+    pub fn clock_size(&self) -> usize {
+        self.timestamper.width()
+    }
+
+    /// Closes the session, drains the remaining events, and returns the
+    /// completed run with every timestamp padded to the final clock width.
+    ///
+    /// Call this after all worker threads have been joined; operations still
+    /// being performed concurrently with the drain may or may not be
+    /// included (the same contract as
+    /// [`TraceSession::into_computation`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TimestampError`] the final drain reports.
+    pub fn finish(self) -> Result<LiveRun, TimestampError> {
+        let LiveSession {
+            inner,
+            receiver,
+            mut timestamper,
+            mut computation,
+            mut timestamps,
+            mut pending,
+        } = self;
+        // Drop the session's own handle on the sender; live `SharedObject`s
+        // may still hold clones, so this does not close the channel — the
+        // try_recv drain simply collects whatever has been queued, which is
+        // everything sent before the (already joined) workers finished.
+        drop(inner);
+        drain(
+            &receiver,
+            &mut timestamper,
+            &mut computation,
+            &mut timestamps,
+            &mut pending,
+        )?;
+        let width = timestamper.width();
+        Ok(LiveRun {
+            computation,
+            timestamps: timestamps.into_iter().map(|t| t.padded_to(width)).collect(),
+            report: timestamper.finish(),
+        })
+    }
+}
+
+/// Drains the held-back event (if any) and then every event currently
+/// queued in `receiver` through the timestamper, recording the interleaving
+/// and the stamps in lockstep.  On error the failing event is stored in
+/// `pending` instead of being lost, so the next drain retries it first.
+fn drain<T: Timestamper>(
+    receiver: &Receiver<RawEvent>,
+    timestamper: &mut T,
+    computation: &mut Computation,
+    timestamps: &mut Vec<VectorTimestamp>,
+    pending: &mut Option<RawEvent>,
+) -> Result<usize, TimestampError> {
+    let mut drained = 0;
+    loop {
+        let ev = match pending.take() {
+            Some(ev) => ev,
+            None => match receiver.try_recv() {
+                Ok(ev) => ev,
+                Err(_) => return Ok(drained),
+            },
+        };
+        match timestamper.observe(ev.thread, ev.object) {
+            Ok(stamp) => {
+                computation.record_op(ev.thread, ev.object, ev.kind);
+                timestamps.push(stamp);
+                drained += 1;
+            }
+            Err(e) => {
+                *pending = Some(ev);
+                return Err(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    use mvc_clock::TimestampAssigner;
+    use mvc_core::{BatchReplay, OfflineOptimizer, TimestampingEngine};
+    use mvc_online::{MechanismRegistry, OnlineTimestamper, Popularity};
+
+    #[test]
+    fn live_session_stamps_single_thread_program_order() {
+        let session = TraceSession::new();
+        let t = session.register_thread("main");
+        let x = session.shared_object("x", 0u32);
+        let mut live = session.live(OnlineTimestamper::new(Popularity::new()));
+        x.write(&t, |v| *v = 1);
+        x.read(&t, |v| *v);
+        assert_eq!(live.pump().unwrap(), 2);
+        assert_eq!(live.pump().unwrap(), 0, "channel already drained");
+        assert_eq!(live.computation().len(), 2);
+        assert!(live.clock_size() >= 1);
+        let run = live.finish().unwrap();
+        assert!(run.timestamps[0].strictly_less_than(&run.timestamps[1]));
+        assert_eq!(run.report.events, 2);
+    }
+
+    #[test]
+    fn live_session_allows_late_registration() {
+        let session = TraceSession::new();
+        let live = session.live(OnlineTimestamper::new(Popularity::new()));
+        let t = live.register_thread("late");
+        let o = live.shared_object("late-object", 7i32);
+        o.write(&t, |v| *v += 1);
+        let run = live.finish().unwrap();
+        assert_eq!(run.computation.len(), 1);
+        assert_eq!(run.timestamps.len(), 1);
+        assert_eq!(run.report.name, "popularity");
+    }
+
+    #[test]
+    fn live_timestamps_equal_post_hoc_batch_replay() {
+        // The acceptance check: a multithreaded execution stamped live must
+        // agree with replaying the *same drained interleaving* in batch.
+        let session = TraceSession::new();
+        let counter = session.shared_object("counter", 0u64);
+        let flag = session.shared_object("flag", false);
+        let mut workers = Vec::new();
+        for i in 0..4 {
+            let handle = session.register_thread(&format!("worker-{i}"));
+            let counter = counter.clone();
+            let flag = flag.clone();
+            workers.push(thread::spawn(move || {
+                for _ in 0..25 {
+                    counter.write(&handle, |v| *v += 1);
+                }
+                flag.write(&handle, |v| *v = true);
+            }));
+        }
+        let live = session.live(OnlineTimestamper::new(Popularity::new()));
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        let run = live.finish().unwrap();
+        assert_eq!(run.computation.len(), 104);
+
+        // Post-hoc: batch-replay the drained interleaving with a fresh copy
+        // of the same (deterministic) strategy.
+        let batch = OnlineTimestamper::new(Popularity::new())
+            .run(&run.computation)
+            .unwrap();
+        assert_eq!(run.timestamps, batch.timestamps);
+
+        // And the optimal batch plan over the same interleaving is valid too,
+        // so the drained order really is a faithful computation.
+        let plan = OfflineOptimizer::new().plan_for_computation(&run.computation);
+        let mut engine = TimestampingEngine::with_components(plan.components().clone());
+        let streamed: Vec<_> = run
+            .computation
+            .events()
+            .map(|e| engine.observe(e.thread, e.object).unwrap())
+            .collect();
+        assert_eq!(streamed, plan.assigner().assign(&run.computation));
+    }
+
+    #[test]
+    fn live_session_works_with_any_timestamper_impl() {
+        // Seed a batch replayer whose map covers everything the program does.
+        let mut map = mvc_clock::ComponentMap::new();
+        map.push(mvc_clock::Component::Object(mvc_trace::ObjectId(0)));
+        let session = TraceSession::new();
+        let t = session.register_thread("t");
+        let o = session.shared_object("o", 0u8);
+        let mut live = session.live(BatchReplay::new(map));
+        o.write(&t, |v| *v = 1);
+        live.pump().unwrap();
+        let run = live.finish().unwrap();
+        assert_eq!(run.report.name, "batch-replay");
+        assert_eq!(run.timestamps.len(), 1);
+    }
+
+    #[test]
+    fn failed_pump_holds_the_event_back_for_retry() {
+        // An engine with no components cannot stamp anything: the first pump
+        // must fail WITHOUT losing the operation, and succeed after the
+        // caller adds a covering component.
+        let session = TraceSession::new();
+        let t = session.register_thread("t");
+        let o = session.shared_object("o", 0u8);
+        let mut live = session.live(TimestampingEngine::new());
+        o.write(&t, |v| *v = 1);
+        let err = live.pump().unwrap_err();
+        assert!(matches!(err, mvc_core::TimestampError::Uncovered { .. }));
+        assert_eq!(live.computation().len(), 0, "failed event is not recorded");
+
+        // Recover: cover the object, retry — the held-back event is stamped.
+        live.timestamper_mut()
+            .add_component(mvc_clock::Component::Object(mvc_trace::ObjectId(0)));
+        assert_eq!(live.pump().unwrap(), 1, "the held-back event is retried");
+        let run = live.finish().unwrap();
+        assert_eq!(run.computation.len(), 1, "no operation was lost");
+        assert_eq!(run.timestamps.len(), 1);
+    }
+
+    #[test]
+    fn live_session_with_registry_mechanism() {
+        let session = TraceSession::new();
+        let t = session.register_thread("t");
+        let o = session.shared_object("o", ());
+        let mechanism = MechanismRegistry::new().from_name("adaptive").unwrap();
+        let mut live = session.live(OnlineTimestamper::new(mechanism));
+        o.write(&t, |_| ());
+        live.pump().unwrap();
+        let run = live.finish().unwrap();
+        assert_eq!(run.report.name, "adaptive");
+        assert_eq!(run.report.events, 1);
+    }
+}

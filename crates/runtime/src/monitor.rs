@@ -16,6 +16,7 @@
 use parking_lot::Mutex;
 
 use mvc_clock::{ClockOrd, VectorTimestamp};
+use mvc_core::TimestampError;
 use mvc_online::{OnlineMechanism, OnlineTimestamper, Popularity};
 use mvc_trace::{ObjectId, ThreadId};
 
@@ -49,7 +50,16 @@ impl<M: OnlineMechanism> OnlineMonitor<M> {
 
     /// Records one operation and returns its timestamp, padded to the clock
     /// width at the time of the call.
-    pub fn record(&self, thread: ThreadId, object: ObjectId) -> VectorTimestamp {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimestampError::RogueComponent`] when the mechanism
+    /// violates its contract; the paper's mechanisms never do.
+    pub fn record(
+        &self,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Result<VectorTimestamp, TimestampError> {
         self.inner.lock().observe(thread, object)
     }
 
@@ -70,7 +80,7 @@ impl<M: OnlineMechanism> OnlineMonitor<M> {
     /// still zero when the earlier timestamp was taken.
     pub fn compare(&self, a: &VectorTimestamp, b: &VectorTimestamp) -> ClockOrd {
         let width = a.len().max(b.len());
-        pad(a, width).compare(&pad(b, width))
+        a.padded_to(width).compare(&b.padded_to(width))
     }
 
     /// Returns `true` iff the operation stamped `a` happened before the
@@ -85,24 +95,18 @@ impl<M: OnlineMechanism> OnlineMonitor<M> {
     }
 }
 
-fn pad(t: &VectorTimestamp, width: usize) -> VectorTimestamp {
-    let mut v = t.as_slice().to_vec();
-    v.resize(width, 0);
-    VectorTimestamp::from_components(v)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvc_online::Naive;
+    use mvc_online::{MechanismRegistry, Naive};
     use std::sync::Arc;
     use std::thread;
 
     #[test]
     fn same_thread_operations_are_ordered() {
         let m = OnlineMonitor::new();
-        let a = m.record(ThreadId(0), ObjectId(0));
-        let b = m.record(ThreadId(0), ObjectId(1));
+        let a = m.record(ThreadId(0), ObjectId(0)).unwrap();
+        let b = m.record(ThreadId(0), ObjectId(1)).unwrap();
         assert!(m.happened_before(&a, &b));
         assert!(!m.happened_before(&b, &a));
         assert_eq!(m.events_recorded(), 2);
@@ -112,16 +116,16 @@ mod tests {
     #[test]
     fn same_object_operations_are_ordered() {
         let m = OnlineMonitor::new();
-        let a = m.record(ThreadId(0), ObjectId(3));
-        let b = m.record(ThreadId(5), ObjectId(3));
+        let a = m.record(ThreadId(0), ObjectId(3)).unwrap();
+        let b = m.record(ThreadId(5), ObjectId(3)).unwrap();
         assert_eq!(m.compare(&a, &b), ClockOrd::Before);
     }
 
     #[test]
     fn unrelated_operations_are_concurrent() {
         let m = OnlineMonitor::new();
-        let a = m.record(ThreadId(0), ObjectId(0));
-        let b = m.record(ThreadId(1), ObjectId(1));
+        let a = m.record(ThreadId(0), ObjectId(0)).unwrap();
+        let b = m.record(ThreadId(1), ObjectId(1)).unwrap();
         assert!(m.concurrent(&a, &b));
         assert_eq!(m.compare(&a, &a), ClockOrd::Equal);
     }
@@ -131,12 +135,22 @@ mod tests {
         // The first record happens at width 1, later ones at width 2+; the
         // padded comparison must still order causally related operations.
         let m = OnlineMonitor::with_mechanism(Naive::threads());
-        let a = m.record(ThreadId(0), ObjectId(0));
-        let _ = m.record(ThreadId(1), ObjectId(5));
-        let c = m.record(ThreadId(1), ObjectId(0)); // sees a via object 0
+        let a = m.record(ThreadId(0), ObjectId(0)).unwrap();
+        let _ = m.record(ThreadId(1), ObjectId(5)).unwrap();
+        let c = m.record(ThreadId(1), ObjectId(0)).unwrap(); // sees a via object 0
         assert!(a.len() < c.len());
         assert!(m.happened_before(&a, &c));
         assert!(!m.happened_before(&c, &a));
+    }
+
+    #[test]
+    fn monitor_accepts_registry_mechanisms() {
+        // The monitor's mechanism can be chosen by name at runtime.
+        let m =
+            OnlineMonitor::with_mechanism(MechanismRegistry::new().from_name("adaptive").unwrap());
+        let a = m.record(ThreadId(0), ObjectId(0)).unwrap();
+        let b = m.record(ThreadId(1), ObjectId(0)).unwrap();
+        assert!(m.happened_before(&a, &b));
     }
 
     #[test]
@@ -148,7 +162,7 @@ mod tests {
             joins.push(thread::spawn(move || {
                 let mut stamps = Vec::new();
                 for i in 0..50 {
-                    stamps.push(m.record(ThreadId(t), ObjectId(i % 5)));
+                    stamps.push(m.record(ThreadId(t), ObjectId(i % 5)).unwrap());
                 }
                 stamps
             }));

@@ -74,7 +74,14 @@ impl SessionInner {
         id
     }
 
-    fn register_object(&self, name: &str) -> ObjectId {
+    pub(crate) fn register_thread_handle(&self, name: &str) -> ThreadHandle {
+        ThreadHandle {
+            id: self.register_thread(name),
+            name: Arc::from(name),
+        }
+    }
+
+    pub(crate) fn register_object(&self, name: &str) -> ObjectId {
         let id = ObjectId(self.next_object.fetch_add(1, Ordering::Relaxed));
         let mut names = self.names.lock();
         debug_assert_eq!(names.objects.len(), id.index());
@@ -87,8 +94,8 @@ impl SessionInner {
 /// the collector of the resulting computation.
 #[derive(Debug)]
 pub struct TraceSession {
-    inner: Arc<SessionInner>,
-    receiver: Receiver<RawEvent>,
+    pub(crate) inner: Arc<SessionInner>,
+    pub(crate) receiver: Receiver<RawEvent>,
 }
 
 impl Default for TraceSession {
@@ -114,11 +121,7 @@ impl TraceSession {
 
     /// Registers an application thread and returns its handle.
     pub fn register_thread(&self, name: &str) -> ThreadHandle {
-        let id = self.inner.register_thread(name);
-        ThreadHandle {
-            id,
-            name: Arc::from(name),
-        }
+        self.inner.register_thread_handle(name)
     }
 
     /// Creates a traced shared object holding `value`.

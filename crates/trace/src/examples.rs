@@ -7,8 +7,9 @@
 //! timestamps come out); the reproduction tests and the `paper_example`
 //! binary are built on it.
 //!
-//! Indices are zero-based: the paper's `T1..T4` are [`ThreadId(0)`] through
-//! [`ThreadId(3)`] and `O1..O4` are [`ObjectId(0)`] through [`ObjectId(3)`].
+//! Indices are zero-based: the paper's `T1..T4` are [`ThreadId`]`(0)` through
+//! [`ThreadId`]`(3)` and `O1..O4` are [`ObjectId`]`(0)` through
+//! [`ObjectId`]`(3)`.
 
 use crate::computation::Computation;
 use crate::ids::{ObjectId, ThreadId};

@@ -21,6 +21,9 @@
 //!   partitioned data structures where the thread–object graph is sparse.
 //! * [`WorkloadKind::Phased`] — the computation alternates between phases that
 //!   use disjoint object sets; models barrier-style programs.
+//! * [`WorkloadKind::Star`] — every thread hammers a tiny set of hub objects;
+//!   the paper's adversarial lower-bound stream, on which naive-threads pays
+//!   one component per thread while the optimum is the hub count.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +63,15 @@ pub enum WorkloadKind {
         /// Number of phases.
         phases: usize,
     },
+    /// Every thread hammers a tiny set of hub objects — the paper's
+    /// adversarial lower-bound stream for the Naive mechanism.  Threads are
+    /// visited round-robin so each one is guaranteed to touch a hub: the
+    /// offline optimum is at most `hubs`, while naive-threads pays one
+    /// component per thread (competitive ratio `n / hubs`).
+    Star {
+        /// Number of hub objects (clamped to `[1, objects]`).
+        hubs: usize,
+    },
 }
 
 impl WorkloadKind {
@@ -71,6 +83,7 @@ impl WorkloadKind {
             WorkloadKind::ProducerConsumer { .. } => "producer-consumer",
             WorkloadKind::LockStriped { .. } => "lock-striped",
             WorkloadKind::Phased { .. } => "phased",
+            WorkloadKind::Star { .. } => "star",
         }
     }
 }
@@ -203,6 +216,13 @@ impl WorkloadBuilder {
                 let start = phase * span;
                 let o = start + rng.gen_range(0..span);
                 (rng.gen_range(0..self.threads), o.min(self.objects - 1))
+            }
+            WorkloadKind::Star { hubs } => {
+                let hubs = hubs.clamp(1, self.objects);
+                // Round-robin over the threads so every thread reaches a hub
+                // (the full star, the worst case for naive-threads), with the
+                // hub chosen at random when there are several.
+                (step % self.threads, rng.gen_range(0..hubs))
             }
         }
     }
@@ -342,6 +362,45 @@ mod tests {
                 o >= phase * 5 && o < phase * 5 + 5,
                 "event {idx} object {o} phase {phase}"
             );
+        }
+    }
+
+    #[test]
+    fn star_workload_touches_every_thread_and_only_hubs() {
+        let c = WorkloadBuilder::new(30, 10)
+            .operations(90)
+            .kind(WorkloadKind::Star { hubs: 2 })
+            .seed(3)
+            .build();
+        assert_eq!(c.thread_count(), 30, "round-robin reaches every thread");
+        assert!(c.object_count() <= 2);
+        for e in c.events() {
+            assert!(e.object.index() < 2, "star events stay on the hubs");
+        }
+        // The induced bipartite graph is (a union of) stars: hub objects
+        // cover every edge, so the minimum cover is at most the hub count.
+        let g = c.bipartite_graph();
+        assert!(g.edge_count() >= 30);
+        assert_eq!(WorkloadKind::Star { hubs: 2 }.name(), "star");
+    }
+
+    #[test]
+    fn star_hub_count_is_clamped_to_object_space() {
+        let c = WorkloadBuilder::new(4, 3)
+            .operations(40)
+            .kind(WorkloadKind::Star { hubs: 100 })
+            .seed(5)
+            .build();
+        for e in c.events() {
+            assert!(e.object.index() < 3);
+        }
+        let zero = WorkloadBuilder::new(4, 3)
+            .operations(12)
+            .kind(WorkloadKind::Star { hubs: 0 })
+            .seed(5)
+            .build();
+        for e in zero.events() {
+            assert_eq!(e.object.index(), 0, "hubs=0 clamps to the single hub");
         }
     }
 

@@ -1,8 +1,9 @@
 //! Online monitoring: events arrive one at a time (no prior knowledge of the
 //! thread–object interaction), and the online mechanisms decide which threads
-//! and objects become clock components.  Compares the final clock size of
-//! Naive, Random, Popularity and Adaptive against the offline optimum on the
-//! same stream.
+//! and objects become clock components.  Every mechanism is selected **by
+//! name** through the [`MechanismRegistry`] and driven as a
+//! `Box<dyn OnlineMechanism>` — no concrete mechanism types appear here —
+//! and compared against the offline optimum on the same stream.
 //!
 //! Run with `cargo run --example online_monitoring`.
 
@@ -35,45 +36,25 @@ fn main() {
         .plan_for_computation(&computation)
         .clock_size();
 
-    let runs: Vec<(&str, usize)> = vec![
-        run(
-            "naive (threads)",
-            OnlineTimestamper::new(Naive::threads()),
-            &computation,
-        ),
-        run(
-            "naive (objects)",
-            OnlineTimestamper::new(Naive::objects()),
-            &computation,
-        ),
-        run(
-            "random",
-            OnlineTimestamper::new(Random::seeded(7)),
-            &computation,
-        ),
-        run(
-            "popularity",
-            OnlineTimestamper::new(Popularity::new()),
-            &computation,
-        ),
-        run(
-            "adaptive",
-            OnlineTimestamper::new(Adaptive::with_paper_thresholds()),
-            &computation,
-        ),
-    ];
-
+    let registry = MechanismRegistry::new().seed(7);
     println!("\nfinal mixed-clock size by mechanism (offline optimum = {optimal}):");
-    for (name, size) in &runs {
-        let bar = "#".repeat(*size / 2);
+    for &name in MechanismRegistry::names() {
+        let mechanism = registry.from_name(name).expect("registry name");
+        let run = OnlineTimestamper::new(mechanism)
+            .run(&computation)
+            .expect("registry mechanisms cover their own events");
+        // Every online run must still be a valid vector clock.
+        assert!(mvc_core::verify_assignment(&computation, &run.timestamps));
+        let size = run.stats.clock_size();
+        let bar = "#".repeat(size / 2);
         println!("  {name:<18} {size:>4}  {bar}");
     }
 
     // Live monitoring: the same machinery wrapped in a thread-safe monitor.
     let monitor = OnlineMonitor::new();
-    let enqueue = monitor.record(ThreadId(0), ObjectId(0));
-    let dequeue = monitor.record(ThreadId(1), ObjectId(0));
-    let unrelated = monitor.record(ThreadId(2), ObjectId(9));
+    let enqueue = monitor.record(ThreadId(0), ObjectId(0)).unwrap();
+    let dequeue = monitor.record(ThreadId(1), ObjectId(0)).unwrap();
+    let unrelated = monitor.record(ThreadId(2), ObjectId(9)).unwrap();
     println!("\nlive monitor demo:");
     println!(
         "  enqueue -> dequeue ordered:   {}",
@@ -84,15 +65,24 @@ fn main() {
         monitor.concurrent(&enqueue, &unrelated)
     );
     println!("  monitor clock size so far:    {}", monitor.clock_size());
-}
 
-fn run<M: OnlineMechanism>(
-    name: &'static str,
-    timestamper: OnlineTimestamper<M>,
-    computation: &Computation,
-) -> (&'static str, usize) {
-    let result = timestamper.run(computation);
-    // Every online run must still be a valid vector clock.
-    assert!(mvc_core::verify_assignment(computation, &result.timestamps));
-    (name, result.stats.clock_size())
+    // Live session demo: a traced execution timestamped while it runs, via
+    // the unified Timestamper trait.
+    let session = TraceSession::new();
+    let worker = session.register_thread("worker");
+    let queue = session.shared_object("queue", Vec::<u64>::new());
+    let mut live = session.live(OnlineTimestamper::new(
+        registry.from_name("adaptive").expect("registry name"),
+    ));
+    for i in 0..5 {
+        queue.write(&worker, |q| q.push(i));
+    }
+    live.pump().expect("adaptive covers its own events");
+    let run = live.finish().expect("drained");
+    println!(
+        "\nlive session demo: {} events stamped live, final width {}",
+        run.report.events,
+        run.report.width()
+    );
+    assert!(run.timestamps[0].strictly_less_than(&run.timestamps[4]));
 }

@@ -45,13 +45,30 @@ pub use mvc_runtime as runtime;
 pub use mvc_trace as trace;
 
 /// The most commonly used types, re-exported from `mvc_core::prelude` plus
-/// the online mechanisms and runtime session types.
+/// the online mechanisms, the mechanism registry, the workload generators and
+/// the runtime session types.
+///
+/// The unified timestamping surface is all here: the
+/// [`Timestamper`](mvc_core::Timestamper) trait with its three
+/// implementations ([`BatchReplay`](mvc_core::BatchReplay),
+/// [`TimestampingEngine`](mvc_core::TimestampingEngine),
+/// [`OnlineTimestamper`](mvc_online::OnlineTimestamper)), the
+/// [`MechanismRegistry`](mvc_online::MechanismRegistry) for name-based
+/// mechanism selection, and the batch
+/// ([`TraceSession`](mvc_runtime::TraceSession)) / live
+/// ([`LiveSession`](mvc_runtime::LiveSession)) recording modes.
 pub mod prelude {
     pub use mvc_core::prelude::*;
-    pub use mvc_online::{Adaptive, Naive, OnlineMechanism, OnlineTimestamper, Popularity, Random};
-    pub use mvc_runtime::{
-        ConflictAnalyzer, OnlineMonitor, SharedObject, ThreadHandle, TraceSession,
+    pub use mvc_online::{
+        mechanism_from_name, simulate_components, simulate_final_size, Adaptive, MechanismRegistry,
+        MechanismStats, Naive, NaiveSide, OnlineMechanism, OnlineRun, OnlineTimestamper,
+        Popularity, Random, UnknownMechanismError,
     };
+    pub use mvc_runtime::{
+        ConflictAnalyzer, LiveRun, LiveSession, OnlineMonitor, SharedObject, ThreadHandle,
+        TraceSession,
+    };
+    pub use mvc_trace::{WorkloadBuilder, WorkloadKind};
 }
 
 #[cfg(test)]

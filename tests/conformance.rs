@@ -20,20 +20,27 @@
 //!    the Adaptive mechanism respects its design bound on adversarial
 //!    streams: at most `node_threshold` non-thread components, while pure
 //!    Naive degenerates linearly on the star stream.
+//! 4. **API unification.**  The redesigned surface must not change the
+//!    mathematics: every registry mechanism, driven as a
+//!    `Box<dyn OnlineMechanism>`, is bit-identical to its concrete-typed
+//!    counterpart, and the three [`Timestamper`] implementations (batch
+//!    replay, engine, online) agree on a replayed computation with a fixed
+//!    component map.
 
 mod support;
 
 use mvc_clock::chain::ChainClockAssigner;
 use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
 use mvc_clock::{ClockOrd, TimestampAssigner, VectorTimestamp};
-use mvc_core::{verify_assignment, OfflineOptimizer};
+use mvc_core::{replay, verify_assignment, OfflineOptimizer, Timestamper, TimestampingEngine};
 use mvc_graph::matching::{hopcroft_karp, simple_augmenting};
 use mvc_graph::BipartiteGraph;
 use mvc_online::{
-    Adaptive, CompetitiveTracker, Naive, OnlineMechanism, OnlineTimestamper, Popularity, Random,
+    Adaptive, CompetitiveTracker, MechanismRegistry, Naive, OnlineMechanism, OnlineTimestamper,
+    Popularity, Random,
 };
 use mvc_trace::generator::computation_from_edge_stream;
-use mvc_trace::{CausalityOracle, Computation, EventId};
+use mvc_trace::{CausalityOracle, Computation, EventId, WorkloadBuilder, WorkloadKind};
 use proptest::prelude::*;
 
 use support::{ComputationStrategy, EdgeStreamStrategy, GraphComputationStrategy};
@@ -184,7 +191,9 @@ fn check_online_run<M: OnlineMechanism>(
     computation: &Computation,
     offline_optimum: usize,
 ) -> Result<(), String> {
-    let run = OnlineTimestamper::new(mechanism).run(computation);
+    let run = OnlineTimestamper::new(mechanism)
+        .run(computation)
+        .map_err(|e| e.to_string())?;
     let size = run.stats.clock_size();
     if size < offline_optimum {
         return Err(format!(
@@ -239,7 +248,7 @@ proptest! {
     fn naive_threads_is_exactly_the_thread_vector_clock(
         computation in ComputationStrategy::small(),
     ) {
-        let run = OnlineTimestamper::new(Naive::threads()).run(&computation);
+        let run = OnlineTimestamper::new(Naive::threads()).run(&computation).unwrap();
         prop_assert_eq!(run.stats.clock_size(), computation.thread_count());
         prop_assert_eq!(run.stats.object_components, 0);
     }
@@ -302,7 +311,7 @@ fn adaptive_respects_its_switch_budget_on_adversarial_stream() {
     let adaptive = Adaptive::with_paper_thresholds();
     let mut timestamper = OnlineTimestamper::new(adaptive);
     for event in computation.events() {
-        timestamper.observe(event.thread, event.object);
+        timestamper.observe(event.thread, event.object).unwrap();
     }
     assert!(
         timestamper.mechanism().has_switched(),
@@ -317,4 +326,119 @@ fn adaptive_respects_its_switch_budget_on_adversarial_stream() {
     // The final size is optimal here anyway (the stream IS a matching), so
     // the lower bound still holds.
     assert_eq!(stats.clock_size(), n);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 4: the unified API is a refactor, not a new algorithm
+// ---------------------------------------------------------------------------
+
+/// Every registry mechanism, driven through `Box<dyn OnlineMechanism>`, must
+/// produce bit-identical timestamps and stats to its concrete-typed
+/// counterpart: the registry is a construction convenience, never a
+/// behavioural fork.
+#[test]
+fn registry_mechanisms_match_their_concrete_counterparts_bit_for_bit() {
+    let registry = MechanismRegistry::new();
+    let parity_names: Vec<&str> = vec![
+        "naive-threads",
+        "naive-objects",
+        "random",
+        "popularity",
+        "adaptive",
+    ];
+    assert_eq!(
+        parity_names,
+        MechanismRegistry::names(),
+        "the parity check must cover exactly the registry"
+    );
+    for seed in 0..3u64 {
+        let c = WorkloadBuilder::new(12, 12)
+            .operations(250)
+            .kind(WorkloadKind::Nonuniform {
+                hot_fraction: 0.2,
+                hot_boost: 6.0,
+            })
+            .seed(seed)
+            .build();
+        for &name in &parity_names {
+            let by_name = registry.from_name(name).unwrap();
+            let dyn_run = OnlineTimestamper::new(by_name).run(&c).unwrap();
+            // The registry defaults are the paper's: Random seed 0, Adaptive
+            // with the Section V thresholds.
+            let concrete_run = match name {
+                "naive-threads" => OnlineTimestamper::new(Naive::threads()).run(&c),
+                "naive-objects" => OnlineTimestamper::new(Naive::objects()).run(&c),
+                "random" => OnlineTimestamper::new(Random::seeded(0)).run(&c),
+                "popularity" => OnlineTimestamper::new(Popularity::new()).run(&c),
+                "adaptive" => OnlineTimestamper::new(Adaptive::with_paper_thresholds()).run(&c),
+                other => unreachable!("unknown parity case {other}"),
+            }
+            .unwrap();
+            assert_eq!(
+                dyn_run.timestamps, concrete_run.timestamps,
+                "{name}: boxed and concrete timestamps diverge (seed {seed})"
+            );
+            assert_eq!(
+                dyn_run.stats, concrete_run.stats,
+                "{name}: boxed and concrete stats diverge (seed {seed})"
+            );
+        }
+    }
+}
+
+/// With a fixed component map covering the whole computation, all three
+/// `Timestamper` implementations are the same protocol and must agree
+/// bit-for-bit — with each other and with the batch assigner.
+#[test]
+fn all_three_timestamper_impls_agree_on_a_fixed_component_map() {
+    for seed in 0..5u64 {
+        let c = WorkloadBuilder::new(8, 8)
+            .operations(200)
+            .seed(seed)
+            .build();
+        let plan = OfflineOptimizer::new().plan_for_computation(&c);
+        let reference = plan.assigner().assign(&c);
+
+        let mut timestampers: Vec<Box<dyn Timestamper>> = vec![
+            Box::new(plan.timestamper()),
+            Box::new(TimestampingEngine::with_components(
+                plan.components().clone(),
+            )),
+            Box::new(OnlineTimestamper::with_components(
+                Popularity::new(),
+                plan.components().clone(),
+            )),
+        ];
+        for timestamper in &mut timestampers {
+            let run = replay(timestamper.as_mut(), &c)
+                .unwrap_or_else(|e| panic!("{}: {e}", timestamper.name()));
+            assert_eq!(
+                run.timestamps, reference,
+                "{} disagrees with the batch assigner (seed {seed})",
+                run.report.name
+            );
+            assert_eq!(run.report.events, c.len());
+            assert_eq!(run.report.clock_size(), plan.clock_size());
+            assert_eq!(run.report.components, *plan.components());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property form of the three-way agreement, across workload families.
+    #[test]
+    fn prop_timestamper_impls_agree(computation in ComputationStrategy::small()) {
+        let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+        let reference = plan.assigner().assign(&computation);
+
+        let mut batch = plan.timestamper();
+        let mut engine = TimestampingEngine::with_components(plan.components().clone());
+        let mut online =
+            OnlineTimestamper::with_components(Naive::threads(), plan.components().clone());
+        prop_assert_eq!(&replay(&mut batch, &computation).unwrap().timestamps, &reference);
+        prop_assert_eq!(&replay(&mut engine, &computation).unwrap().timestamps, &reference);
+        prop_assert_eq!(&replay(&mut online, &computation).unwrap().timestamps, &reference);
+    }
 }

@@ -55,7 +55,9 @@ fn online_run<M: OnlineMechanism>(
     timestamper: OnlineTimestamper<M>,
     computation: &Computation,
 ) -> (&'static str, usize, Vec<VectorTimestamp>) {
-    let run = timestamper.run(computation);
+    let run = timestamper
+        .run(computation)
+        .expect("paper mechanisms cover their own events");
     (name, run.stats.clock_size(), run.timestamps)
 }
 
@@ -64,9 +66,9 @@ fn figure6_shape_offline_below_popularity_below_naive_at_low_density() {
     // At density 0.05 with 50+50 nodes the paper reports offline ~35 < naive 50,
     // with popularity in between. Check the ordering (not the absolute values).
     let cfg = SweepConfig::fifty_by_fifty(0.05, GraphScenario::Uniform, 10);
-    let offline = average_size(&cfg, AlgorithmKind::OfflineOptimal, 0.05).mean_size;
-    let popularity = average_size(&cfg, AlgorithmKind::Popularity, 0.05).mean_size;
-    let naive = average_size(&cfg, AlgorithmKind::NaiveThreads, 0.05).mean_size;
+    let offline = average_size(&cfg, &AlgorithmKind::OfflineOptimal, 0.05).mean_size;
+    let popularity = average_size(&cfg, &AlgorithmKind::online("popularity"), 0.05).mean_size;
+    let naive = average_size(&cfg, &AlgorithmKind::NaiveThreads, 0.05).mean_size;
 
     assert!(
         offline < naive,
@@ -92,15 +94,15 @@ fn figure4_shape_crossover_with_density() {
     let low = SweepConfig::fifty_by_fifty(0.02, GraphScenario::Uniform, trials);
     let high = SweepConfig::fifty_by_fifty(0.9, GraphScenario::Uniform, trials);
 
-    let pop_low = average_size(&low, AlgorithmKind::Popularity, 0.02).mean_size;
-    let naive_low = average_size(&low, AlgorithmKind::NaiveThreads, 0.02).mean_size;
+    let pop_low = average_size(&low, &AlgorithmKind::online("popularity"), 0.02).mean_size;
+    let naive_low = average_size(&low, &AlgorithmKind::NaiveThreads, 0.02).mean_size;
     assert!(
         pop_low < naive_low,
         "popularity {pop_low} vs naive {naive_low} at low density"
     );
 
-    let pop_high = average_size(&high, AlgorithmKind::Popularity, 0.9).mean_size;
-    let naive_high = average_size(&high, AlgorithmKind::NaiveThreads, 0.9).mean_size;
+    let pop_high = average_size(&high, &AlgorithmKind::online("popularity"), 0.9).mean_size;
+    let naive_high = average_size(&high, &AlgorithmKind::NaiveThreads, 0.9).mean_size;
     assert!(
         naive_high <= pop_high,
         "naive {naive_high} should not be above popularity {pop_high} at density 0.9"
@@ -113,10 +115,10 @@ fn nonuniform_scenario_helps_popularity_more_than_uniform() {
     let uniform = SweepConfig::fifty_by_fifty(0.05, GraphScenario::Uniform, trials);
     let skewed = SweepConfig::fifty_by_fifty(0.05, GraphScenario::default_nonuniform(), trials);
 
-    let pop_uniform = average_size(&uniform, AlgorithmKind::Popularity, 0.05).mean_size;
-    let naive_uniform = average_size(&uniform, AlgorithmKind::NaiveThreads, 0.05).mean_size;
-    let pop_skewed = average_size(&skewed, AlgorithmKind::Popularity, 0.05).mean_size;
-    let naive_skewed = average_size(&skewed, AlgorithmKind::NaiveThreads, 0.05).mean_size;
+    let pop_uniform = average_size(&uniform, &AlgorithmKind::online("popularity"), 0.05).mean_size;
+    let naive_uniform = average_size(&uniform, &AlgorithmKind::NaiveThreads, 0.05).mean_size;
+    let pop_skewed = average_size(&skewed, &AlgorithmKind::online("popularity"), 0.05).mean_size;
+    let naive_skewed = average_size(&skewed, &AlgorithmKind::NaiveThreads, 0.05).mean_size;
 
     let savings_uniform = naive_uniform - pop_uniform;
     let savings_skewed = naive_skewed - pop_skewed;

@@ -93,7 +93,7 @@ proptest! {
             nodes, nodes, density, GraphScenario::default_nonuniform(), seed,
         );
         let optimal = OfflineOptimizer::new().plan_for_graph(graph).clock_size();
-        let run = OnlineTimestamper::new(Popularity::new()).run(&computation);
+        let run = OnlineTimestamper::new(Popularity::new()).run(&computation).unwrap();
         prop_assert!(run.stats.clock_size() >= optimal);
         prop_assert!(mvc_core::verify_assignment(&computation, &run.timestamps));
     }

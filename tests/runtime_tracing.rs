@@ -63,19 +63,66 @@ fn online_monitor_orders_cross_thread_handoffs() {
     // Thread 0 writes the flag, then thread 1 reads it: the monitor must see
     // the ordering through the shared object even across OS threads.
     let m0 = Arc::clone(&monitor);
-    let writer = thread::spawn(move || m0.record(ThreadId(0), flag_object));
+    let writer = thread::spawn(move || m0.record(ThreadId(0), flag_object).unwrap());
     let write_stamp = writer.join().unwrap();
 
     let m1 = Arc::clone(&monitor);
-    let reader = thread::spawn(move || m1.record(ThreadId(1), flag_object));
+    let reader = thread::spawn(move || m1.record(ThreadId(1), flag_object).unwrap());
     let read_stamp = reader.join().unwrap();
 
     assert!(monitor.happened_before(&write_stamp, &read_stamp));
     assert!(!monitor.happened_before(&read_stamp, &write_stamp));
 
     // An unrelated operation stays concurrent with the write.
-    let other = monitor.record(ThreadId(2), ObjectId(9));
+    let other = monitor.record(ThreadId(2), ObjectId(9)).unwrap();
     assert!(monitor.concurrent(&write_stamp, &other));
+}
+
+#[test]
+fn live_session_matches_post_hoc_batch_replay_on_the_same_interleaving() {
+    // The acceptance bar for the unified API: a real multithreaded execution
+    // timestamped *live* (events stamped as they drain from the channel) must
+    // be indistinguishable from recording the computation and batch-replaying
+    // it afterwards.
+    let session = TraceSession::new();
+    let queues: Vec<_> = (0..3)
+        .map(|i| session.shared_object(&format!("queue-{i}"), Vec::<u64>::new()))
+        .collect();
+    let mut workers = Vec::new();
+    for i in 0..4 {
+        let handle = session.register_thread(&format!("worker-{i}"));
+        let queues = queues.to_vec();
+        workers.push(thread::spawn(move || {
+            for item in 0..20u64 {
+                queues[(i + item as usize) % 3].write(&handle, |q| q.push(item));
+            }
+        }));
+    }
+
+    let mechanism = MechanismRegistry::new().from_name("popularity").unwrap();
+    let mut live = session.live(OnlineTimestamper::new(mechanism));
+    // Pump concurrently with the workers; whatever is left is drained by
+    // finish() after the joins.
+    live.pump().unwrap();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    let run = live.finish().unwrap();
+    assert_eq!(run.computation.len(), 80);
+    assert_eq!(run.report.events, 80);
+
+    // Post-hoc batch replay of the identical interleaving, with a fresh copy
+    // of the same deterministic mechanism.
+    let batch = OnlineTimestamper::new(Popularity::new())
+        .run(&run.computation)
+        .unwrap();
+    assert_eq!(run.timestamps, batch.timestamps);
+
+    // The live timestamps are a valid vector clock for the drained order.
+    assert!(mvc_core::verify_assignment(
+        &run.computation,
+        &run.timestamps
+    ));
 }
 
 #[test]
