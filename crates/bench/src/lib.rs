@@ -9,6 +9,9 @@
 //!   optimal mixed, and chain clock assigners.
 //! * `online` — per-event overhead of the online mechanisms driving the
 //!   incremental engine.
+//! * `incremental` — incremental vs. from-scratch offline-optimum tracking
+//!   over star / uniform / nonuniform reveal streams (the hot path of the
+//!   competitive-trajectory experiments).
 //! * `figures` — regenerates the data series for Figures 4–7 under Criterion
 //!   timing so the full evaluation is exercised by `cargo bench`.
 
@@ -31,6 +34,22 @@ pub fn bench_graph(nodes: usize, density: f64, seed: u64) -> BipartiteGraph {
         .scenario(GraphScenario::Uniform)
         .seed(seed)
         .build()
+}
+
+/// Builds a shuffled reveal stream over a random graph, as consumed by the
+/// optimum-tracking benches.
+pub fn bench_edge_stream(
+    nodes: usize,
+    density: f64,
+    scenario: GraphScenario,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    RandomGraphBuilder::new(nodes, nodes)
+        .density(density)
+        .scenario(scenario)
+        .seed(seed)
+        .build_edge_stream()
+        .1
 }
 
 /// Builds the nonuniform workload used by the timestamping benches.

@@ -53,7 +53,7 @@ pub mod timestamper;
 
 pub use analysis::{verify_assignment, ClockSizeReport};
 pub use engine::{EngineError, TimestampingEngine};
-pub use offline::{OfflineOptimizer, OfflinePlan};
+pub use offline::{OfflineOptimizer, OfflinePlan, OfflineSolution};
 pub use timestamper::{
     replay, BatchReplay, TimestampError, TimestampReport, TimestampedRun, Timestamper,
 };
@@ -62,7 +62,7 @@ pub use timestamper::{
 pub mod prelude {
     pub use crate::analysis::ClockSizeReport;
     pub use crate::engine::TimestampingEngine;
-    pub use crate::offline::{OfflineOptimizer, OfflinePlan};
+    pub use crate::offline::{OfflineOptimizer, OfflinePlan, OfflineSolution};
     pub use crate::timestamper::{
         replay, BatchReplay, TimestampError, TimestampReport, TimestampedRun, Timestamper,
     };

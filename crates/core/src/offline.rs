@@ -38,6 +38,53 @@ pub enum MatchingAlgorithm {
     SimpleAugmenting,
 }
 
+/// The algorithmic output of Algorithm 1 on a *borrowed* graph: matching
+/// size, minimum cover, and the component layout of the mixed vector clock.
+///
+/// This is the allocation-light sibling of [`OfflinePlan`]: it does not take
+/// ownership of (or clone) the analysed graph, so per-prefix or per-trial
+/// sweeps that only need sizes can call [`OfflineOptimizer::solve`] in a loop
+/// without copying the graph every time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfflineSolution {
+    matching_size: usize,
+    cover: VertexCover,
+    components: ComponentMap,
+}
+
+impl OfflineSolution {
+    /// Size of the maximum matching (equals the cover size by
+    /// Kőnig–Egerváry).
+    pub fn matching_size(&self) -> usize {
+        self.matching_size
+    }
+
+    /// The minimum vertex cover: the chosen threads and objects.
+    pub fn cover(&self) -> &VertexCover {
+        &self.cover
+    }
+
+    /// The component layout of the mixed vector clock.
+    pub fn components(&self) -> &ComponentMap {
+        &self.components
+    }
+
+    /// Number of components of the optimal mixed vector clock.
+    pub fn clock_size(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Attaches the analysed graph, upgrading to a full [`OfflinePlan`].
+    pub fn into_plan(self, graph: BipartiteGraph) -> OfflinePlan {
+        OfflinePlan {
+            graph,
+            matching_size: self.matching_size,
+            cover: self.cover,
+            components: self.components,
+        }
+    }
+}
+
 /// The output of the offline optimizer: the graph it analysed, the optimal
 /// cover, and the component layout of the resulting mixed vector clock.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,16 +174,26 @@ impl OfflineOptimizer {
         self.plan_for_graph(computation.bipartite_graph())
     }
 
-    /// Runs Algorithm 1 on a pre-built thread–object graph.
+    /// Runs Algorithm 1 on a pre-built thread–object graph, taking ownership
+    /// of the graph so the plan can report graph-derived statistics.
+    ///
+    /// Callers that only need the sizes/cover of a graph they keep should
+    /// use the borrowing [`solve`](Self::solve) instead of cloning.
     pub fn plan_for_graph(&self, graph: BipartiteGraph) -> OfflinePlan {
+        self.solve(&graph).into_plan(graph)
+    }
+
+    /// Runs Algorithm 1 on a *borrowed* graph: the borrow path for callers
+    /// that keep (or immediately discard) the graph and must not pay a
+    /// clone per call — per-trial sweeps, benchmarks, prefix recomputes.
+    pub fn solve(&self, graph: &BipartiteGraph) -> OfflineSolution {
         let matching = match self.algorithm {
-            MatchingAlgorithm::HopcroftKarp => hopcroft_karp(&graph),
-            MatchingAlgorithm::SimpleAugmenting => simple_augmenting(&graph),
+            MatchingAlgorithm::HopcroftKarp => hopcroft_karp(graph),
+            MatchingAlgorithm::SimpleAugmenting => simple_augmenting(graph),
         };
-        let cover = minimum_vertex_cover(&graph, &matching);
+        let cover = minimum_vertex_cover(graph, &matching);
         let components = ComponentMap::from_cover(&cover);
-        OfflinePlan {
-            graph,
+        OfflineSolution {
             matching_size: matching.size(),
             cover,
             components,
@@ -237,6 +294,24 @@ mod tests {
             plan.clock_size(),
             plan.naive_clock_size()
         );
+    }
+
+    #[test]
+    fn solve_borrow_path_agrees_with_plan() {
+        for seed in 0..5 {
+            let g = RandomGraphBuilder::new(30, 30)
+                .density(0.1)
+                .scenario(GraphScenario::default_nonuniform())
+                .seed(seed)
+                .build();
+            let solution = OfflineOptimizer::new().solve(&g);
+            let plan = OfflineOptimizer::new().plan_for_graph(g.clone());
+            assert_eq!(solution.clock_size(), plan.clock_size());
+            assert_eq!(solution.matching_size(), plan.matching_size());
+            assert_eq!(solution.cover(), plan.cover());
+            assert_eq!(solution.components(), plan.components());
+            assert_eq!(solution.into_plan(g), plan, "into_plan upgrades losslessly");
+        }
     }
 
     #[test]

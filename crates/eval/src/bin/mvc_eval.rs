@@ -1,8 +1,9 @@
 //! Command-line entry point that regenerates the paper's figures.
 //!
 //! ```text
-//! mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|all] [--trials N] [--csv DIR]
+//! mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] [--trials N] [--csv DIR]
 //! mvc-eval sweep [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]
+//! mvc-eval trajectory [--mechanisms a,b,c] [--workload uniform|nonuniform] [--trials N] [--csv DIR]
 //! ```
 //!
 //! Each figure is printed as an aligned table; with `--csv DIR` the raw series
@@ -10,7 +11,9 @@
 //! arbitrary [`MechanismRegistry`] mechanisms — selected **by name**, never as
 //! concrete types — over a synthetic workload family (`uniform`,
 //! `nonuniform`, `producer-consumer`, `lock-striped`, `phased`, or the
-//! adversarial `star`).
+//! adversarial `star`).  The `trajectory` command reports the per-reveal
+//! competitive trajectory (online size vs. the incrementally maintained
+//! offline optimum of the revealed prefix).
 
 use std::env;
 use std::fs;
@@ -18,21 +21,24 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mvc_eval::{
-    adaptive_ablation, fig4, fig5, fig6, fig7, registry_sweep, render_csv, render_table,
-    star_sweep, FigureData,
+    adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, registry_sweep, render_csv,
+    render_table, star_sweep, FigureData, SweepConfig,
 };
+use mvc_graph::GraphScenario;
 use mvc_online::MechanismRegistry;
 use mvc_trace::WorkloadKind;
 
 const DEFAULT_TRIALS: usize = 10;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Options {
     figures: Vec<String>,
     trials: usize,
     csv_dir: Option<PathBuf>,
     mechanisms: Vec<String>,
-    workload: WorkloadKind,
+    /// `--workload`, when given.  `sweep` defaults to the star stream,
+    /// `trajectory` to the nonuniform graph scenario.
+    workload: Option<WorkloadKind>,
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
@@ -60,7 +66,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut trials = DEFAULT_TRIALS;
     let mut csv_dir = None;
     let mut mechanisms = Vec::new();
-    let mut workload = WorkloadKind::Star { hubs: 1 };
+    let mut workload = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -98,13 +104,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let value = iter
                     .next()
                     .ok_or_else(|| "--workload requires a family name".to_string())?;
-                workload = parse_workload(value)?;
+                workload = Some(parse_workload(value)?);
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|all] [--trials N] \
-                     [--csv DIR]\n       mvc-eval sweep [--mechanisms a,b,c] [--workload KIND] \
-                     [--trials N] [--csv DIR]"
+                    "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] \
+                     [--trials N] [--csv DIR]\n       mvc-eval sweep|trajectory \
+                     [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]"
                         .into(),
                 )
             }
@@ -132,6 +138,40 @@ fn run_figure(name: &str, options: &Options) -> Result<Vec<FigureData>, String> 
         "fig7" => Ok(vec![fig7(trials)]),
         "adaptive" => Ok(vec![adaptive_ablation(trials)]),
         "star" => Ok(vec![star_sweep(trials)]),
+        "trajectory" => {
+            let names = if options.mechanisms.is_empty() {
+                MechanismRegistry::names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            } else {
+                options.mechanisms.clone()
+            };
+            // The trajectory sweeps random *graph* scenarios, so only the
+            // workloads with a graph-scenario counterpart are accepted.
+            let scenario = match options.workload {
+                None => GraphScenario::default_nonuniform(),
+                Some(WorkloadKind::Uniform) => GraphScenario::Uniform,
+                Some(WorkloadKind::Nonuniform {
+                    hot_fraction,
+                    hot_boost,
+                }) => GraphScenario::Nonuniform {
+                    hot_fraction,
+                    hot_boost,
+                },
+                Some(other) => {
+                    return Err(format!(
+                        "trajectory does not support --workload {} \
+                         (expected uniform|nonuniform)",
+                        other.name()
+                    ))
+                }
+            };
+            let cfg = SweepConfig::fifty_by_fifty(0.1, scenario, trials);
+            competitive_trajectory(&names, &cfg)
+                .map(|f| vec![f])
+                .map_err(|e| e.to_string())
+        }
         "sweep" => {
             let names = if options.mechanisms.is_empty() {
                 MechanismRegistry::names()
@@ -141,20 +181,32 @@ fn run_figure(name: &str, options: &Options) -> Result<Vec<FigureData>, String> 
             } else {
                 options.mechanisms.clone()
             };
-            registry_sweep(&names, options.workload, trials)
+            let workload = options.workload.unwrap_or(WorkloadKind::Star { hubs: 1 });
+            registry_sweep(&names, workload, trials)
                 .map(|f| vec![f])
                 .map_err(|e| e.to_string())
         }
-        "all" => Ok(vec![
-            fig4(trials),
-            fig5(trials),
-            fig6(trials),
-            fig7(trials),
-            adaptive_ablation(trials),
-            star_sweep(trials),
-        ]),
+        "all" => {
+            let mut figures = vec![
+                fig4(trials),
+                fig5(trials),
+                fig6(trials),
+                fig7(trials),
+                adaptive_ablation(trials),
+                star_sweep(trials),
+            ];
+            // `all` historically ignores `--workload` (it is a `sweep`/
+            // `trajectory` refinement), so the trajectory leg always runs
+            // with its default scenario rather than failing on a workload
+            // the trajectory figure cannot represent.
+            let mut defaults = options.clone();
+            defaults.workload = None;
+            figures.extend(run_figure("trajectory", &defaults)?);
+            Ok(figures)
+        }
         other => Err(format!(
-            "unknown figure '{other}' (expected fig4|fig5|fig6|fig7|adaptive|star|sweep|all)"
+            "unknown figure '{other}' (expected \
+             fig4|fig5|fig6|fig7|adaptive|star|trajectory|sweep|all)"
         )),
     }
 }
@@ -210,7 +262,7 @@ mod tests {
             trials,
             csv_dir: None,
             mechanisms: vec![],
-            workload: WorkloadKind::Star { hubs: 1 },
+            workload: None,
         }
     }
 
@@ -243,7 +295,7 @@ mod tests {
         .unwrap();
         assert_eq!(o.figures, vec!["sweep"]);
         assert_eq!(o.mechanisms, vec!["popularity", "adaptive"]);
-        assert_eq!(o.workload, WorkloadKind::Star { hubs: 1 });
+        assert_eq!(o.workload, Some(WorkloadKind::Star { hubs: 1 }));
 
         let err = parse_args(&args(&["sweep", "--mechanisms", "quantum"])).unwrap_err();
         assert!(err.contains("unknown mechanism 'quantum'"));
@@ -283,7 +335,39 @@ mod tests {
         assert_eq!(run_figure("fig4", &opts(1)).unwrap().len(), 1);
         assert_eq!(run_figure("adaptive", &opts(1)).unwrap().len(), 1);
         assert_eq!(run_figure("star", &opts(1)).unwrap().len(), 1);
-        assert_eq!(run_figure("all", &opts(1)).unwrap().len(), 6);
+        assert_eq!(run_figure("all", &opts(1)).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn trajectory_defaults_to_every_registry_mechanism() {
+        let figures = run_figure("trajectory", &opts(1)).unwrap();
+        assert_eq!(figures.len(), 1);
+        assert_eq!(figures[0].id, "trajectory");
+        assert_eq!(
+            figures[0].series.len(),
+            MechanismRegistry::names().len() + 1,
+            "every registry mechanism plus the offline-optimal reference"
+        );
+    }
+
+    #[test]
+    fn trajectory_honors_the_workload_flag_where_it_can() {
+        let mut options = opts(1);
+        options.mechanisms = vec!["popularity".to_string()];
+        options.workload = Some(WorkloadKind::Uniform);
+        let figures = run_figure("trajectory", &options).unwrap();
+        assert!(figures[0].title.contains("uniform"));
+
+        options.workload = Some(WorkloadKind::Star { hubs: 1 });
+        let err = run_figure("trajectory", &options).unwrap_err();
+        assert!(
+            err.contains("does not support --workload star"),
+            "graph-less workloads must be rejected, not silently remapped: {err}"
+        );
+
+        // `all` ignores --workload for its trajectory leg instead of
+        // failing after computing six figures.
+        assert_eq!(run_figure("all", &options).unwrap().len(), 7);
     }
 
     #[test]

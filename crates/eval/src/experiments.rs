@@ -5,8 +5,11 @@
 use serde::{Deserialize, Serialize};
 
 use mvc_core::{replay, OfflineOptimizer};
-use mvc_graph::GraphScenario;
-use mvc_online::{MechanismRegistry, OnlineTimestamper, UnknownMechanismError};
+use mvc_graph::{GraphScenario, RandomGraphBuilder};
+use mvc_online::{
+    CompetitiveReport, CompetitiveTracker, MechanismRegistry, OnlineTimestamper,
+    UnknownMechanismError,
+};
 use mvc_trace::{WorkloadBuilder, WorkloadKind};
 
 use crate::runner::{average_size, AlgorithmKind, DataPoint, SweepConfig};
@@ -332,6 +335,121 @@ pub fn registry_sweep(
     })
 }
 
+/// Number of evenly spaced prefixes sampled by [`competitive_trajectory`].
+const TRAJECTORY_SAMPLES: usize = 24;
+
+/// Competitive-trajectory experiment: the *per-reveal* view behind the
+/// paper's Figures 6/7 gap.  Each named registry mechanism replays the same
+/// seeded reveal streams through a [`CompetitiveTracker`], and the figure
+/// reports the online clock size after every revealed edge next to an
+/// `offline-optimal` series — the optimum of the revealed prefix, maintained
+/// incrementally by [`mvc_graph::IncrementalOptimum`] (one augmenting-path
+/// attempt per edge) rather than recomputed from scratch, which is what makes
+/// sweeping whole trajectories affordable.
+///
+/// The x axis is the number of revealed edges, sampled at up to
+/// `TRAJECTORY_SAMPLES` (24) evenly spaced prefixes of the shortest stream
+/// across trials; values are averaged over `config.trials` seeds.
+///
+/// # Errors
+///
+/// Returns [`UnknownMechanismError`] (before measuring anything) when a name
+/// is not in the [`MechanismRegistry`].
+///
+/// # Panics
+///
+/// Panics when `mechanisms` is empty or `config.trials` is zero.
+pub fn competitive_trajectory(
+    mechanisms: &[String],
+    config: &SweepConfig,
+) -> Result<FigureData, UnknownMechanismError> {
+    assert!(!mechanisms.is_empty(), "at least one mechanism is required");
+    assert!(config.trials > 0, "at least one trial is required");
+    let registry = MechanismRegistry::new();
+    for name in mechanisms {
+        registry.from_name(name)?;
+    }
+
+    // One tracked run per (mechanism, trial); each per-trial stream is
+    // generated once and shared by every mechanism, so the offline series
+    // (identical across mechanisms by construction) is taken from the first
+    // mechanism's reports.
+    let mut reports: Vec<Vec<CompetitiveReport>> = mechanisms
+        .iter()
+        .map(|_| Vec::with_capacity(config.trials))
+        .collect();
+    for trial in 0..config.trials {
+        let (_, stream) = RandomGraphBuilder::new(config.threads, config.objects)
+            .density(config.density)
+            .scenario(config.scenario)
+            .seed(trial as u64)
+            .build_edge_stream();
+        for (per_trial, name) in reports.iter_mut().zip(mechanisms) {
+            let mechanism = registry
+                .clone()
+                .seed(crate::runner::mechanism_seed(trial as u64))
+                .from_name(name)
+                .expect("validated above");
+            per_trial.push(CompetitiveTracker::new(mechanism).run(&stream));
+        }
+    }
+
+    let min_len = reports[0]
+        .iter()
+        .map(|r| r.trajectory.len())
+        .min()
+        .unwrap_or(0);
+    // Ceiling division keeps the sample count at (or just under) the cap;
+    // the final prefix is always included.
+    let stride = min_len.div_ceil(TRAJECTORY_SAMPLES).max(1);
+    let sampled: Vec<usize> = (1..=min_len)
+        .filter(|i| i % stride == 0 || *i == min_len)
+        .collect();
+
+    let aggregate = |values: &dyn Fn(&CompetitiveReport, usize) -> usize,
+                     per_trial: &[CompetitiveReport]| {
+        sampled
+            .iter()
+            .map(|&edges| {
+                let sizes: Vec<usize> = per_trial.iter().map(|r| values(r, edges - 1)).collect();
+                DataPoint {
+                    x: edges as f64,
+                    mean_size: sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
+                    min_size: *sizes.iter().min().expect("trials > 0"),
+                    max_size: *sizes.iter().max().expect("trials > 0"),
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut series: Vec<Series> = mechanisms
+        .iter()
+        .zip(&reports)
+        .map(|(name, per_trial)| Series {
+            name: name.clone(),
+            points: aggregate(&|r, i| r.trajectory[i].online_size, per_trial),
+        })
+        .collect();
+    series.push(Series {
+        name: "offline-optimal".into(),
+        points: aggregate(&|r, i| r.trajectory[i].offline_optimum, &reports[0]),
+    });
+
+    Ok(FigureData {
+        id: "trajectory".into(),
+        title: format!(
+            "Competitive trajectory ({}+{} nodes, density {}, {})",
+            config.threads,
+            config.objects,
+            config.density,
+            config.scenario.name()
+        ),
+        x_label: "revealed edges".into(),
+        y_label: "clock size after reveal".into(),
+        series,
+    })
+}
+
 /// The adversarial lower-bound sweep: every registry mechanism on the
 /// single-hub [`WorkloadKind::Star`] stream, where naive-threads degenerates
 /// to one component per thread while the optimum stays at 1.
@@ -448,6 +566,48 @@ mod tests {
             );
             assert!(adaptive.points[i].mean_size <= 2.0);
         }
+    }
+
+    #[test]
+    fn trajectory_keeps_online_above_offline_at_every_prefix() {
+        let cfg = SweepConfig {
+            threads: 20,
+            objects: 20,
+            density: 0.1,
+            scenario: GraphScenario::default_nonuniform(),
+            trials: 3,
+        };
+        let names = vec!["popularity".to_string(), "naive-threads".to_string()];
+        let f = competitive_trajectory(&names, &cfg).unwrap();
+        assert_eq!(f.id, "trajectory");
+        assert_eq!(f.series.len(), 3, "two mechanisms + offline reference");
+        let offline = f.series_named("offline-optimal").unwrap();
+        assert!(!offline.points.is_empty());
+        // The optimum of a growing revealed graph can only grow.
+        for w in offline.points.windows(2) {
+            assert!(w[0].mean_size <= w[1].mean_size + 1e-9);
+            assert!(w[0].x < w[1].x, "sampled prefixes are strictly ordered");
+        }
+        for name in &names {
+            let s = f.series_named(name).unwrap();
+            for (p, o) in s.points.iter().zip(&offline.points) {
+                assert_eq!(p.x, o.x, "all series share the sampled prefixes");
+                assert!(
+                    p.mean_size + 1e-9 >= o.mean_size,
+                    "{name} dipped below the offline optimum at x={}",
+                    p.x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_rejects_unknown_mechanisms() {
+        let cfg = SweepConfig::fifty_by_fifty(0.1, GraphScenario::Uniform, 1);
+        let err = competitive_trajectory(&["warp-drive".to_string()], &cfg)
+            .err()
+            .unwrap();
+        assert_eq!(err.name, "warp-drive");
     }
 
     #[test]

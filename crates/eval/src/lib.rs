@@ -36,7 +36,8 @@ pub mod report;
 pub mod runner;
 
 pub use experiments::{
-    adaptive_ablation, fig4, fig5, fig6, fig7, registry_sweep, star_sweep, FigureData, Series,
+    adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, registry_sweep, star_sweep,
+    FigureData, Series,
 };
 pub use report::{render_csv, render_table};
 pub use runner::{average_size, single_run, AlgorithmKind, DataPoint, SweepConfig};

@@ -115,8 +115,10 @@ pub fn single_run(config: &SweepConfig, algorithm: &AlgorithmKind, seed: u64) ->
         .seed(seed);
     match algorithm {
         AlgorithmKind::OfflineOptimal => {
+            // Borrow path: no clone / ownership transfer of the graph just
+            // to read the optimal clock size.
             let graph = builder.build();
-            OfflineOptimizer::new().plan_for_graph(graph).clock_size()
+            OfflineOptimizer::new().solve(&graph).clock_size()
         }
         AlgorithmKind::NaiveThreads => config.threads,
         AlgorithmKind::NaiveObjects => config.objects,

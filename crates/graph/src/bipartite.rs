@@ -86,6 +86,11 @@ pub struct BipartiteGraph {
     adj_left: Vec<Vec<usize>>,
     adj_right: Vec<Vec<usize>>,
     edge_set: HashSet<(usize, usize)>,
+    // Maintained incrementally so per-event consumers (the Adaptive online
+    // mechanism, the incremental matcher's augmentation guard) get O(1)
+    // active-vertex counts instead of O(V) scans.
+    active_left_count: usize,
+    active_right_count: usize,
 }
 
 impl BipartiteGraph {
@@ -106,6 +111,8 @@ impl BipartiteGraph {
             adj_left: vec![Vec::new(); n_left],
             adj_right: vec![Vec::new(); n_right],
             edge_set: HashSet::new(),
+            active_left_count: 0,
+            active_right_count: 0,
         }
     }
 
@@ -191,6 +198,12 @@ impl BipartiteGraph {
             self.n_right
         );
         if self.edge_set.insert((left, right)) {
+            if self.adj_left[left].is_empty() {
+                self.active_left_count += 1;
+            }
+            if self.adj_right[right].is_empty() {
+                self.active_right_count += 1;
+            }
             self.adj_left[left].push(right);
             self.adj_right[right].push(left);
             true
@@ -287,6 +300,18 @@ impl BipartiteGraph {
     /// Right vertices with at least one incident edge.
     pub fn active_right(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.n_right).filter(|&r| !self.adj_right[r].is_empty())
+    }
+
+    /// Number of left vertices with at least one incident edge, maintained
+    /// incrementally (`O(1)`, unlike counting [`active_left`](Self::active_left)).
+    pub fn active_left_count(&self) -> usize {
+        self.active_left_count
+    }
+
+    /// Number of right vertices with at least one incident edge, maintained
+    /// incrementally (`O(1)`, unlike counting [`active_right`](Self::active_right)).
+    pub fn active_right_count(&self) -> usize {
+        self.active_right_count
     }
 }
 
@@ -408,6 +433,25 @@ mod tests {
         let g = BipartiteGraph::from_edges(4, 4, &[(1, 2)]);
         assert_eq!(g.active_left().collect::<Vec<_>>(), vec![1]);
         assert_eq!(g.active_right().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn active_counts_track_the_iterators() {
+        let mut g = BipartiteGraph::new(0, 0);
+        assert_eq!(g.active_left_count(), 0);
+        assert_eq!(g.active_right_count(), 0);
+        for (l, r) in [(0, 0), (0, 1), (2, 1), (2, 1), (5, 0)] {
+            g.add_edge_growing(l, r);
+            assert_eq!(g.active_left_count(), g.active_left().count());
+            assert_eq!(g.active_right_count(), g.active_right().count());
+        }
+        assert_eq!(g.active_left_count(), 3);
+        assert_eq!(g.active_right_count(), 2);
+        // Growing a side does not activate the new (isolated) vertices.
+        g.ensure_left(20);
+        g.ensure_right(20);
+        assert_eq!(g.active_left_count(), 3);
+        assert_eq!(g.active_right_count(), 2);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   incremental edge insertion (used both offline and online).
 //! * [`matching`] — maximum bipartite matching: the Hopcroft–Karp algorithm
 //!   (`O(E √V)`) and a simple augmenting-path baseline (`O(V·E)`).
+//! * [`incremental`] — maintenance of a maximum matching and the offline
+//!   optimum under single edge insertions (one augmenting-path attempt per
+//!   edge, `O(1)` cover size between insertions) — the engine behind the
+//!   competitive-trajectory experiments.
 //! * [`cover`] — minimum vertex cover via the constructive Kőnig–Egerváry
 //!   proof, plus a greedy 2-approximation baseline.
 //! * [`generate`] — random graph generators for the paper's *Uniform* and
@@ -46,11 +50,13 @@ pub mod bipartite;
 pub mod cover;
 pub mod dot;
 pub mod generate;
+pub mod incremental;
 pub mod matching;
 pub mod stats;
 
 pub use bipartite::{BipartiteGraph, EdgeIter, LeftVertex, RightVertex, Vertex};
 pub use cover::{minimum_vertex_cover, VertexCover};
 pub use generate::{GraphScenario, RandomGraphBuilder};
-pub use matching::{hopcroft_karp, Matching};
+pub use incremental::{IncrementalMatching, IncrementalOptimum};
+pub use matching::{hopcroft_karp, hopcroft_karp_with_phases, Matching};
 pub use stats::GraphStats;

@@ -1,15 +1,26 @@
 //! Maximum bipartite matching.
 //!
 //! The paper's offline algorithm (Algorithm 1) starts from a maximum matching
-//! of the thread–object bipartite graph.  We provide two algorithms:
+//! of the thread–object bipartite graph.  We provide two batch algorithms
+//! (plus the incremental maintenance in [`crate::incremental`], which reuses
+//! the augmenting-path machinery defined here):
 //!
 //! * [`hopcroft_karp`] — the Hopcroft–Karp algorithm referenced by the paper
-//!   (`O(E √V)`), which finds a *maximal set of shortest vertex-disjoint
-//!   augmenting paths* per phase.
+//!   (`O(E √V)`).  Each BFS phase records the level `dist_nil` at which a
+//!   free right vertex is first reached and stops expanding beyond it, and
+//!   the DFS phase accepts a free right vertex only at exactly that level, so
+//!   every phase augments along a *maximal set of shortest vertex-disjoint
+//!   augmenting paths* — the property the `O(√V)` phase bound depends on
+//!   ([`hopcroft_karp_with_phases`] exposes the phase count so tests can hold
+//!   the implementation to it).
 //! * [`simple_augmenting`] — the classic single-augmenting-path (Hungarian
 //!   style) algorithm in `O(V · E)`, kept as an independently implemented
 //!   baseline; the test-suite cross-checks that both report the same matching
 //!   size on random graphs.
+//!
+//! All augmenting-path searches use explicit stacks rather than recursion:
+//! an adversarial alternating chain (e.g. a 2×n ladder with n in the tens of
+//! thousands) would otherwise overflow the call stack.
 
 use std::collections::VecDeque;
 
@@ -18,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use crate::bipartite::BipartiteGraph;
 
 /// Sentinel meaning "unmatched" in the internal pair arrays.
-const NIL: usize = usize::MAX;
+pub(crate) const NIL: usize = usize::MAX;
 
 /// A matching in a bipartite graph: a set of edges no two of which share an
 /// endpoint.
@@ -137,23 +148,50 @@ impl Matching {
 /// assert_eq!(hopcroft_karp(&g).size(), 3);
 /// ```
 pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
+    hopcroft_karp_with_phases(graph).0
+}
+
+/// Like [`hopcroft_karp`], additionally reporting the number of BFS/DFS
+/// phases the algorithm ran.
+///
+/// The phase count is the quantity the `O(E √V)` bound is about: it can only
+/// stay `O(√V)` when every phase augments exclusively along *shortest*
+/// augmenting paths, so the regression tests assert the count on adversarial
+/// graphs.
+pub fn hopcroft_karp_with_phases(graph: &BipartiteGraph) -> (Matching, usize) {
     let n_left = graph.n_left();
     let n_right = graph.n_right();
     // pair arrays use NIL for unmatched to keep the hot loops index-based.
     let mut pair_left = vec![NIL; n_left];
     let mut pair_right = vec![NIL; n_right];
     let mut dist = vec![u64::MAX; n_left];
+    let mut queue = VecDeque::new();
+    let mut stack = Vec::new();
+    let mut phases = 0usize;
 
     loop {
-        if !hk_bfs(graph, &pair_left, &pair_right, &mut dist) {
+        let dist_nil = hk_bfs(graph, &pair_left, &pair_right, &mut dist, &mut queue);
+        if dist_nil == u64::MAX {
             break;
         }
+        phases += 1;
         let mut augmented = false;
         for l in 0..n_left {
-            if pair_left[l] == NIL && hk_dfs(graph, l, &mut pair_left, &mut pair_right, &mut dist) {
+            if pair_left[l] == NIL
+                && hk_dfs(
+                    graph,
+                    l,
+                    &mut pair_left,
+                    &mut pair_right,
+                    &mut dist,
+                    dist_nil,
+                    &mut stack,
+                )
+            {
                 augmented = true;
             }
         }
+        debug_assert!(augmented, "BFS promised an augmenting path");
         if !augmented {
             break;
         }
@@ -165,18 +203,22 @@ pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
             matching.insert(l, r);
         }
     }
-    matching
+    (matching, phases)
 }
 
-/// BFS phase: computes shortest alternating-path distances from unmatched left
-/// vertices. Returns `true` if at least one augmenting path exists.
+/// BFS phase: computes shortest alternating-path distances from unmatched
+/// left vertices.  Returns `dist_nil`, the level at which a free right vertex
+/// is first reached (`u64::MAX` when no augmenting path exists).  Left
+/// vertices at `dist_nil` or beyond are not expanded: paths through them
+/// cannot be shortest, and the DFS phase must not use them.
 fn hk_bfs(
     graph: &BipartiteGraph,
     pair_left: &[usize],
     pair_right: &[usize],
     dist: &mut [u64],
-) -> bool {
-    let mut queue = VecDeque::new();
+    queue: &mut VecDeque<usize>,
+) -> u64 {
+    queue.clear();
     for l in 0..graph.n_left() {
         if pair_left[l] == NIL {
             dist[l] = 0;
@@ -185,83 +227,252 @@ fn hk_bfs(
             dist[l] = u64::MAX;
         }
     }
-    let mut found = false;
+    let mut dist_nil = u64::MAX;
     while let Some(l) = queue.pop_front() {
+        if dist[l] >= dist_nil {
+            // A free right vertex was already found at an earlier level:
+            // everything from here on is a non-shortest path.
+            continue;
+        }
         for &r in graph.neighbors_of_left(l) {
             let next = pair_right[r];
             if next == NIL {
-                // An augmenting path of this BFS level exists.
-                found = true;
+                // First free right vertex: record the shortest augmenting
+                // path length; later levels must not extend past it.
+                if dist_nil == u64::MAX {
+                    dist_nil = dist[l] + 1;
+                }
             } else if dist[next] == u64::MAX {
                 dist[next] = dist[l] + 1;
                 queue.push_back(next);
             }
         }
     }
-    found
+    dist_nil
 }
 
-/// DFS phase: tries to find an augmenting path starting at unmatched left
-/// vertex `l` that respects the BFS layering, flipping matched edges along it.
+/// One frame of an explicit-stack augmenting-path search: a left vertex and
+/// the index of the next neighbour to try.  `next - 1` is the edge through
+/// which the search descended (or succeeded), which is exactly the edge to
+/// flip when an augmenting path is found.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SearchFrame {
+    vertex: usize,
+    next: usize,
+}
+
+/// DFS phase: finds an augmenting path starting at unmatched left vertex `l`
+/// that respects the BFS layering and ends at a free right vertex at exactly
+/// level `dist_nil`, flipping matched edges along it.
+///
+/// Uses an explicit stack: shortest augmenting paths are bounded by the BFS
+/// layering, but a single phase on a long alternating chain can still reach
+/// depths that overflow the call stack.
 fn hk_dfs(
     graph: &BipartiteGraph,
     l: usize,
     pair_left: &mut [usize],
     pair_right: &mut [usize],
     dist: &mut [u64],
+    dist_nil: u64,
+    stack: &mut Vec<SearchFrame>,
 ) -> bool {
-    for idx in 0..graph.neighbors_of_left(l).len() {
-        let r = graph.neighbors_of_left(l)[idx];
-        let next = pair_right[r];
-        let reachable = if next == NIL {
-            true
-        } else if dist[next] == dist[l].saturating_add(1) {
-            hk_dfs(graph, next, pair_left, pair_right, dist)
-        } else {
-            false
+    stack.clear();
+    stack.push(SearchFrame { vertex: l, next: 0 });
+    while let Some(top) = stack.last_mut() {
+        let l = top.vertex;
+        let Some(&r) = graph.neighbors_of_left(l).get(top.next) else {
+            // Every neighbour failed: this left vertex is off all shortest
+            // augmenting paths for the rest of the phase.
+            dist[l] = u64::MAX;
+            stack.pop();
+            continue;
         };
-        if reachable {
-            pair_left[l] = r;
-            pair_right[r] = l;
-            return true;
+        top.next += 1;
+        let next = pair_right[r];
+        if next == NIL {
+            // Accept a free right vertex only at exactly the first free
+            // level; deeper free vertices would augment a non-shortest path
+            // and void the phase bound.
+            if dist[l].saturating_add(1) == dist_nil {
+                flip_stack(graph, stack, pair_left, pair_right);
+                return true;
+            }
+        } else if dist[next] == dist[l].saturating_add(1) {
+            stack.push(SearchFrame {
+                vertex: next,
+                next: 0,
+            });
         }
     }
-    dist[l] = u64::MAX;
     false
 }
 
+/// Augments along the path recorded by a successful search: each frame's
+/// last-tried neighbour is the right vertex its left vertex ends up matched
+/// with.
+fn flip_stack(
+    graph: &BipartiteGraph,
+    stack: &[SearchFrame],
+    pair_left: &mut [usize],
+    pair_right: &mut [usize],
+) {
+    for frame in stack {
+        let r = graph.neighbors_of_left(frame.vertex)[frame.next - 1];
+        pair_left[frame.vertex] = r;
+        pair_right[r] = frame.vertex;
+    }
+}
+
+/// Reusable scratch space for single augmenting-path searches, shared by
+/// [`simple_augmenting`] and the incremental matching in
+/// [`crate::incremental`].
+///
+/// Visited marks are epoch-stamped so clearing between searches is `O(1)`,
+/// and the explicit stack is reused across searches so a search allocates
+/// nothing once the buffers have grown to the graph size.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AugmentScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+    stack: Vec<SearchFrame>,
+}
+
+impl AugmentScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh search wave over `n` markable vertices: all visited
+    /// marks are invalidated in `O(1)` (amortised).
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, self.epoch);
+        }
+        if self.epoch == u32::MAX {
+            self.visited.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    fn mark(&mut self, v: usize) -> bool {
+        if self.visited[v] == self.epoch {
+            false
+        } else {
+            self.visited[v] = self.epoch;
+            true
+        }
+    }
+
+    /// Tries to find an augmenting path starting at the free left vertex
+    /// `root`, flipping matched edges along it.  Right vertices visited in
+    /// the current wave (since [`begin`](Self::begin)) are skipped: a failed
+    /// search proves its alternating tree cannot lie on any augmenting path
+    /// for the current matching, so later roots in the same wave may share
+    /// the marks.
+    pub(crate) fn augment_from_left(
+        &mut self,
+        graph: &BipartiteGraph,
+        root: usize,
+        pair_left: &mut [usize],
+        pair_right: &mut [usize],
+    ) -> bool {
+        debug_assert_eq!(pair_left[root], NIL, "root must be free");
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        stack.push(SearchFrame {
+            vertex: root,
+            next: 0,
+        });
+        let mut found = false;
+        while let Some(top) = stack.last_mut() {
+            let l = top.vertex;
+            let Some(&r) = graph.neighbors_of_left(l).get(top.next) else {
+                stack.pop();
+                continue;
+            };
+            top.next += 1;
+            if !self.mark(r) {
+                continue;
+            }
+            if pair_right[r] == NIL {
+                flip_stack(graph, &stack, pair_left, pair_right);
+                found = true;
+                break;
+            }
+            stack.push(SearchFrame {
+                vertex: pair_right[r],
+                next: 0,
+            });
+        }
+        self.stack = stack;
+        found
+    }
+
+    /// Mirror image of [`augment_from_left`](Self::augment_from_left): walks
+    /// from the free *right* vertex `root` towards a free left vertex,
+    /// marking left vertices.  Needed by the incremental matching when the
+    /// newly inserted edge's right endpoint is the only free endpoint.
+    pub(crate) fn augment_from_right(
+        &mut self,
+        graph: &BipartiteGraph,
+        root: usize,
+        pair_left: &mut [usize],
+        pair_right: &mut [usize],
+    ) -> bool {
+        debug_assert_eq!(pair_right[root], NIL, "root must be free");
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        stack.push(SearchFrame {
+            vertex: root,
+            next: 0,
+        });
+        let mut found = false;
+        while let Some(top) = stack.last_mut() {
+            let r = top.vertex;
+            let Some(&l) = graph.neighbors_of_right(r).get(top.next) else {
+                stack.pop();
+                continue;
+            };
+            top.next += 1;
+            if !self.mark(l) {
+                continue;
+            }
+            if pair_left[l] == NIL {
+                for frame in &stack {
+                    let l = graph.neighbors_of_right(frame.vertex)[frame.next - 1];
+                    pair_right[frame.vertex] = l;
+                    pair_left[l] = frame.vertex;
+                }
+                found = true;
+                break;
+            }
+            stack.push(SearchFrame {
+                vertex: pair_left[l],
+                next: 0,
+            });
+        }
+        self.stack = stack;
+        found
+    }
+}
+
 /// Computes a maximum matching using the simple augmenting-path algorithm
-/// (one DFS per left vertex, `O(V · E)`).
+/// (one explicit-stack DFS per left vertex, `O(V · E)`).
 ///
 /// Kept as an independent implementation to cross-check [`hopcroft_karp`] and
 /// as a baseline in the matching benchmarks.
 pub fn simple_augmenting(graph: &BipartiteGraph) -> Matching {
     let n_left = graph.n_left();
     let n_right = graph.n_right();
+    let mut pair_left = vec![NIL; n_left];
     let mut pair_right = vec![NIL; n_right];
-
-    fn try_augment(
-        graph: &BipartiteGraph,
-        l: usize,
-        visited: &mut [bool],
-        pair_right: &mut [usize],
-    ) -> bool {
-        for &r in graph.neighbors_of_left(l) {
-            if visited[r] {
-                continue;
-            }
-            visited[r] = true;
-            if pair_right[r] == NIL || try_augment(graph, pair_right[r], visited, pair_right) {
-                pair_right[r] = l;
-                return true;
-            }
-        }
-        false
-    }
+    let mut scratch = AugmentScratch::new();
 
     for l in 0..n_left {
-        let mut visited = vec![false; n_right];
-        try_augment(graph, l, &mut visited, &mut pair_right);
+        scratch.begin(n_right);
+        scratch.augment_from_left(graph, l, &mut pair_left, &mut pair_right);
     }
 
     let mut matching = Matching::empty(n_left, n_right);
@@ -382,6 +593,120 @@ mod tests {
             assert!(simple.is_valid_for(&g));
             assert_eq!(hk.size(), simple.size(), "seed {seed}");
         }
+    }
+
+    /// A long alternating chain: lefts `0..n` with edges `(i, i)` and
+    /// `(i, i+1)`, plus one extra left `n` whose only edge points back at
+    /// right `0`.  Greedy phase 1 matches `(i, i)`, so the final left can
+    /// only augment along the full chain `n → 0 → 1 → … → n` — an
+    /// augmenting path of ~`n` edges.
+    fn alternating_chain(n: usize) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(n + 1, n + 1);
+        for i in 0..n {
+            g.add_edge(i, i);
+            g.add_edge(i, i + 1);
+        }
+        g.add_edge(n, 0);
+        g
+    }
+
+    #[test]
+    fn long_alternating_chain_does_not_overflow_the_stack() {
+        // Regression: the recursive hk_dfs / try_augment overflowed the call
+        // stack on alternating chains of this length (one frame per vertex
+        // along a ~50k-edge augmenting path).
+        let n = 50_000;
+        let g = alternating_chain(n);
+        let (hk, phases) = hopcroft_karp_with_phases(&g);
+        assert_eq!(hk.size(), n + 1, "the chain has a perfect matching");
+        assert!(hk.is_valid_for(&g));
+        assert_eq!(phases, 2, "greedy phase + one chain-long augmentation");
+        let simple = simple_augmenting(&g);
+        assert_eq!(simple.size(), n + 1);
+        assert!(simple.is_valid_for(&g));
+    }
+
+    /// Upper bound on Hopcroft–Karp phases when every phase augments along
+    /// shortest paths only: `2·⌈√m⌉ + 2` for matching size `m` (after `√m`
+    /// phases the shortest augmenting path exceeds `√m`, leaving at most
+    /// `√m` further augmentations, one phase each).
+    fn phase_bound(matching_size: usize) -> usize {
+        2 * (matching_size as f64).sqrt().ceil() as usize + 2
+    }
+
+    #[test]
+    fn phase_count_stays_within_the_sqrt_bound() {
+        // Regression for the hk_bfs bug that never recorded the level at
+        // which a free right vertex was first found: the DFS could then
+        // augment along non-shortest paths, voiding the O(√V) phase bound.
+        // Random sparse graphs are adversarial enough to catch it — seeds
+        // exist where the unfixed algorithm exceeds this bound.
+        for seed in 0..40 {
+            let g = RandomGraphBuilder::new(120, 120)
+                .density(0.02)
+                .scenario(GraphScenario::Uniform)
+                .seed(seed)
+                .build();
+            let (m, phases) = hopcroft_karp_with_phases(&g);
+            assert_eq!(m.size(), simple_augmenting(&g).size(), "seed {seed}");
+            assert!(
+                phases <= phase_bound(m.size()),
+                "seed {seed}: {phases} phases for matching size {} exceeds the \
+                 shortest-path bound {}",
+                m.size(),
+                phase_bound(m.size())
+            );
+        }
+        for seed in 0..10 {
+            let g = RandomGraphBuilder::new(150, 150)
+                .density(0.05)
+                .scenario(GraphScenario::default_nonuniform())
+                .seed(seed)
+                .build();
+            let (m, phases) = hopcroft_karp_with_phases(&g);
+            assert!(phases <= phase_bound(m.size()), "nonuniform seed {seed}");
+        }
+    }
+
+    #[test]
+    fn phase_count_on_adversarial_widget_is_exactly_two() {
+        // Regression for the hk_bfs/hk_dfs shortest-path bug.  The widget is
+        // built so that in phase 2 the DFS from thread A explores the branch
+        // A→Y2→c2→z2→c3 first and finds the free object Z at level 3, while
+        // the shortest augmenting paths (A→Y1→c1→X and B→W→c4→Z) have level
+        // 2.  The unfixed DFS accepted Z at level 3, which stole Z from B's
+        // shortest path and forced a third phase; the fixed algorithm rejects
+        // the deep free vertex and finishes in exactly two phases.
+        //
+        // Lefts: c1=0, c2=1, c3=2, c4=3, A=4, B=5.
+        // Rights: Y1=0, Y2=1, z2=2, W=3, X=4, Z=5.
+        #[rustfmt::skip]
+        let g = BipartiteGraph::from_edges(
+            6,
+            6,
+            &[
+                (0, 0), (0, 4), // c1: Y1, X
+                (1, 1), (1, 2), // c2: Y2, z2
+                (2, 2), (2, 5), // c3: z2, Z
+                (3, 3), (3, 5), // c4: W, Z
+                (4, 1), (4, 0), // A: Y2 (the trap branch first), Y1
+                (5, 3),         // B: W
+            ],
+        );
+        let (m, phases) = hopcroft_karp_with_phases(&g);
+        assert_eq!(m.size(), 6, "the widget has a perfect matching");
+        assert_eq!(
+            phases, 2,
+            "augmenting along non-shortest paths costs an extra phase here"
+        );
+    }
+
+    #[test]
+    fn phase_count_on_trivial_graphs() {
+        let empty = BipartiteGraph::new(4, 4);
+        assert_eq!(hopcroft_karp_with_phases(&empty).1, 0);
+        let single = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
+        assert_eq!(hopcroft_karp_with_phases(&single).1, 1);
     }
 
     #[test]

@@ -223,8 +223,11 @@ impl OnlineMechanism for Adaptive {
 
     fn choose(&mut self, graph: &BipartiteGraph, thread: ThreadId, object: ObjectId) -> Component {
         if !self.switched {
-            let active_left = graph.active_left().count();
-            let active_right = graph.active_right().count();
+            // O(1) per decision: the graph maintains its active-vertex
+            // counts incrementally, so the hybrid adds no per-event scan of
+            // the revealed graph.
+            let active_left = graph.active_left_count();
+            let active_right = graph.active_right_count();
             let active_nodes = active_left + active_right;
             // Density over active vertices only: the allocated sides of a
             // grown revealed graph track the highest ids seen, not the

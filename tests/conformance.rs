@@ -1,9 +1,9 @@
 //! Cross-crate conformance suite: the paper's load-bearing theorems as
 //! executable oracles.
 //!
-//! Three invariant families from Zheng & Garg (ICDCS 2019) are encoded so
-//! that any future refactor of the graph, clock, core or online crates is
-//! checked against the mathematics rather than against snapshots:
+//! Five invariant families are encoded so that any future refactor of the
+//! graph, clock, core or online crates is checked against the mathematics
+//! rather than against snapshots:
 //!
 //! 1. **Kőnig duality (Theorem: offline optimality).**  The offline
 //!    optimizer's clock size equals the maximum matching of the
@@ -26,6 +26,12 @@
 //!    counterpart, and the three [`Timestamper`] implementations (batch
 //!    replay, engine, online) agree on a replayed computation with a fixed
 //!    component map.
+//! 5. **Incremental optimum maintenance.**  After *every* insertion of a
+//!    random edge stream, the incrementally maintained matching equals a
+//!    from-scratch Hopcroft–Karp on the revealed prefix, and the lazily
+//!    rebuilt cover satisfies Kőnig (size equals matching size, covers all
+//!    edges) — the incremental engine is a pure optimisation, never a new
+//!    algorithm.
 
 mod support;
 
@@ -34,7 +40,7 @@ use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
 use mvc_clock::{ClockOrd, TimestampAssigner, VectorTimestamp};
 use mvc_core::{replay, verify_assignment, OfflineOptimizer, Timestamper, TimestampingEngine};
 use mvc_graph::matching::{hopcroft_karp, simple_augmenting};
-use mvc_graph::BipartiteGraph;
+use mvc_graph::{BipartiteGraph, IncrementalOptimum};
 use mvc_online::{
     Adaptive, CompetitiveTracker, MechanismRegistry, Naive, OnlineMechanism, OnlineTimestamper,
     Popularity, Random,
@@ -440,5 +446,39 @@ proptest! {
         prop_assert_eq!(&replay(&mut batch, &computation).unwrap().timestamps, &reference);
         prop_assert_eq!(&replay(&mut engine, &computation).unwrap().timestamps, &reference);
         prop_assert_eq!(&replay(&mut online, &computation).unwrap().timestamps, &reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 5: incremental optimum maintenance == from-scratch at every prefix
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every single insertion of a random edge stream, the
+    /// incrementally maintained matching size equals a from-scratch
+    /// Hopcroft–Karp run on the revealed prefix, and the incremental cover
+    /// satisfies Kőnig: its size equals the matching size and it covers
+    /// every revealed edge.
+    #[test]
+    fn incremental_optimum_equals_scratch_after_every_insertion(
+        stream in EdgeStreamStrategy { nodes: 2..12, density: 0.02..0.5 },
+    ) {
+        let (_, edges) = stream;
+        let mut incremental = IncrementalOptimum::new();
+        let mut revealed = BipartiteGraph::new(0, 0);
+        for &(l, r) in &edges {
+            prop_assert_eq!(incremental.insert_edge(l, r), revealed.add_edge_growing(l, r));
+            let scratch = hopcroft_karp(&revealed);
+            prop_assert_eq!(incremental.matching_size(), scratch.size());
+            prop_assert_eq!(incremental.cover_size(), scratch.size());
+            let cover = incremental.cover().clone();
+            prop_assert_eq!(cover.size(), scratch.size());
+            prop_assert!(
+                cover.covers_all_edges(&revealed),
+                "not a vertex cover after ({}, {})", l, r
+            );
+        }
     }
 }
