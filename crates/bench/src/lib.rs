@@ -12,6 +12,9 @@
 //! * `incremental` — incremental vs. from-scratch offline-optimum tracking
 //!   over star / uniform / nonuniform reveal streams (the hot path of the
 //!   competitive-trajectory experiments).
+//! * `sharded` — the sharded engine vs. the sequential engine at 1/2/4/8
+//!   shards on uniform and phase-shift 64×64 streams (the scale-out hot
+//!   path; `mvc-eval throughput` emits the same comparison as JSON).
 //! * `figures` — regenerates the data series for Figures 4–7 under Criterion
 //!   timing so the full evaluation is exercised by `cargo bench`.
 

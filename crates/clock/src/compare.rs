@@ -179,6 +179,24 @@ impl VectorTimestamp {
         components.resize(width, 0);
         Self { components }
     }
+
+    /// The by-value form of [`padded_to`](Self::padded_to): pads in place,
+    /// so a timestamp already at `width` — the common case when replaying
+    /// with a fixed component map — passes through without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current length — truncation
+    /// would silently discard counters.
+    pub fn into_padded_to(mut self, width: usize) -> VectorTimestamp {
+        assert!(
+            width >= self.len(),
+            "cannot pad a width-{} timestamp down to {width} components",
+            self.len()
+        );
+        self.components.resize(width, 0);
+        self
+    }
 }
 
 impl Index<usize> for VectorTimestamp {
@@ -282,6 +300,19 @@ mod tests {
     #[should_panic(expected = "cannot pad")]
     fn padded_to_rejects_truncation() {
         let _ = VectorTimestamp::from(vec![1, 2, 3]).padded_to(2);
+    }
+
+    #[test]
+    fn into_padded_to_matches_padded_to() {
+        let t = VectorTimestamp::from(vec![3, 1]);
+        assert_eq!(t.clone().into_padded_to(4), t.padded_to(4));
+        assert_eq!(t.clone().into_padded_to(2), t, "same width passes through");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pad")]
+    fn into_padded_to_rejects_truncation() {
+        let _ = VectorTimestamp::from(vec![1, 2, 3]).into_padded_to(1);
     }
 
     #[test]

@@ -4,16 +4,22 @@
 //! mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] [--trials N] [--csv DIR]
 //! mvc-eval sweep [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]
 //! mvc-eval trajectory [--mechanisms a,b,c] [--workload uniform|nonuniform] [--trials N] [--csv DIR]
+//! mvc-eval throughput [--events N] [--shards 1,2,4,8] [--workload KIND] [--csv DIR]
 //! ```
 //!
 //! Each figure is printed as an aligned table; with `--csv DIR` the raw series
 //! are additionally written as `DIR/<figure>.csv`.  The `sweep` command runs
 //! arbitrary [`MechanismRegistry`] mechanisms — selected **by name**, never as
 //! concrete types — over a synthetic workload family (`uniform`,
-//! `nonuniform`, `producer-consumer`, `lock-striped`, `phased`, or the
-//! adversarial `star`).  The `trajectory` command reports the per-reveal
-//! competitive trajectory (online size vs. the incrementally maintained
-//! offline optimum of the revealed prefix).
+//! `nonuniform`, `producer-consumer`, `lock-striped`, `phased`, the
+//! adversarial `star` and `matching` lower-bound streams, or the
+//! partition-churning `phase-shift`).  The `trajectory` command reports the
+//! per-reveal competitive trajectory (online size vs. the incrementally
+//! maintained offline optimum of the revealed prefix).  The `throughput`
+//! command times the sequential engine against the sharded engine at each
+//! requested shard count and prints the result as **JSON** (and writes
+//! `DIR/throughput.json` with `--csv DIR`), giving future changes a
+//! mechanical bench trajectory to compare against.
 
 use std::env;
 use std::fs;
@@ -21,8 +27,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mvc_eval::{
-    adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, registry_sweep, render_csv,
-    render_table, star_sweep, FigureData, SweepConfig,
+    adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, measure_throughput,
+    registry_sweep, render_csv, render_table, render_throughput_json, star_sweep, FigureData,
+    SweepConfig, ThroughputConfig,
 };
 use mvc_graph::GraphScenario;
 use mvc_online::MechanismRegistry;
@@ -37,8 +44,13 @@ struct Options {
     csv_dir: Option<PathBuf>,
     mechanisms: Vec<String>,
     /// `--workload`, when given.  `sweep` defaults to the star stream,
-    /// `trajectory` to the nonuniform graph scenario.
+    /// `trajectory` to the nonuniform graph scenario, `throughput` to
+    /// uniform.
     workload: Option<WorkloadKind>,
+    /// `--events`, used by `throughput`.
+    events: Option<usize>,
+    /// `--shards`, used by `throughput`.
+    shards: Option<Vec<usize>>,
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
@@ -54,9 +66,16 @@ fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
         }),
         "phased" => Ok(WorkloadKind::Phased { phases: 4 }),
         "star" => Ok(WorkloadKind::Star { hubs: 1 }),
+        "matching" => Ok(WorkloadKind::Matching {
+            rotation_period: 64,
+        }),
+        "phase-shift" => Ok(WorkloadKind::PhaseShift {
+            period: 256,
+            shift: 1,
+        }),
         other => Err(format!(
             "unknown workload '{other}' (expected uniform|nonuniform|producer-consumer|\
-             lock-striped|phased|star)"
+             lock-striped|phased|star|matching|phase-shift)"
         )),
     }
 }
@@ -67,6 +86,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut csv_dir = None;
     let mut mechanisms = Vec::new();
     let mut workload = None;
+    let mut events = None;
+    let mut shards = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -106,11 +127,44 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--workload requires a family name".to_string())?;
                 workload = Some(parse_workload(value)?);
             }
+            "--events" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--events requires a value".to_string())?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid event count: {value}"))?;
+                if parsed == 0 {
+                    return Err("event count must be at least 1".into());
+                }
+                events = Some(parsed);
+            }
+            "--shards" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--shards requires a comma-separated list".to_string())?;
+                let mut counts = Vec::new();
+                for part in value.split(',').filter(|p| !p.is_empty()) {
+                    let shard: usize = part
+                        .parse()
+                        .map_err(|_| format!("invalid shard count: {part}"))?;
+                    if shard == 0 {
+                        return Err("shard counts must be at least 1".into());
+                    }
+                    counts.push(shard);
+                }
+                if counts.is_empty() {
+                    return Err("--shards requires at least one count".into());
+                }
+                shards = Some(counts);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] \
                      [--trials N] [--csv DIR]\n       mvc-eval sweep|trajectory \
-                     [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]"
+                     [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]\n       \
+                     mvc-eval throughput [--events N] [--shards 1,2,4,8] [--workload KIND] \
+                     [--csv DIR]"
                         .into(),
                 )
             }
@@ -126,7 +180,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         csv_dir,
         mechanisms,
         workload,
+        events,
+        shards,
     })
+}
+
+/// Default stamped events for `mvc-eval throughput`.
+const DEFAULT_THROUGHPUT_EVENTS: usize = 200_000;
+
+fn run_throughput(options: &Options) -> Result<String, String> {
+    let mut config =
+        ThroughputConfig::uniform_64x64(options.events.unwrap_or(DEFAULT_THROUGHPUT_EVENTS));
+    if let Some(workload) = options.workload {
+        config.workload = workload;
+    }
+    if let Some(shards) = &options.shards {
+        config.shard_counts = shards.clone();
+    }
+    let report = measure_throughput(&config);
+    Ok(render_throughput_json(&report))
 }
 
 fn run_figure(name: &str, options: &Options) -> Result<Vec<FigureData>, String> {
@@ -206,7 +278,7 @@ fn run_figure(name: &str, options: &Options) -> Result<Vec<FigureData>, String> 
         }
         other => Err(format!(
             "unknown figure '{other}' (expected \
-             fig4|fig5|fig6|fig7|adaptive|star|trajectory|sweep|all)"
+             fig4|fig5|fig6|fig7|adaptive|star|trajectory|sweep|throughput|all)"
         )),
     }
 }
@@ -222,6 +294,29 @@ fn main() -> ExitCode {
     };
 
     for name in &options.figures {
+        if name == "throughput" {
+            let json = match run_throughput(&options) {
+                Ok(json) => json,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{json}");
+            if let Some(dir) = &options.csv_dir {
+                if let Err(e) = fs::create_dir_all(dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let path = dir.join("throughput.json");
+                if let Err(e) = fs::write(&path, &json) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+            continue;
+        }
         let figures = match run_figure(name, &options) {
             Ok(f) => f,
             Err(msg) => {
@@ -263,6 +358,8 @@ mod tests {
             csv_dir: None,
             mechanisms: vec![],
             workload: None,
+            events: None,
+            shards: None,
         }
     }
 
@@ -311,6 +408,8 @@ mod tests {
             "lock-striped",
             "phased",
             "star",
+            "matching",
+            "phase-shift",
         ] {
             assert_eq!(parse_workload(name).unwrap().name(), name);
         }
@@ -326,8 +425,37 @@ mod tests {
         assert!(parse_args(&args(&["--mechanisms"])).is_err());
         assert!(parse_args(&args(&["--mechanisms", ""])).is_err());
         assert!(parse_args(&args(&["--workload"])).is_err());
+        assert!(parse_args(&args(&["--events"])).is_err());
+        assert!(parse_args(&args(&["--events", "0"])).is_err());
+        assert!(parse_args(&args(&["--events", "many"])).is_err());
+        assert!(parse_args(&args(&["--shards"])).is_err());
+        assert!(parse_args(&args(&["--shards", ""])).is_err());
+        assert!(parse_args(&args(&["--shards", "2,0"])).is_err());
+        assert!(parse_args(&args(&["--shards", "two"])).is_err());
         assert!(parse_args(&args(&["--help"])).is_err());
         assert!(run_figure("fig99", &opts(1)).is_err());
+    }
+
+    #[test]
+    fn throughput_options_parse_and_run() {
+        let o = parse_args(&args(&[
+            "throughput",
+            "--events",
+            "2000",
+            "--shards",
+            "1,2",
+            "--workload",
+            "phase-shift",
+        ]))
+        .unwrap();
+        assert_eq!(o.figures, vec!["throughput"]);
+        assert_eq!(o.events, Some(2000));
+        assert_eq!(o.shards, Some(vec![1, 2]));
+
+        let json = run_throughput(&o).unwrap();
+        assert!(json.contains("\"workload\": \"phase-shift\""));
+        assert!(json.contains("\"events\": 2000"));
+        assert!(json.contains("\"engine\": \"sharded\""));
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! reveal orders and random mechanisms are all seeded, so a report is
 //! reproducible bit-for-bit.  [`report`] renders results as aligned text
 //! tables and CSV.
+//!
+//! Beyond the paper's clock-size figures, [`throughput`] measures recording
+//! *speed* — sequential vs. sharded events per second over the same workload
+//! and component map — and renders it as JSON (`mvc-eval throughput`), so
+//! future changes have a mechanical bench trajectory to compare against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +39,7 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod throughput;
 
 pub use experiments::{
     adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, registry_sweep, star_sweep,
@@ -41,3 +47,7 @@ pub use experiments::{
 };
 pub use report::{render_csv, render_table};
 pub use runner::{average_size, single_run, AlgorithmKind, DataPoint, SweepConfig};
+pub use throughput::{
+    measure_throughput, render_throughput_json, EngineThroughput, ThroughputConfig,
+    ThroughputReport,
+};

@@ -1,0 +1,298 @@
+//! Engine throughput measurement: sequential vs. sharded events/second.
+//!
+//! The paper's figures measure clock *size*; this module measures recording
+//! *speed* — how many events per second a timestamper stamps when driven
+//! through the unified batch path ([`mvc_core::replay`]).  The `mvc-eval
+//! throughput` command emits the result as JSON so successive PRs can
+//! compare bench trajectories mechanically (`jq`-able, no table parsing).
+//!
+//! Every engine sees the identical precomputed workload and the identical
+//! offline-optimal component map, so the numbers isolate engine overhead:
+//! routing, slice arithmetic, merge, and (for the threaded executor)
+//! queue traffic.
+
+use std::time::Instant;
+
+use mvc_core::{replay, OfflineOptimizer, TimestampingEngine};
+use mvc_shard::{ShardExecutor, ShardedEngine};
+use mvc_trace::{Computation, WorkloadBuilder, WorkloadKind};
+
+/// Configuration for one throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Threads in the synthetic workload.
+    pub threads: usize,
+    /// Objects in the synthetic workload.
+    pub objects: usize,
+    /// Operations to generate and stamp.
+    pub events: usize,
+    /// The workload family.
+    pub workload: WorkloadKind,
+    /// Shard counts to measure the sharded engine at.
+    pub shard_counts: Vec<usize>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Timed repetitions per engine (the best run is reported, like a
+    /// benchmark's minimum — throughput noise is one-sided).
+    pub repeats: usize,
+}
+
+impl ThroughputConfig {
+    /// The acceptance configuration: a uniform 64-thread / 64-object stream,
+    /// sharded at 1/2/4/8.
+    pub fn uniform_64x64(events: usize) -> Self {
+        ThroughputConfig {
+            threads: 64,
+            objects: 64,
+            events,
+            workload: WorkloadKind::Uniform,
+            shard_counts: vec![1, 2, 4, 8],
+            seed: 42,
+            repeats: 3,
+        }
+    }
+}
+
+/// One engine's measured throughput.
+#[derive(Debug, Clone)]
+pub struct EngineThroughput {
+    /// `"sequential"` or `"sharded"`.
+    pub engine: String,
+    /// Shard count (1 for the sequential engine).
+    pub shards: usize,
+    /// Executor label (`"none"` for the sequential engine, otherwise
+    /// `"inline"` / `"threads"`).
+    pub executor: String,
+    /// Best elapsed wall-clock nanoseconds over the repeats.
+    pub elapsed_ns: u128,
+    /// Events per second derived from the best run.
+    pub events_per_sec: f64,
+    /// Speedup over the sequential engine measured in the same report.
+    pub speedup: f64,
+}
+
+/// A full throughput report: workload metadata plus one row per engine.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// The workload family name.
+    pub workload: String,
+    /// Threads in the workload.
+    pub threads: usize,
+    /// Objects in the workload.
+    pub objects: usize,
+    /// Events stamped per run.
+    pub events: usize,
+    /// Width of the offline-optimal clock all engines replayed with.
+    pub clock_width: usize,
+    /// Measured engines, sequential first.
+    pub engines: Vec<EngineThroughput>,
+}
+
+/// Times one replay of `computation` through a fresh engine.
+fn time_one(mut engine: Box<dyn mvc_core::Timestamper>, computation: &Computation) -> u128 {
+    let start = Instant::now();
+    let run = replay(engine.as_mut(), computation).expect("plan covers the workload");
+    let elapsed = start.elapsed().as_nanos();
+    assert_eq!(run.timestamps.len(), computation.len());
+    elapsed
+}
+
+/// Times every engine `repeats` times, interleaved round-robin (one rep of
+/// each engine per round) so machine-level noise — frequency scaling, noisy
+/// neighbours — hits all engines alike, and returns each engine's best run
+/// (throughput noise is one-sided).  A leading untimed warm-up round maps
+/// the allocator arena the stamp vectors will recycle, so the timed rounds
+/// measure steady-state throughput rather than first-touch page faults.
+fn time_interleaved(
+    factories: &mut [Box<dyn FnMut() -> Box<dyn mvc_core::Timestamper> + '_>],
+    computation: &Computation,
+    repeats: usize,
+) -> Vec<u128> {
+    let mut best = vec![u128::MAX; factories.len()];
+    for round in 0..repeats.max(1) + 1 {
+        for (i, make) in factories.iter_mut().enumerate() {
+            let elapsed = time_one(make(), computation);
+            if round > 0 {
+                best[i] = best[i].min(elapsed);
+            }
+        }
+    }
+    best
+}
+
+fn events_per_sec(events: usize, elapsed_ns: u128) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    events as f64 / (elapsed_ns as f64 / 1e9)
+}
+
+/// Measures the sequential engine and the sharded engine (at every
+/// configured shard count) over the same workload and component map.
+pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
+    let computation = WorkloadBuilder::new(config.threads, config.objects)
+        .operations(config.events)
+        .kind(config.workload)
+        .seed(config.seed)
+        .build();
+    let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+    let map = plan.components().clone();
+
+    let executor = ShardExecutor::auto();
+    let executor_name = match executor {
+        ShardExecutor::Inline => "inline",
+        ShardExecutor::Threads => "threads",
+    };
+    let mut factories: Vec<Box<dyn FnMut() -> Box<dyn mvc_core::Timestamper> + '_>> = Vec::new();
+    factories.push(Box::new(|| {
+        Box::new(TimestampingEngine::with_components(map.clone()))
+    }));
+    for &shards in &config.shard_counts {
+        let map = &map;
+        factories.push(Box::new(move || {
+            Box::new(ShardedEngine::with_executor(map.clone(), shards, executor))
+        }));
+    }
+    let timings = time_interleaved(&mut factories, &computation, config.repeats);
+    drop(factories);
+
+    let sequential_ns = timings[0];
+    let mut engines = vec![EngineThroughput {
+        engine: "sequential".to_owned(),
+        shards: 1,
+        executor: "none".to_owned(),
+        elapsed_ns: sequential_ns,
+        events_per_sec: events_per_sec(config.events, sequential_ns),
+        speedup: 1.0,
+    }];
+    for (&shards, &ns) in config.shard_counts.iter().zip(&timings[1..]) {
+        engines.push(EngineThroughput {
+            engine: "sharded".to_owned(),
+            shards,
+            executor: executor_name.to_owned(),
+            elapsed_ns: ns,
+            events_per_sec: events_per_sec(config.events, ns),
+            speedup: if ns == 0 {
+                0.0
+            } else {
+                sequential_ns as f64 / ns as f64
+            },
+        });
+    }
+
+    ThroughputReport {
+        workload: config.workload.name().to_owned(),
+        threads: config.threads,
+        objects: config.objects,
+        events: config.events,
+        clock_width: map.len(),
+        engines,
+    }
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.2}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders a report as a single JSON object (two-space indent, stable key
+/// order) — the machine-readable output of `mvc-eval throughput`.
+pub fn render_throughput_json(report: &ThroughputReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", report.workload));
+    out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str(&format!("  \"objects\": {},\n", report.objects));
+    out.push_str(&format!("  \"events\": {},\n", report.events));
+    out.push_str(&format!("  \"clock_width\": {},\n", report.clock_width));
+    out.push_str("  \"engines\": [\n");
+    for (i, e) in report.engines.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"engine\": \"{}\", ", e.engine));
+        out.push_str(&format!("\"shards\": {}, ", e.shards));
+        out.push_str(&format!("\"executor\": \"{}\", ", e.executor));
+        out.push_str(&format!("\"elapsed_ns\": {}, ", e.elapsed_ns));
+        out.push_str(&format!(
+            "\"events_per_sec\": {}, ",
+            json_f64(e.events_per_sec)
+        ));
+        out.push_str(&format!("\"speedup\": {}", json_f64(e.speedup)));
+        out.push('}');
+        if i + 1 < report.engines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_every_configured_engine() {
+        let config = ThroughputConfig {
+            threads: 8,
+            objects: 8,
+            events: 2_000,
+            workload: WorkloadKind::Uniform,
+            shard_counts: vec![1, 2],
+            seed: 3,
+            repeats: 1,
+        };
+        let report = measure_throughput(&config);
+        assert_eq!(report.engines.len(), 3);
+        assert_eq!(report.engines[0].engine, "sequential");
+        assert_eq!(report.engines[0].speedup, 1.0);
+        assert_eq!(report.engines[1].shards, 1);
+        assert_eq!(report.engines[2].shards, 2);
+        assert!(report.clock_width > 0);
+        for e in &report.engines {
+            assert!(e.events_per_sec > 0.0, "{}: zero throughput", e.engine);
+        }
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let config = ThroughputConfig {
+            threads: 4,
+            objects: 4,
+            events: 500,
+            workload: WorkloadKind::PhaseShift {
+                period: 64,
+                shift: 1,
+            },
+            shard_counts: vec![2],
+            seed: 1,
+            repeats: 1,
+        };
+        let json = render_throughput_json(&measure_throughput(&config));
+        for key in [
+            "\"workload\": \"phase-shift\"",
+            "\"threads\": 4",
+            "\"events\": 500",
+            "\"clock_width\":",
+            "\"engines\": [",
+            "\"engine\": \"sequential\"",
+            "\"engine\": \"sharded\"",
+            "\"events_per_sec\":",
+            "\"speedup\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn uniform_64x64_is_the_acceptance_shape() {
+        let c = ThroughputConfig::uniform_64x64(1_000);
+        assert_eq!((c.threads, c.objects), (64, 64));
+        assert_eq!(c.shard_counts, vec![1, 2, 4, 8]);
+        assert_eq!(c.workload.name(), "uniform");
+    }
+}

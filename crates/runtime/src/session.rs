@@ -19,6 +19,10 @@ use mvc_trace::{Computation, ObjectId, OpKind, ThreadId};
 
 use crate::object::SharedObject;
 
+/// Events moved out of the channel per lock acquisition by the batched
+/// drains (`TraceSession::into_computation`, `LiveSession::pump`).
+pub(crate) const DRAIN_BATCH: usize = 1024;
+
 /// One recorded operation, as sent over the event channel.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RawEvent {
@@ -157,13 +161,17 @@ impl TraceSession {
     /// included.
     pub fn into_computation(self) -> Computation {
         let TraceSession { inner, receiver } = self;
-        // Dropping the last sender closes the channel so try_iter drains
-        // everything that was sent. SharedObjects may still hold clones of the
-        // inner; events they send after this point are intentionally dropped.
+        // Dropping the last sender closes the channel so the batched drain
+        // collects everything that was sent. SharedObjects may still hold
+        // clones of the inner; events they send after this point are
+        // intentionally dropped.
         drop(inner);
         let mut computation = Computation::new();
-        while let Ok(ev) = receiver.try_recv() {
-            computation.record_op(ev.thread, ev.object, ev.kind);
+        let mut batch = Vec::new();
+        while receiver.try_recv_batch(&mut batch, DRAIN_BATCH) > 0 {
+            for ev in batch.drain(..) {
+                computation.record_op(ev.thread, ev.object, ev.kind);
+            }
         }
         computation
     }

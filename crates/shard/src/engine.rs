@@ -1,0 +1,591 @@
+//! The sharded timestamping engine.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use mvc_clock::{Component, ComponentMap, VectorTimestamp};
+use mvc_core::{TimestampError, TimestampReport, Timestamper};
+use mvc_trace::{ObjectId, ThreadId};
+
+use crate::fused::FusedState;
+use crate::slicing::{local_width, EventRec};
+use crate::worker::{spawn, Chunk};
+
+/// Events per chunk: the granularity at which batches are broadcast to the
+/// shards and merged back.  Large enough to amortise one channel round-trip
+/// per shard over thousands of events, small enough that the merge stage
+/// pipelines with the shards instead of waiting for the whole batch.
+pub(crate) const CHUNK_EVENTS: usize = 4096;
+
+/// How many chunks may be in flight (sent to the shards but not yet merged)
+/// at once: deep enough that the merge never starves the workers, shallow
+/// enough that reply queues hold O(PIPELINE_CHUNKS × width × CHUNK_EVENTS)
+/// slice values instead of the whole batch.
+pub(crate) const PIPELINE_CHUNKS: usize = 4;
+
+use crate::fused::NO_COMPONENT;
+
+/// How a [`ShardedEngine`] executes its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardExecutor {
+    /// All shards run fused on the caller's thread: one full-width pass per
+    /// event, no queues, no slice buffers, no merge.  On a single CPU there
+    /// is nothing to overlap, so this is both the correct and the fastest
+    /// execution of an N-shard engine — and it substantially outruns the
+    /// sequential engine, because the batch path routes through dense
+    /// tables and allocates once per stamp instead of three times.  The
+    /// stamps are identical to the threaded executor's; only scheduling and
+    /// internal layout differ.
+    Inline,
+    /// Every shard is a dedicated worker thread fed by its own event queue
+    /// (see the `worker` module); the caller's thread routes, merges,
+    /// and overlaps with the shards.  The right choice whenever more than
+    /// one CPU is available.
+    Threads,
+}
+
+impl ShardExecutor {
+    /// Picks the executor matching the machine: [`Threads`] when more than
+    /// one CPU is available, [`Inline`] otherwise.
+    ///
+    /// [`Threads`]: ShardExecutor::Threads
+    /// [`Inline`]: ShardExecutor::Inline
+    pub fn auto() -> Self {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => ShardExecutor::Threads,
+            _ => ShardExecutor::Inline,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    Inline {
+        /// All shards fused into one full-width state: on a single thread
+        /// there is nothing to overlap, so the fastest execution of an
+        /// N-shard engine is the one pass with no slice buffers and no
+        /// merge.  Bit-identical to the threaded slices (slicing is exact
+        /// for every shard count, including one).
+        state: FusedState,
+    },
+    Threads {
+        inputs: Vec<Sender<Chunk>>,
+        replies: Vec<Receiver<Vec<u64>>>,
+        handles: Vec<JoinHandle<()>>,
+    },
+}
+
+/// The sharded counterpart of
+/// [`TimestampingEngine`](mvc_core::TimestampingEngine): the same incremental
+/// mixed-vector-clock protocol, with the clock's components striped across
+/// `N` shards that each own their slice of every per-thread / per-object
+/// vector (see the `slicing` module).
+///
+/// The engine implements [`Timestamper`], so every existing driver —
+/// [`replay`](mvc_core::replay), `TraceSession::live`, the benches, the
+/// `mvc-eval` CLI — picks it up unchanged.  Throughput comes from the batch
+/// path ([`Timestamper::observe_batch`]): a batch is routed once, broadcast
+/// to the shards in chunks, processed slice-parallel, and merged back in
+/// arrival order.  Observing single events works and is bit-identical, but
+/// pays one full fan-out per event; drive the engine with batches.
+///
+/// ```
+/// use mvc_core::{replay, Timestamper, TimestampingEngine};
+/// use mvc_shard::ShardedEngine;
+/// use mvc_clock::Component;
+/// use mvc_trace::{ThreadId, ObjectId, WorkloadBuilder};
+///
+/// let c = WorkloadBuilder::new(8, 8).operations(400).seed(7).build();
+/// let mut map = mvc_clock::ComponentMap::new();
+/// for t in 0..8 {
+///     map.push(Component::Thread(ThreadId(t)));
+/// }
+/// let mut sharded = ShardedEngine::with_components(map.clone(), 4);
+/// let mut sequential = TimestampingEngine::with_components(map);
+/// let a = replay(&mut sharded, &c).unwrap();
+/// let b = replay(&mut sequential, &c).unwrap();
+/// assert_eq!(a.timestamps, b.timestamps); // bit-for-bit
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    components: ComponentMap,
+    /// Dense thread → component-index table (`NO_COMPONENT` = none); the
+    /// router's replacement for the `ComponentMap`'s hash lookups on the
+    /// per-event hot path.
+    thread_comp: Vec<u32>,
+    /// Dense object → component-index table.
+    object_comp: Vec<u32>,
+    shards: usize,
+    backend: Backend,
+    events_observed: usize,
+}
+
+impl ShardedEngine {
+    /// Creates an engine with no components over `shards` shards (clamped to
+    /// at least 1), with the executor picked by [`ShardExecutor::auto`].
+    pub fn new(shards: usize) -> Self {
+        Self::with_components(ComponentMap::new(), shards)
+    }
+
+    /// Creates an engine pre-loaded with a component map (e.g. one computed
+    /// by the offline optimizer), with the executor picked by
+    /// [`ShardExecutor::auto`].
+    pub fn with_components(components: ComponentMap, shards: usize) -> Self {
+        Self::with_executor(components, shards, ShardExecutor::auto())
+    }
+
+    /// Creates an engine with an explicit executor.
+    ///
+    /// The executor affects scheduling only — the stamp stream is identical
+    /// either way (conformance oracle 6 checks all executors against the
+    /// sequential engine).
+    pub fn with_executor(components: ComponentMap, shards: usize, executor: ShardExecutor) -> Self {
+        let shards = shards.max(1);
+        let backend = match executor {
+            ShardExecutor::Inline => Backend::Inline {
+                state: FusedState::new(),
+            },
+            ShardExecutor::Threads => {
+                let mut inputs = Vec::with_capacity(shards);
+                let mut replies = Vec::with_capacity(shards);
+                let mut handles = Vec::with_capacity(shards);
+                for s in 0..shards {
+                    let (to_shard, input) = unbounded();
+                    let (output, reply) = unbounded();
+                    handles.push(spawn(s, shards, input, output));
+                    inputs.push(to_shard);
+                    replies.push(reply);
+                }
+                Backend::Threads {
+                    inputs,
+                    replies,
+                    handles,
+                }
+            }
+        };
+        let mut engine = ShardedEngine {
+            components: ComponentMap::new(),
+            thread_comp: Vec::new(),
+            object_comp: Vec::new(),
+            shards,
+            backend,
+            events_observed: 0,
+        };
+        for &component in components.components() {
+            engine.add_component(component);
+        }
+        engine
+    }
+
+    /// The executor this engine runs on.
+    pub fn executor(&self) -> ShardExecutor {
+        match self.backend {
+            Backend::Inline { .. } => ShardExecutor::Inline,
+            Backend::Threads { .. } => ShardExecutor::Threads,
+        }
+    }
+
+    /// The logical shard count: how many slices the threaded executor
+    /// stripes the components across.  The inline executor fuses all shards
+    /// into one pass, so there this only records what was requested.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The current component map.
+    pub fn components(&self) -> &ComponentMap {
+        &self.components
+    }
+
+    /// Number of operations observed so far.
+    pub fn events_observed(&self) -> usize {
+        self.events_observed
+    }
+
+    /// Adds a component (if not already present), returning its index.
+    ///
+    /// The new component is owned by shard `index % shard_count`; no
+    /// existing slice data moves (see the `slicing` module).
+    pub fn add_component(&mut self, component: Component) -> usize {
+        let index = self.components.push(component);
+        let index_u32 = u32::try_from(index).expect("clock width fits in u32");
+        match component {
+            Component::Thread(t) => set_dense(&mut self.thread_comp, t.index(), index_u32),
+            Component::Object(o) => set_dense(&mut self.object_comp, o.index(), index_u32),
+        }
+        index
+    }
+
+    /// Returns `true` if an operation of `thread` on `object` could be
+    /// timestamped right now (at least one endpoint has a component).
+    pub fn covers(&self, thread: ThreadId, object: ObjectId) -> bool {
+        self.route(thread, object).is_some()
+    }
+
+    /// The component the protocol increments for an operation: the object's
+    /// component if the object is in the clock, otherwise the thread's —
+    /// the same preference as the sequential engine.
+    fn route(&self, thread: ThreadId, object: ObjectId) -> Option<u32> {
+        let oc = dense_get(&self.object_comp, object.index());
+        if oc != NO_COMPONENT {
+            return Some(oc);
+        }
+        let tc = dense_get(&self.thread_comp, thread.index());
+        (tc != NO_COMPONENT).then_some(tc)
+    }
+
+    /// The batch pipeline: route → broadcast in chunks → apply per shard →
+    /// order-preserving merge (the inline executor routes and applies in a
+    /// single fused pass instead).  See the crate docs for the merge
+    /// invariant.
+    fn process_batch(
+        &mut self,
+        events: &[(ThreadId, ObjectId)],
+        out: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), TimestampError> {
+        let width = self.components.len();
+        if let Backend::Inline { state } = &mut self.backend {
+            let before = out.len();
+            let failure =
+                state.apply_routed(width, events, &self.thread_comp, &self.object_comp, out);
+            self.events_observed += out.len() - before;
+            return match failure {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
+        // Route the batch's longest coverable prefix.  Coverage cannot change
+        // inside the batch (`add_component` needs `&mut self`), so checking
+        // up front is equivalent to the sequential engine's per-event check.
+        let mut recs = Vec::with_capacity(events.len());
+        let mut failure = None;
+        for &(thread, object) in events {
+            match self.route(thread, object) {
+                Some(c) => recs.push(EventRec {
+                    t: thread.index() as u32,
+                    o: object.index() as u32,
+                    c,
+                }),
+                None => {
+                    failure = Some(TimestampError::Uncovered { thread, object });
+                    break;
+                }
+            }
+        }
+        let n = recs.len();
+        self.events_observed += n;
+        out.reserve(n);
+        match &mut self.backend {
+            Backend::Inline { .. } => unreachable!("handled above"),
+            Backend::Threads {
+                inputs, replies, ..
+            } => {
+                let windows: Vec<(usize, usize)> = (0..n)
+                    .step_by(CHUNK_EVENTS)
+                    .map(|start| (start, (start + CHUNK_EVENTS).min(n)))
+                    .collect();
+                // Keep a bounded window of chunks in flight: the shards work
+                // ahead of the merge, but the reply queues never buffer more
+                // than PIPELINE_CHUNKS chunks of slice data — without the
+                // bound, shards that outrun the merge would transiently hold
+                // the whole batch's slices (O(events × width)) in memory.
+                let shared = Arc::new(recs);
+                let lns: Vec<usize> = (0..self.shards)
+                    .map(|s| local_width(width, s, self.shards))
+                    .collect();
+                let mut sent = 0;
+                let mut bufs: Vec<Vec<u64>> = Vec::with_capacity(self.shards);
+                for (merged, &(start, end)) in windows.iter().enumerate() {
+                    while sent < windows.len() && sent < merged + PIPELINE_CHUNKS {
+                        let (s, e) = windows[sent];
+                        for input in inputs.iter() {
+                            input
+                                .send(Chunk {
+                                    width,
+                                    events: Arc::clone(&shared),
+                                    start: s,
+                                    end: e,
+                                })
+                                .expect("shard worker is alive");
+                        }
+                        sent += 1;
+                    }
+                    bufs.clear();
+                    for reply in replies.iter() {
+                        bufs.push(reply.recv().expect("shard worker reply"));
+                    }
+                    merge_into(width, self.shards, &lns, &bufs, end - start, out);
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Timestamper for ShardedEngine {
+    fn name(&self) -> &str {
+        "sharded-engine"
+    }
+
+    fn observe(
+        &mut self,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Result<VectorTimestamp, TimestampError> {
+        let mut out = Vec::with_capacity(1);
+        self.process_batch(&[(thread, object)], &mut out)?;
+        Ok(out.pop().expect("one stamp for one event"))
+    }
+
+    fn observe_batch(
+        &mut self,
+        events: &[(ThreadId, ObjectId)],
+        out: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), TimestampError> {
+        self.process_batch(events, out)
+    }
+
+    fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    fn finish(&self) -> TimestampReport {
+        TimestampReport {
+            name: "sharded-engine".to_owned(),
+            events: self.events_observed,
+            components: self.components.clone(),
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        if let Backend::Threads {
+            inputs,
+            replies,
+            handles,
+        } = &mut self.backend
+        {
+            // Dropping the senders lets every worker drain its queue and
+            // exit; dropping the reply receivers first would also work, but
+            // joining keeps thread teardown deterministic for tests.
+            inputs.clear();
+            replies.clear();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Merges one chunk's per-shard slice buffers into full-width timestamps,
+/// in arrival order: component `k` of event `i` is value `i * ln + k / N`
+/// of shard `k % N`'s buffer.  `lns` is the per-shard slice width
+/// (`local_width`), computed once per batch by the caller.
+fn merge_into(
+    width: usize,
+    shards: usize,
+    lns: &[usize],
+    bufs: &[Vec<u64>],
+    n_events: usize,
+    out: &mut Vec<VectorTimestamp>,
+) {
+    for i in 0..n_events {
+        let mut v = vec![0u64; width];
+        for ((buf, &ln), s) in bufs.iter().zip(lns).zip(0..shards) {
+            let base = i * ln;
+            for j in 0..ln {
+                v[s + j * shards] = buf[base + j];
+            }
+        }
+        out.push(VectorTimestamp::from_components(v));
+    }
+}
+
+fn dense_get(table: &[u32], index: usize) -> u32 {
+    table.get(index).copied().unwrap_or(NO_COMPONENT)
+}
+
+fn set_dense(table: &mut Vec<u32>, index: usize, value: u32) {
+    if index >= table.len() {
+        table.resize(index + 1, NO_COMPONENT);
+    }
+    table[index] = value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_core::{replay, TimestampingEngine};
+    use mvc_trace::WorkloadBuilder;
+
+    fn thread_map(n: usize) -> ComponentMap {
+        ComponentMap::all_threads(n)
+    }
+
+    fn parity_case(shards: usize, executor: ShardExecutor) {
+        let c = WorkloadBuilder::new(6, 9).operations(700).seed(13).build();
+        let map = {
+            let mut m = ComponentMap::new();
+            for t in 0..6 {
+                m.push(Component::Thread(ThreadId(t)));
+            }
+            m.push(Component::Object(ObjectId(0)));
+            m
+        };
+        let mut sharded = ShardedEngine::with_executor(map.clone(), shards, executor);
+        let mut sequential = TimestampingEngine::with_components(map);
+        let a = replay(&mut sharded, &c).unwrap();
+        let b = replay(&mut sequential, &c).unwrap();
+        assert_eq!(a.timestamps, b.timestamps);
+        assert_eq!(a.report.events, b.report.events);
+        assert_eq!(a.report.components, b.report.components);
+    }
+
+    #[test]
+    fn inline_executor_matches_sequential_engine() {
+        for shards in [1, 2, 3, 4, 8, 16] {
+            parity_case(shards, ShardExecutor::Inline);
+        }
+    }
+
+    #[test]
+    fn threaded_executor_matches_sequential_engine() {
+        for shards in [1, 2, 4] {
+            parity_case(shards, ShardExecutor::Threads);
+        }
+    }
+
+    #[test]
+    fn batches_spanning_multiple_chunks_stay_ordered() {
+        let ops = CHUNK_EVENTS * 2 + 37;
+        let c = WorkloadBuilder::new(8, 8).operations(ops).seed(3).build();
+        let map = thread_map(8);
+        let mut sharded = ShardedEngine::with_executor(map.clone(), 4, ShardExecutor::Threads);
+        let mut sequential = TimestampingEngine::with_components(map);
+        let a = replay(&mut sharded, &c).unwrap();
+        let b = replay(&mut sequential, &c).unwrap();
+        assert_eq!(a.timestamps, b.timestamps);
+        assert_eq!(sharded.events_observed(), ops);
+    }
+
+    #[test]
+    fn uncovered_event_fails_after_the_stampable_prefix() {
+        let mut map = ComponentMap::new();
+        map.push(Component::Thread(ThreadId(0)));
+        let mut engine = ShardedEngine::with_executor(map, 2, ShardExecutor::Inline);
+        let events = [
+            (ThreadId(0), ObjectId(0)),
+            (ThreadId(0), ObjectId(1)),
+            (ThreadId(9), ObjectId(9)),
+            (ThreadId(0), ObjectId(2)),
+        ];
+        let mut out = Vec::new();
+        let err = engine.observe_batch(&events, &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            TimestampError::Uncovered {
+                thread: ThreadId(9),
+                object: ObjectId(9),
+            }
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(engine.events_observed(), 2);
+        // Recover exactly like the sequential engine: cover and resubmit.
+        engine.add_component(Component::Object(ObjectId(9)));
+        engine.observe_batch(&events[2..], &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(engine.events_observed(), 4);
+    }
+
+    #[test]
+    fn mid_run_component_addition_widens_like_the_sequential_engine() {
+        let c = WorkloadBuilder::new(5, 5).operations(300).seed(21).build();
+        let half = 150;
+        let events: Vec<_> = c.events().map(|e| (e.thread, e.object)).collect();
+        let partial = ComponentMap::all_threads(5);
+        let mut sharded = ShardedEngine::with_executor(partial.clone(), 4, ShardExecutor::Inline);
+        let mut sequential = TimestampingEngine::with_components(partial);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        sharded.observe_batch(&events[..half], &mut a).unwrap();
+        sequential.observe_batch(&events[..half], &mut b).unwrap();
+        // The clock grows mid-run on both engines; old rows pad with zeros.
+        for o in 0..5 {
+            sharded.add_component(Component::Object(ObjectId(o)));
+            sequential.add_component(Component::Object(ObjectId(o)));
+        }
+        sharded.observe_batch(&events[half..], &mut a).unwrap();
+        sequential.observe_batch(&events[half..], &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sharded.width(), 10);
+        assert_eq!(sharded.components(), sequential.components());
+    }
+
+    #[test]
+    fn single_observe_is_bit_identical_to_batching() {
+        let c = WorkloadBuilder::new(4, 4).operations(60).seed(5).build();
+        let map = thread_map(4);
+        let mut one_by_one = ShardedEngine::with_executor(map.clone(), 3, ShardExecutor::Inline);
+        let singles: Vec<_> = c
+            .events()
+            .map(|e| Timestamper::observe(&mut one_by_one, e.thread, e.object).unwrap())
+            .collect();
+        let mut batched = ShardedEngine::with_executor(map, 3, ShardExecutor::Inline);
+        let run = replay(&mut batched, &c).unwrap();
+        assert_eq!(singles, run.timestamps);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one_and_empty_engine_rejects() {
+        let mut e = ShardedEngine::new(0);
+        assert_eq!(e.shard_count(), 1);
+        assert_eq!(e.width(), 0);
+        assert!(!e.covers(ThreadId(0), ObjectId(0)));
+        let err = Timestamper::observe(&mut e, ThreadId(0), ObjectId(0)).unwrap_err();
+        assert!(matches!(err, TimestampError::Uncovered { .. }));
+        assert_eq!(e.events_observed(), 0);
+    }
+
+    #[test]
+    fn add_component_is_idempotent_and_object_preferred() {
+        let mut e = ShardedEngine::with_executor(ComponentMap::new(), 2, ShardExecutor::Inline);
+        let a = e.add_component(Component::Object(ObjectId(3)));
+        let b = e.add_component(Component::Object(ObjectId(3)));
+        assert_eq!(a, b);
+        assert_eq!(e.width(), 1);
+        e.add_component(Component::Thread(ThreadId(1)));
+        // Object component preferred when both endpoints are covered,
+        // exactly like the sequential engine.
+        let stamp = Timestamper::observe(&mut e, ThreadId(1), ObjectId(3)).unwrap();
+        assert_eq!(stamp.as_slice(), &[1, 0]);
+    }
+
+    #[test]
+    fn finish_reports_name_events_and_components() {
+        let map = thread_map(2);
+        let mut e = ShardedEngine::with_executor(map.clone(), 2, ShardExecutor::Inline);
+        Timestamper::observe(&mut e, ThreadId(0), ObjectId(0)).unwrap();
+        let report = e.finish();
+        assert_eq!(report.name, "sharded-engine");
+        assert_eq!(report.events, 1);
+        assert_eq!(report.components, map);
+        assert_eq!(e.name(), "sharded-engine");
+    }
+
+    #[test]
+    fn dropping_a_threaded_engine_joins_its_workers() {
+        // Nothing to assert beyond "this terminates": Drop joins every
+        // worker, so a hang here would fail the test by timeout.
+        for _ in 0..3 {
+            let map = thread_map(2);
+            let mut e = ShardedEngine::with_executor(map, 4, ShardExecutor::Threads);
+            Timestamper::observe(&mut e, ThreadId(0), ObjectId(0)).unwrap();
+            assert_eq!(e.executor(), ShardExecutor::Threads);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The inline executor's fused state: all shards collapsed into one
+//! full-width pass.
+//!
+//! On a single thread there is nothing to overlap, so the fastest execution
+//! of an N-shard engine is one pass that produces finished timestamps
+//! directly — no slice buffers, no merge, no queues.  The working set is
+//! deliberately tiny: one width-sized row per thread and per object
+//! (a 64-thread / 64-object / width-64 workload fits in 64 KiB), so the hot
+//! loop stays cache-resident no matter how large a batch is, unlike designs
+//! that chase references into the ever-growing output stamp array.
+//!
+//! Bit-for-bit parity with the sliced/threaded path (and with the
+//! sequential engine) is enforced by the unit tests here, by the engine's
+//! executor-parity tests, and by conformance oracle 6.
+
+use mvc_clock::VectorTimestamp;
+use mvc_core::TimestampError;
+use mvc_trace::{ObjectId, ThreadId};
+
+#[cfg(test)]
+use crate::slicing::EventRec;
+
+/// Sentinel for "no component" in the router's dense lookup tables (shared
+/// with the engine's router).
+pub(crate) const NO_COMPONENT: u32 = u32::MAX;
+
+/// The fused (single-slice, full-width) engine state.
+#[derive(Debug, Default)]
+pub(crate) struct FusedState {
+    /// Per-thread rows, padded to the clock width lazily.
+    threads: Vec<Vec<u64>>,
+    /// Per-object rows.
+    objects: Vec<Vec<u64>>,
+}
+
+impl FusedState {
+    pub(crate) fn new() -> Self {
+        FusedState::default()
+    }
+
+    /// Applies a batch of routed events in order, appending one finished
+    /// timestamp per event to `out`.
+    ///
+    /// `width` is fixed for the whole batch (the router never grows the
+    /// clock mid-batch); a width increase between batches pads rows with
+    /// zeros on first touch, exactly like the sequential engine's lazy
+    /// padding.  (The engine's hot path is [`apply_routed`]; this
+    /// [`EventRec`]-based form exists for the parity tests against the
+    /// sliced path.)
+    ///
+    /// [`apply_routed`]: FusedState::apply_routed
+    #[cfg(test)]
+    pub(crate) fn apply(
+        &mut self,
+        width: usize,
+        events: &[EventRec],
+        out: &mut Vec<VectorTimestamp>,
+    ) {
+        out.reserve(events.len());
+        for ev in events {
+            self.step(width, ev.t as usize, ev.o as usize, ev.c as usize, out);
+        }
+    }
+
+    /// Routes and applies a raw event batch in one pass — the inline
+    /// executor's hot path, which skips materialising routed [`EventRec`]s
+    /// (those exist so a batch can be broadcast to worker shards).
+    ///
+    /// Stops at the first uncovered event and returns its error; stamps for
+    /// the covered prefix have been appended, exactly like the chunked
+    /// path.
+    pub(crate) fn apply_routed(
+        &mut self,
+        width: usize,
+        events: &[(ThreadId, ObjectId)],
+        thread_comp: &[u32],
+        object_comp: &[u32],
+        out: &mut Vec<VectorTimestamp>,
+    ) -> Option<TimestampError> {
+        out.reserve(events.len());
+        for &(thread, object) in events {
+            let mut c = *object_comp.get(object.index()).unwrap_or(&NO_COMPONENT);
+            if c == NO_COMPONENT {
+                c = *thread_comp.get(thread.index()).unwrap_or(&NO_COMPONENT);
+                if c == NO_COMPONENT {
+                    return Some(TimestampError::Uncovered { thread, object });
+                }
+            }
+            self.step(width, thread.index(), object.index(), c as usize, out);
+        }
+        None
+    }
+
+    /// One protocol step: stamp the event of thread `t` on object `o`,
+    /// incrementing component `c`.
+    #[inline]
+    fn step(&mut self, width: usize, t: usize, o: usize, c: usize, out: &mut Vec<VectorTimestamp>) {
+        let trow = row(&mut self.threads, t, width);
+        let orow = row(&mut self.objects, o, width);
+        // max-merge into a fresh stamp (the one allocation per event),
+        // increment the routed component, write the result back to both
+        // rows — `T[t] = O[o] = e.v`, the paper's protocol verbatim.
+        // (memcpy + in-place max keeps the merge a straight-line
+        // vectorisable loop.)
+        let mut v: Vec<u64> = Vec::with_capacity(width);
+        v.extend_from_slice(trow);
+        for (vk, ok) in v.iter_mut().zip(orow.iter()) {
+            *vk = (*vk).max(*ok);
+        }
+        v[c] += 1;
+        trow.copy_from_slice(&v);
+        orow.copy_from_slice(&v);
+        out.push(VectorTimestamp::from_components(v));
+    }
+}
+
+/// Returns the row of `id`, created/zero-padded to `width` as needed.
+fn row(rows: &mut Vec<Vec<u64>>, id: usize, width: usize) -> &mut [u64] {
+    if id >= rows.len() {
+        rows.resize_with(id + 1, Vec::new);
+    }
+    let row = &mut rows[id];
+    if row.len() < width {
+        row.resize(width, 0);
+    }
+    &mut row[..width]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slicing::ShardState;
+
+    fn stamps_of(
+        state: &mut FusedState,
+        width: usize,
+        events: &[EventRec],
+    ) -> Vec<VectorTimestamp> {
+        let mut out = Vec::new();
+        state.apply(width, events, &mut out);
+        out
+    }
+
+    #[test]
+    fn fused_equals_single_shard_slicing() {
+        let events = [
+            EventRec { t: 0, o: 0, c: 0 },
+            EventRec { t: 1, o: 0, c: 0 },
+            EventRec { t: 1, o: 1, c: 2 },
+            EventRec { t: 0, o: 1, c: 1 },
+            EventRec { t: 2, o: 0, c: 0 },
+        ];
+        let width = 3;
+        let fused = stamps_of(&mut FusedState::new(), width, &events);
+        let mut sliced = ShardState::new(0, 1);
+        let mut flat = Vec::new();
+        sliced.apply(width, &events, &mut flat);
+        let expected: Vec<VectorTimestamp> = flat
+            .chunks(width)
+            .map(|c| VectorTimestamp::from_components(c.to_vec()))
+            .collect();
+        assert_eq!(fused, expected);
+    }
+
+    #[test]
+    fn rows_persist_across_batches_and_pad_on_width_growth() {
+        let mut state = FusedState::new();
+        let a = stamps_of(&mut state, 1, &[EventRec { t: 0, o: 0, c: 0 }]);
+        assert_eq!(a[0].as_slice(), &[1]);
+        // Width grows between batches; the old rows pad with zeros.
+        let b = stamps_of(
+            &mut state,
+            2,
+            &[EventRec { t: 0, o: 1, c: 1 }, EventRec { t: 0, o: 0, c: 0 }],
+        );
+        assert_eq!(b[0].as_slice(), &[1, 1], "carried counter plus new one");
+        assert_eq!(b[1].as_slice(), &[2, 1], "object 0's row also persisted");
+    }
+
+    #[test]
+    fn aliased_rows_within_a_batch_share_the_latest_stamp() {
+        // Thread 0 and object 0 alias after the first event; a later event
+        // of thread 0 on object 1 must read the updated row.
+        let mut state = FusedState::new();
+        let out = stamps_of(
+            &mut state,
+            2,
+            &[
+                EventRec { t: 0, o: 0, c: 0 },
+                EventRec { t: 1, o: 0, c: 0 },
+                EventRec { t: 0, o: 1, c: 1 },
+            ],
+        );
+        assert_eq!(out[1].as_slice(), &[2, 0]);
+        assert_eq!(out[2].as_slice(), &[1, 1], "thread 0 kept its own history");
+    }
+}

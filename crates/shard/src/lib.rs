@@ -1,0 +1,62 @@
+//! Sharded timestamping runtime: multi-core event recording with an
+//! order-preserving merge.
+//!
+//! The sequential [`TimestampingEngine`](mvc_core::TimestampingEngine)
+//! processes one event at a time on one core, so the paper's online protocol
+//! can never exceed single-core throughput no matter how fast the mechanisms
+//! get.  This crate scales the *engine* out without changing a single stamp:
+//! [`ShardedEngine`] stripes the clock's components across `N` shards
+//! (component `k` belongs to shard `k % N`), each shard owns its slice of
+//! every per-thread and per-object mixed vector, and a merge stage
+//! reassembles full-width timestamps in arrival order.
+//!
+//! # Why slicing is exact
+//!
+//! The mixed-clock update is componentwise independent (see the `slicing`
+//! module): component `k` of an event's stamp depends only on component
+//! `k` of the thread's and object's current vectors.  Every shard therefore
+//! applies the *entire* event stream, in the one arrival order, to just its
+//! slice — shards never exchange state, and the concatenation of their
+//! slices is bit-for-bit the sequential engine's output.  Conformance
+//! oracle 6 (`tests/conformance.rs`) proves this equality under proptest
+//! over random workloads, shard counts 1/2/4/8, and mid-run component
+//! additions.
+//!
+//! # The merge invariant
+//!
+//! A batch of events is cut into chunks (epochs).  For every chunk boundary
+//! — the *watermark* — the following holds, and is what makes the merge
+//! order-preserving:
+//!
+//! 1. **Same prefix everywhere.**  Every shard has applied exactly the
+//!    events before the watermark, in arrival order, to its slice.  Chunks
+//!    reach each shard over a FIFO queue and each shard processes its queue
+//!    in order, so no shard can run ahead or behind within a chunk.
+//! 2. **Stamps complete in order.**  The merge emits event `i`'s timestamp
+//!    only once every shard's slice for `i`'s chunk has arrived, and
+//!    component `k` of that timestamp is read from shard `k % N`'s buffer at
+//!    local index `k / N` — each component is produced by exactly one shard.
+//! 3. **Program and chain order are preserved.**  Because all shards see
+//!    the single arrival order (the same order
+//!    [`TraceSession`](../mvc_runtime/struct.TraceSession.html) enqueues
+//!    under each object's lock), per-thread program order and per-object
+//!    chain order in the output equal the sequential engine's — not just up
+//!    to equivalence, but as the identical stamp sequence.
+//!
+//! The engine implements [`Timestamper`](mvc_core::Timestamper), so
+//! `TraceSession::live`, [`replay`](mvc_core::replay), `mvc-bench`, and the
+//! `mvc-eval` CLI pick it up with zero call-site changes; batches fan out,
+//! single observations still work.  [`ShardExecutor`] selects between
+//! dedicated worker threads (multi-core) and an inline executor
+//! (single-CPU hosts, tests) — the choice affects scheduling only, never
+//! stamps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub(crate) mod fused;
+pub(crate) mod slicing;
+pub(crate) mod worker;
+
+pub use engine::{ShardExecutor, ShardedEngine};

@@ -1,0 +1,92 @@
+//! The threaded executor's shard workers.
+//!
+//! Each shard is one OS thread owning a [`ShardState`](crate::slicing) and
+//! fed by its own event queue.  The router broadcasts every chunk (a shared
+//! `Arc` of routed events plus a `start..end` window, so a whole batch is
+//! one allocation no matter how many chunks it splits into) to every shard;
+//! a shard applies the chunk to its slice and sends the resulting flat
+//! buffer back on its private reply channel.
+//!
+//! Ordering needs no sequence numbers: both channels are FIFO and each
+//! worker processes its queue in order, so the `k`-th reply on shard `s`'s
+//! channel is always shard `s`'s slice of the `k`-th chunk.  The router's
+//! merge consumes one reply per shard per chunk, which is exactly the
+//! epoch/watermark discipline described in the crate docs.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::slicing::{EventRec, ShardState};
+
+/// One unit of work broadcast to every shard.
+#[derive(Debug)]
+pub(crate) struct Chunk {
+    /// Global clock width for the whole chunk (the router never grows the
+    /// clock inside a batch).
+    pub(crate) width: usize,
+    /// The routed events of the enclosing batch, shared across shards.
+    pub(crate) events: Arc<Vec<EventRec>>,
+    /// The window of `events` this chunk covers.
+    pub(crate) start: usize,
+    /// Exclusive end of the window.
+    pub(crate) end: usize,
+}
+
+/// Spawns the worker thread for one shard.
+///
+/// The worker exits when the router drops its `Sender` (every queued chunk
+/// is still processed first, because the channel drains before reporting
+/// disconnection) or when the router stops listening for replies.
+pub(crate) fn spawn(
+    shard: usize,
+    shards: usize,
+    input: Receiver<Chunk>,
+    output: Sender<Vec<u64>>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("mvc-shard-{shard}"))
+        .spawn(move || {
+            let mut state = ShardState::new(shard, shards);
+            while let Ok(chunk) = input.recv() {
+                let mut out = Vec::new();
+                state.apply(chunk.width, &chunk.events[chunk.start..chunk.end], &mut out);
+                if output.send(out).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawning a shard worker thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn worker_processes_chunks_in_order_and_exits_on_disconnect() {
+        let (to_shard, input) = unbounded();
+        let (output, replies) = unbounded();
+        let handle = spawn(0, 1, input, output);
+        let events = Arc::new(vec![
+            EventRec { t: 0, o: 0, c: 0 },
+            EventRec { t: 0, o: 1, c: 0 },
+        ]);
+        for (start, end) in [(0, 1), (1, 2)] {
+            to_shard
+                .send(Chunk {
+                    width: 1,
+                    events: Arc::clone(&events),
+                    start,
+                    end,
+                })
+                .unwrap();
+        }
+        assert_eq!(replies.recv().unwrap(), vec![1]);
+        assert_eq!(replies.recv().unwrap(), vec![2], "state persists FIFO");
+        drop(to_shard);
+        handle.join().unwrap();
+    }
+}

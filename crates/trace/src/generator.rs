@@ -72,6 +72,42 @@ pub enum WorkloadKind {
         /// Number of hub objects (clamped to `[1, objects]`).
         hubs: usize,
     },
+    /// Threads are paired 1:1 with objects — the thread–object graph is a
+    /// (rotating) perfect matching, the paper's other adversarial family:
+    /// every edge is vertex-disjoint, so the offline optimum equals the
+    /// maximum matching exactly and *no* online mechanism can beat one
+    /// component per pair (the lower bound of Section IV is tight here).
+    /// With a non-zero `rotation_period` the pairing shifts by one partner
+    /// every period, so the revealed graph densifies into a union of
+    /// matchings over time — a steady drip of brand-new edges that forces
+    /// online mechanisms (and a growing clock) to add components for the
+    /// whole run, not just during warm-up.
+    ///
+    /// The matching property needs `objects >= threads`: thread `t` works
+    /// on object `(t + rotation) % objects`, so with fewer objects the
+    /// pairing wraps, objects collect several threads, and the graph is a
+    /// union of small stars rather than a matching (still a valid workload,
+    /// but the tight-lower-bound reading above no longer applies).
+    Matching {
+        /// Operations between rotations of the pairing (0 = never rotate:
+        /// the graph stays a fixed perfect matching).
+        rotation_period: usize,
+    },
+    /// The active object window slides over the object space every `period`
+    /// operations — barrier-free phase behaviour.  Unlike
+    /// [`Phased`](WorkloadKind::Phased), whose phases use disjoint static
+    /// slices, the window *wraps around* and shifts by `shift` slots, so
+    /// consecutive phases overlap and every shard/partition of the object
+    /// space keeps receiving both old and brand-new objects: the worst case
+    /// for partitioned state (cache churn, cross-shard traffic) and for
+    /// popularity-style mechanisms whose hot set keeps expiring.
+    PhaseShift {
+        /// Operations per phase (clamped to at least 1).
+        period: usize,
+        /// How many object slots the window slides per phase (clamped to at
+        /// least 1).
+        shift: usize,
+    },
 }
 
 impl WorkloadKind {
@@ -84,6 +120,8 @@ impl WorkloadKind {
             WorkloadKind::LockStriped { .. } => "lock-striped",
             WorkloadKind::Phased { .. } => "phased",
             WorkloadKind::Star { .. } => "star",
+            WorkloadKind::Matching { .. } => "matching",
+            WorkloadKind::PhaseShift { .. } => "phase-shift",
         }
     }
 }
@@ -223,6 +261,26 @@ impl WorkloadBuilder {
                 // (the full star, the worst case for naive-threads), with the
                 // hub chosen at random when there are several.
                 (step % self.threads, rng.gen_range(0..hubs))
+            }
+            WorkloadKind::Matching { rotation_period } => {
+                // Round-robin over the threads so the whole matching is
+                // realised; thread t's partner is object (t + rotation) with
+                // the rotation advancing one slot every `rotation_period`
+                // operations (never, when the period is 0).
+                let t = step % self.threads;
+                let rotation = step.checked_div(rotation_period).unwrap_or(0);
+                (t, (t + rotation) % self.objects)
+            }
+            WorkloadKind::PhaseShift { period, shift } => {
+                let period = period.max(1);
+                let shift = shift.max(1);
+                // A window of a quarter of the object space (at least one
+                // object) slides `shift` slots per phase and wraps around.
+                let window = (self.objects / 4).max(1);
+                let phase = step / period;
+                let start = (phase * shift) % self.objects;
+                let o = (start + rng.gen_range(0..window)) % self.objects;
+                (rng.gen_range(0..self.threads), o)
             }
         }
     }
@@ -401,6 +459,100 @@ mod tests {
             .build();
         for e in zero.events() {
             assert_eq!(e.object.index(), 0, "hubs=0 clamps to the single hub");
+        }
+    }
+
+    #[test]
+    fn matching_workload_without_rotation_is_a_perfect_matching() {
+        let c = WorkloadBuilder::new(8, 8)
+            .operations(160)
+            .kind(WorkloadKind::Matching { rotation_period: 0 })
+            .seed(2)
+            .build();
+        assert_eq!(c.thread_count(), 8, "round-robin reaches every thread");
+        for e in c.events() {
+            assert_eq!(e.object.index(), e.thread.index(), "fixed 1:1 pairing");
+        }
+        // Every edge is vertex-disjoint: the graph is a perfect matching, so
+        // each side's degrees are all exactly one.
+        let g = c.bipartite_graph();
+        assert_eq!(g.edge_count(), 8);
+        for t in 0..8 {
+            assert_eq!(g.degree_left(t), 1);
+        }
+    }
+
+    #[test]
+    fn matching_workload_rotation_densifies_over_time() {
+        let c = WorkloadBuilder::new(6, 6)
+            .operations(180)
+            .kind(WorkloadKind::Matching {
+                rotation_period: 30,
+            })
+            .seed(2)
+            .build();
+        // 180 ops / period 30 = rotations 0..=5: each thread meets 6 distinct
+        // partners, so the graph is a union of 6 rotated matchings.
+        let g = c.bipartite_graph();
+        assert_eq!(g.edge_count(), 36);
+        for t in 0..6 {
+            assert_eq!(g.degree_left(t), 6);
+        }
+        // Events inside the first period keep the identity pairing.
+        for (i, e) in c.events().enumerate().take(30) {
+            assert_eq!(e.object.index(), e.thread.index(), "event {i}");
+        }
+        assert_eq!(
+            WorkloadKind::Matching {
+                rotation_period: 30
+            }
+            .name(),
+            "matching"
+        );
+    }
+
+    #[test]
+    fn phase_shift_window_slides_and_wraps() {
+        let c = WorkloadBuilder::new(4, 16)
+            .operations(400)
+            .kind(WorkloadKind::PhaseShift {
+                period: 50,
+                shift: 3,
+            })
+            .seed(11)
+            .build();
+        // Window = 16/4 = 4 objects starting at (phase * 3) % 16, wrapping.
+        for (i, e) in c.events().enumerate() {
+            let start = (i / 50) * 3 % 16;
+            let offset = (e.object.index() + 16 - start) % 16;
+            assert!(offset < 4, "event {i}: object {} outside window", e.object);
+        }
+        // The sliding window eventually touches the whole object space —
+        // the cross-partition churn the family exists to produce.
+        assert_eq!(c.object_count(), 16);
+        assert_eq!(
+            WorkloadKind::PhaseShift {
+                period: 50,
+                shift: 3
+            }
+            .name(),
+            "phase-shift"
+        );
+    }
+
+    #[test]
+    fn phase_shift_degenerate_parameters_are_clamped() {
+        let c = WorkloadBuilder::new(2, 1)
+            .operations(20)
+            .kind(WorkloadKind::PhaseShift {
+                period: 0,
+                shift: 0,
+            })
+            .seed(3)
+            .build();
+        assert_eq!(c.len(), 20);
+        for e in c.events() {
+            assert_eq!(e.object.index(), 0);
         }
     }
 

@@ -6,6 +6,15 @@
 //! cloning per thread), which is what `mvc_runtime::session` relies on.
 //! Throughput is adequate for trace recording; swap in the real crossbeam
 //! for contended production use.
+//!
+//! Beyond the real crate's API subset, the shim adds one **extension**:
+//! [`Receiver::try_recv_batch`](channel::Receiver::try_recv_batch), which
+//! moves up to `max` queued messages
+//! under a single lock acquisition — the batched drain path used by
+//! `mvc_runtime` (`LiveSession::pump`, `TraceSession::into_computation`).
+//! When swapping in the real crossbeam, replace each call with
+//! `receiver.try_iter().take(max)` (lock-free there), or keep a
+//! one-function adapter; it is the only non-crossbeam API in this shim.
 
 #![forbid(unsafe_code)]
 
@@ -141,6 +150,22 @@ pub mod channel {
         pub fn try_iter(&self) -> TryIter<'_, T> {
             TryIter { receiver: self }
         }
+
+        /// Moves up to `max` currently queued messages into `buf` under a
+        /// single lock acquisition, returning how many were moved.
+        ///
+        /// This is the batched counterpart of [`try_recv`](Self::try_recv):
+        /// a drain loop pays one lock round-trip per *batch* instead of one
+        /// per message, which is what makes the sequential engine's pump
+        /// path cheap under multi-producer contention.  (Shim extension —
+        /// see the crate docs for the real-crossbeam equivalent.)
+        pub fn try_recv_batch(&self, buf: &mut Vec<T>, max: usize) -> usize {
+            let mut queue = self.shared.queue.lock().unwrap();
+            let take = queue.len().min(max);
+            buf.reserve(take);
+            buf.extend(queue.drain(..take));
+            take
+        }
     }
 
     impl<T> fmt::Debug for Receiver<T> {
@@ -193,5 +218,20 @@ mod tests {
         }
         assert_eq!(got, 400);
         assert_eq!(receiver.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_batch_moves_up_to_max_in_order() {
+        let (sender, receiver) = unbounded();
+        for i in 0..10 {
+            sender.send(i).unwrap();
+        }
+        let mut buf = Vec::new();
+        assert_eq!(receiver.try_recv_batch(&mut buf, 4), 4);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(receiver.try_recv_batch(&mut buf, 100), 6);
+        assert_eq!(buf, (0..10).collect::<Vec<_>>(), "appends, keeps order");
+        assert_eq!(receiver.try_recv_batch(&mut buf, 8), 0, "queue is empty");
+        assert_eq!(receiver.try_recv(), Err(TryRecvError::Empty));
     }
 }

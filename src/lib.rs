@@ -13,6 +13,8 @@
 //!   incremental timestamping engine.
 //! * [`online`] — the Naive / Random / Popularity / Adaptive online
 //!   mechanisms.
+//! * [`shard`] — the sharded timestamping engine: components striped across
+//!   shards with an order-preserving merge, for multi-core recording.
 //! * [`runtime`] — traced shared objects, trace sessions, the live causality
 //!   monitor and the conflict analyzer.
 //! * [`eval`] — the harness that regenerates the paper's figures.
@@ -42,6 +44,7 @@ pub use mvc_eval as eval;
 pub use mvc_graph as graph;
 pub use mvc_online as online;
 pub use mvc_runtime as runtime;
+pub use mvc_shard as shard;
 pub use mvc_trace as trace;
 
 /// The most commonly used types, re-exported from `mvc_core::prelude` plus
@@ -49,10 +52,11 @@ pub use mvc_trace as trace;
 /// the runtime session types.
 ///
 /// The unified timestamping surface is all here: the
-/// [`Timestamper`](mvc_core::Timestamper) trait with its three
+/// [`Timestamper`](mvc_core::Timestamper) trait with its four
 /// implementations ([`BatchReplay`](mvc_core::BatchReplay),
 /// [`TimestampingEngine`](mvc_core::TimestampingEngine),
-/// [`OnlineTimestamper`](mvc_online::OnlineTimestamper)), the
+/// [`OnlineTimestamper`](mvc_online::OnlineTimestamper),
+/// [`ShardedEngine`](mvc_shard::ShardedEngine)), the
 /// [`MechanismRegistry`](mvc_online::MechanismRegistry) for name-based
 /// mechanism selection, and the batch
 /// ([`TraceSession`](mvc_runtime::TraceSession)) / live
@@ -68,6 +72,7 @@ pub mod prelude {
         ConflictAnalyzer, LiveRun, LiveSession, OnlineMonitor, SharedObject, ThreadHandle,
         TraceSession,
     };
+    pub use mvc_shard::{ShardExecutor, ShardedEngine};
     pub use mvc_trace::{WorkloadBuilder, WorkloadKind};
 }
 

@@ -1,9 +1,9 @@
 //! Cross-crate conformance suite: the paper's load-bearing theorems as
 //! executable oracles.
 //!
-//! Five invariant families are encoded so that any future refactor of the
-//! graph, clock, core or online crates is checked against the mathematics
-//! rather than against snapshots:
+//! Six invariant families are encoded so that any future refactor of the
+//! graph, clock, core, online or shard crates is checked against the
+//! mathematics rather than against snapshots:
 //!
 //! 1. **Kőnig duality (Theorem: offline optimality).**  The offline
 //!    optimizer's clock size equals the maximum matching of the
@@ -32,6 +32,10 @@
 //!    rebuilt cover satisfies Kőnig (size equals matching size, covers all
 //!    edges) — the incremental engine is a pure optimisation, never a new
 //!    algorithm.
+//! 6. **Sharded timestamping parity.**  The sharded engine — any shard
+//!    count, either executor, with or without mid-run component additions —
+//!    produces the sequential engine's stamp stream bit for bit: sharding
+//!    is a scheduling strategy, never a semantic change.
 
 mod support;
 
@@ -45,8 +49,11 @@ use mvc_online::{
     Adaptive, CompetitiveTracker, MechanismRegistry, Naive, OnlineMechanism, OnlineTimestamper,
     Popularity, Random,
 };
+use mvc_shard::{ShardExecutor, ShardedEngine};
 use mvc_trace::generator::computation_from_edge_stream;
-use mvc_trace::{CausalityOracle, Computation, EventId, WorkloadBuilder, WorkloadKind};
+use mvc_trace::{
+    CausalityOracle, Computation, EventId, ObjectId, ThreadId, WorkloadBuilder, WorkloadKind,
+};
 use proptest::prelude::*;
 
 use support::{ComputationStrategy, EdgeStreamStrategy, GraphComputationStrategy};
@@ -479,6 +486,91 @@ proptest! {
                 cover.covers_all_edges(&revealed),
                 "not a vertex cover after ({}, {})", l, r
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 6: sharded timestamping == sequential timestamping, bit for bit
+// ---------------------------------------------------------------------------
+
+/// Shard counts the parity oracle sweeps.
+const ORACLE6_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sharded engine's stamp stream equals the sequential engine's
+    /// bit for bit — across random workloads, shard counts 1/2/4/8, and
+    /// both executors — and its report carries the same component layout.
+    #[test]
+    fn sharded_engine_equals_sequential_engine(
+        computation in ComputationStrategy::small(),
+    ) {
+        let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+        let mut sequential = TimestampingEngine::with_components(plan.components().clone());
+        let reference = replay(&mut sequential, &computation).unwrap();
+        for shards in ORACLE6_SHARD_COUNTS {
+            for executor in [ShardExecutor::Inline, ShardExecutor::Threads] {
+                let mut sharded = ShardedEngine::with_executor(
+                    plan.components().clone(),
+                    shards,
+                    executor,
+                );
+                let run = replay(&mut sharded, &computation).unwrap();
+                prop_assert_eq!(&run.timestamps, &reference.timestamps);
+                prop_assert_eq!(&run.report.components, &reference.report.components);
+                prop_assert_eq!(run.report.events, reference.report.events);
+            }
+        }
+    }
+
+    /// Mid-run component additions: both engines start from a half cover,
+    /// recover from the same uncovered events by adding the same components,
+    /// and still agree bit for bit on every stamp — on both executors, so
+    /// the worker-side slice-widening path is exercised too.
+    #[test]
+    fn sharded_engine_agrees_under_midrun_component_additions(
+        computation in ComputationStrategy::small(),
+        shards_index in 0usize..4,
+    ) {
+        let shards = ORACLE6_SHARD_COUNTS[shards_index];
+        let events: Vec<(ThreadId, ObjectId)> =
+            computation.events().map(|e| (e.thread, e.object)).collect();
+        let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+        let full = plan.components().components();
+        // Start with only half the optimal cover; stamp until an event is
+        // uncovered, add that event's thread component to BOTH engines, and
+        // retry — exercising clock growth while vectors already carry data.
+        let half: mvc_clock::ComponentMap =
+            full.iter().take(full.len() / 2).copied().collect();
+        for executor in [ShardExecutor::Inline, ShardExecutor::Threads] {
+            let mut sequential = TimestampingEngine::with_components(half.clone());
+            let mut sharded =
+                ShardedEngine::with_executor(half.clone(), shards, executor);
+
+            let (mut seq_out, mut shard_out) = (Vec::new(), Vec::new());
+            let mut rest: &[(ThreadId, ObjectId)] = &events;
+            loop {
+                let a = Timestamper::observe_batch(&mut sequential, rest, &mut seq_out);
+                let b = sharded.observe_batch(rest, &mut shard_out);
+                // Same outcome — same error at the same position.
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(seq_out.len(), shard_out.len());
+                match a {
+                    Ok(()) => break,
+                    Err(mvc_core::TimestampError::Uncovered { thread, .. }) => {
+                        let done = seq_out.len() - (events.len() - rest.len());
+                        rest = &rest[done..];
+                        sequential.add_component(mvc_clock::Component::Thread(thread));
+                        sharded.add_component(mvc_clock::Component::Thread(thread));
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+            prop_assert_eq!(&seq_out, &shard_out);
+            prop_assert_eq!(seq_out.len(), events.len());
+            prop_assert_eq!(sequential.width(), Timestamper::width(&sharded));
         }
     }
 }

@@ -19,7 +19,7 @@ use rand::Rng;
 
 /// The workload families the paper's model covers, cycled through by
 /// [`ComputationStrategy`].
-pub const WORKLOAD_KINDS: [WorkloadKind; 4] = [
+pub const WORKLOAD_KINDS: [WorkloadKind; 6] = [
     WorkloadKind::Uniform,
     WorkloadKind::Nonuniform {
         hot_fraction: 0.25,
@@ -28,6 +28,13 @@ pub const WORKLOAD_KINDS: [WorkloadKind; 4] = [
     WorkloadKind::ProducerConsumer { queues: 2 },
     WorkloadKind::LockStriped {
         cross_stripe_prob: 0.2,
+    },
+    WorkloadKind::Matching {
+        rotation_period: 16,
+    },
+    WorkloadKind::PhaseShift {
+        period: 24,
+        shift: 2,
     },
 ];
 
