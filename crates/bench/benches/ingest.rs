@@ -1,0 +1,123 @@
+//! Ingest pipeline throughput: per-thread segmented buffers + order-
+//! preserving merge + sink.
+//!
+//! Each iteration times the *whole* produce-and-drain cycle on one core:
+//! session setup, staging every event through `SharedObject::apply`
+//! (lock + ticket + buffer push), then the drain — merge, bulk stamping
+//! through the sequential engine, delivery to the selected sink.  That
+//! makes the numbers a conservative single-core ceiling for the full
+//! pipeline and lets the sink backends be compared like-for-like; for the
+//! drain-only figure (staging excluded, the shape `BENCH_throughput.json`
+//! records) use `mvc-eval throughput`, which stages before starting the
+//! clock.  Thread counts 1/4/8 vary the k of the k-way merge over a fixed
+//! event total.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mvc_core::sink::{CodecSink, EventSink, MemoryRecorder, StatsSink, TeeSink};
+use mvc_core::{OfflineOptimizer, TimestampingEngine};
+use mvc_runtime::TraceSession;
+use mvc_trace::{Computation, WorkloadBuilder, WorkloadKind};
+
+const EVENTS: usize = 50_000;
+const OBJECTS: usize = 64;
+
+fn stream(threads: usize) -> Computation {
+    WorkloadBuilder::new(threads, OBJECTS)
+        .operations(EVENTS)
+        .kind(WorkloadKind::Uniform)
+        .seed(42)
+        .build()
+}
+
+/// One full produce-and-drain cycle: stages the workload into a session's
+/// per-thread buffers, then drains it through engine + sink; returns the
+/// sink so the caller can keep it alive across iterations (same
+/// allocator-trim dodge as `benches/sharded.rs`).
+fn drain_once(
+    workload: &Computation,
+    threads: usize,
+    map: &mvc_clock::ComponentMap,
+    sink: Box<dyn EventSink>,
+) -> Box<dyn EventSink> {
+    let session = TraceSession::new();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| session.register_thread(&format!("t{t}")))
+        .collect();
+    let objects: Vec<_> = (0..OBJECTS)
+        .map(|o| session.shared_object(&format!("o{o}"), ()))
+        .collect();
+    for e in workload.events() {
+        objects[e.object.index()].apply(&handles[e.thread.index()], e.kind, |_| ());
+    }
+    let engine = TimestampingEngine::with_components(map.clone());
+    let live = session.live_with_sink(engine, sink);
+    let (sink, report) = live
+        .finish_into_sink()
+        .map_err(|(_, e)| e)
+        .expect("cover is complete");
+    assert_eq!(report.events, workload.len());
+    sink
+}
+
+fn bench_merge_fanin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest-merge-fanin");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        let workload = stream(threads);
+        let map = OfflineOptimizer::new()
+            .plan_for_computation(&workload)
+            .components()
+            .clone();
+        group.bench_with_input(BenchmarkId::new("mem-sink", threads), &workload, |b, w| {
+            let mut keep = None;
+            b.iter(|| {
+                keep = Some(drain_once(
+                    w,
+                    threads,
+                    &map,
+                    Box::new(MemoryRecorder::new()),
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sink_backends(c: &mut Criterion) {
+    let threads = 8;
+    let workload = stream(threads);
+    let map = OfflineOptimizer::new()
+        .plan_for_computation(&workload)
+        .components()
+        .clone();
+    let mut group = c.benchmark_group("ingest-sinks");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+    type SinkFactory = fn() -> Box<dyn EventSink>;
+    let make: [(&str, SinkFactory); 4] = [
+        ("mem", || Box::new(MemoryRecorder::new())),
+        ("codec", || Box::new(CodecSink::new())),
+        ("stats", || Box::new(StatsSink::new())),
+        ("tee", || {
+            Box::new(TeeSink::new(vec![
+                Box::new(MemoryRecorder::new()),
+                Box::new(StatsSink::new()),
+                Box::new(CodecSink::new()),
+            ]))
+        }),
+    ];
+    for (name, build) in make {
+        group.bench_with_input(BenchmarkId::new(name, EVENTS), &workload, |b, w| {
+            let mut keep = None;
+            b.iter(|| {
+                keep = Some(drain_once(w, threads, &map, build()));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_fanin, bench_sink_backends);
+criterion_main!(benches);

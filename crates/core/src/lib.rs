@@ -22,6 +22,9 @@
 //!   the batch replay path ([`BatchReplay`]), the incremental engine, and the
 //!   online timestampers of `mvc-online`, plus [`replay`] to drive a whole
 //!   computation through any of them.
+//! * [`sink`] — [`EventSink`]: pluggable egress for stamped events (memory
+//!   recorder, streaming codec writer, stats counters, tee fan-out), the
+//!   third stage of the runtime's ingest → stamp → sink pipeline.
 //!
 //! # Quickstart
 //!
@@ -49,11 +52,15 @@
 pub mod analysis;
 pub mod engine;
 pub mod offline;
+pub mod sink;
 pub mod timestamper;
 
 pub use analysis::{verify_assignment, ClockSizeReport};
 pub use engine::{EngineError, TimestampingEngine};
 pub use offline::{OfflineOptimizer, OfflinePlan, OfflineSolution};
+pub use sink::{
+    CodecSink, EventSink, MemoryRecorder, SinkError, SinkStats, StampedEvent, StatsSink, TeeSink,
+};
 pub use timestamper::{
     replay, BatchReplay, TimestampError, TimestampReport, TimestampedRun, Timestamper,
 };
@@ -63,6 +70,9 @@ pub mod prelude {
     pub use crate::analysis::ClockSizeReport;
     pub use crate::engine::TimestampingEngine;
     pub use crate::offline::{OfflineOptimizer, OfflinePlan, OfflineSolution};
+    pub use crate::sink::{
+        CodecSink, EventSink, MemoryRecorder, SinkError, StampedEvent, StatsSink, TeeSink,
+    };
     pub use crate::timestamper::{
         replay, BatchReplay, TimestampError, TimestampReport, TimestampedRun, Timestamper,
     };

@@ -1,0 +1,678 @@
+//! Event sinks: pluggable egress backends for stamped events.
+//!
+//! The ingest side of the runtime pipeline produces a faithful interleaving
+//! and the [`Timestamper`](crate::Timestamper) stamps it; an [`EventSink`]
+//! decides what happens to the stamped stream.  The four backends cover the
+//! deployment spectrum:
+//!
+//! * [`MemoryRecorder`] — keeps the interleaving as a
+//!   [`Computation`] plus the per-event timestamps (the classic
+//!   post-run-analysis mode, and the backend `LiveSession::finish` uses to
+//!   build its `LiveRun`).
+//! * [`CodecSink`] — feeds a [`StreamEncoder`] so the trace persists in the
+//!   `mvc_trace::codec` binary format *without materialising a
+//!   [`Computation`]* — memory is the encoded bytes, not the chains.
+//! * [`StatsSink`] — O(1)-ish counters only: event totals per kind, id
+//!   bounds, clock-width high-water.  For long-running services that want
+//!   monitoring, not storage.
+//! * [`TeeSink`] — fans every batch out to any number of boxed child sinks,
+//!   so recording, persistence and monitoring compose.
+//!
+//! Sinks accept events in **batches** (one call per drained merge batch, not
+//! one per event); a sink that stores the batch takes it by value through
+//! [`EventSink::accept_owned`], so the hot path moves timestamps instead of
+//! cloning them.
+
+use std::fmt;
+
+use mvc_clock::VectorTimestamp;
+use mvc_trace::codec::StreamEncoder;
+use mvc_trace::{Computation, ObjectId, OpKind, ThreadId};
+
+/// One event as it leaves the timestamping stage: the operation plus its
+/// assigned timestamp (at the clock width current when it was stamped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampedEvent {
+    /// The thread that performed the operation.
+    pub thread: ThreadId,
+    /// The object operated on.
+    pub object: ObjectId,
+    /// The kind of operation.
+    pub kind: OpKind,
+    /// The mixed-clock timestamp assigned to the operation.
+    pub timestamp: VectorTimestamp,
+}
+
+/// Errors reported by sink operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkError {
+    /// An underlying writer failed (message carries the source error).
+    Io(String),
+}
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkError::Io(msg) => write!(f, "sink I/O failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// A destination for stamped events.
+///
+/// The trait is dyn-compatible so sinks can be selected at runtime and
+/// composed through [`TeeSink`].  Contract: a batch is either accepted
+/// completely or the sink returns an error having (observably) stored
+/// nothing of the batch, and a caller that receives an error must re-offer
+/// the **identical batch** before sending any new events — the pipeline
+/// driver guarantees this by holding failed batches back and retrying them
+/// first.  The retry clause is what lets a combinator like [`TeeSink`]
+/// resume a partially fanned-out batch without duplicating events into
+/// children that already stored it.
+pub trait EventSink {
+    /// A short, stable name for reports and CLI selection.
+    fn name(&self) -> &str;
+
+    /// Accepts one batch of stamped events, in stamping order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SinkError`] if the batch could not be stored; the batch
+    /// is then considered *not* accepted, and the caller must re-offer the
+    /// identical batch before any new events (see the trait docs).
+    fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError>;
+
+    /// Accepts a batch by value, draining `batch` on success.
+    ///
+    /// The default forwards to [`accept_batch`](Self::accept_batch) and
+    /// clears the vector; sinks that store the events (the
+    /// [`MemoryRecorder`]) override it to move timestamps instead of
+    /// cloning them.  On error the batch is left untouched for retry.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`accept_batch`](Self::accept_batch).
+    fn accept_owned(&mut self, batch: &mut Vec<StampedEvent>) -> Result<(), SinkError> {
+        self.accept_batch(batch)?;
+        batch.clear();
+        Ok(())
+    }
+
+    /// Accepts a batch in column layout — the pipeline driver's native
+    /// shape: one `(thread, object, kind)` tuple per event plus the
+    /// parallel vector of timestamps.  On success the stamps are consumed
+    /// (`stamps` is left empty); on error nothing is consumed and the same
+    /// retry contract as [`accept_batch`](Self::accept_batch) applies.
+    ///
+    /// The default zips the columns into [`StampedEvent`]s and forwards to
+    /// [`accept_owned`](Self::accept_owned); storage backends override it
+    /// to consume the columns directly, which keeps the hot path free of
+    /// per-event struct shuffling.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`accept_batch`](Self::accept_batch).
+    fn accept_columns(
+        &mut self,
+        events: &[(ThreadId, ObjectId, OpKind)],
+        stamps: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), SinkError> {
+        debug_assert_eq!(events.len(), stamps.len());
+        let mut batch: Vec<StampedEvent> = events
+            .iter()
+            .zip(stamps.drain(..))
+            .map(|(&(thread, object, kind), timestamp)| StampedEvent {
+                thread,
+                object,
+                kind,
+                timestamp,
+            })
+            .collect();
+        if let Err(e) = self.accept_owned(&mut batch) {
+            // Restore the stamps so the caller can re-offer the identical
+            // columns.
+            stamps.extend(batch.into_iter().map(|ev| ev.timestamp));
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Pushes buffered state towards the sink's destination.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SinkError`] if the underlying writer fails.
+    fn flush(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// Events accepted so far.
+    fn events_accepted(&self) -> usize;
+
+    /// The sink as [`Any`](std::any::Any), so callers holding a
+    /// type-erased sink — a [`TeeSink`] child, a CLI-selected
+    /// `Box<dyn EventSink>` — can downcast back to the concrete backend and
+    /// recover its product.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl<S: EventSink + ?Sized> EventSink for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+        (**self).accept_batch(batch)
+    }
+
+    fn accept_owned(&mut self, batch: &mut Vec<StampedEvent>) -> Result<(), SinkError> {
+        (**self).accept_owned(batch)
+    }
+
+    fn accept_columns(
+        &mut self,
+        events: &[(ThreadId, ObjectId, OpKind)],
+        stamps: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), SinkError> {
+        (**self).accept_columns(events, stamps)
+    }
+
+    fn flush(&mut self) -> Result<(), SinkError> {
+        (**self).flush()
+    }
+
+    fn events_accepted(&self) -> usize {
+        (**self).events_accepted()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        (**self).as_any()
+    }
+}
+
+/// The in-memory backend: records the interleaving as a [`Computation`] and
+/// keeps every timestamp (at its raw stamping width).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    computation: Computation,
+    timestamps: Vec<VectorTimestamp>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The interleaving recorded so far.
+    pub fn computation(&self) -> &Computation {
+        &self.computation
+    }
+
+    /// The timestamps recorded so far, in stamping order, each at the raw
+    /// width it was assigned at.
+    pub fn timestamps(&self) -> &[VectorTimestamp] {
+        &self.timestamps
+    }
+
+    /// Consumes the recorder, returning the interleaving and the raw-width
+    /// timestamps.
+    pub fn into_parts(self) -> (Computation, Vec<VectorTimestamp>) {
+        (self.computation, self.timestamps)
+    }
+}
+
+impl EventSink for MemoryRecorder {
+    fn name(&self) -> &str {
+        "mem"
+    }
+
+    fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+        self.computation
+            .record_ops(batch.iter().map(|e| (e.thread, e.object, e.kind)));
+        self.timestamps
+            .extend(batch.iter().map(|e| e.timestamp.clone()));
+        Ok(())
+    }
+
+    fn accept_owned(&mut self, batch: &mut Vec<StampedEvent>) -> Result<(), SinkError> {
+        self.computation
+            .record_ops(batch.iter().map(|e| (e.thread, e.object, e.kind)));
+        self.timestamps.extend(batch.drain(..).map(|e| e.timestamp));
+        Ok(())
+    }
+
+    fn accept_columns(
+        &mut self,
+        events: &[(ThreadId, ObjectId, OpKind)],
+        stamps: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), SinkError> {
+        debug_assert_eq!(events.len(), stamps.len());
+        self.computation.record_ops(events.iter().copied());
+        self.timestamps.append(stamps);
+        Ok(())
+    }
+
+    fn events_accepted(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// The persistence backend: streams the interleaving into the
+/// `mvc_trace::codec` binary format via a [`StreamEncoder`].
+///
+/// Timestamps are *not* persisted — the format stores the computation, from
+/// which any timestamper can reproduce them deterministically (that is the
+/// point of the conformance oracles).  Memory is the encoded bytes.
+#[derive(Debug, Clone, Default)]
+pub struct CodecSink {
+    encoder: StreamEncoder,
+}
+
+impl CodecSink {
+    /// Creates an empty codec sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encoded body size so far, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encoder.body_len()
+    }
+
+    /// Seals the encoding (magic + count + records); the result decodes with
+    /// `mvc_trace::codec::decode` and is byte-identical to encoding the
+    /// recorded interleaving in one batch.
+    pub fn into_bytes(self) -> bytes::Bytes {
+        self.encoder.finish()
+    }
+}
+
+impl EventSink for CodecSink {
+    fn name(&self) -> &str {
+        "codec"
+    }
+
+    fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+        for e in batch {
+            self.encoder.push(e.thread, e.object, e.kind);
+        }
+        Ok(())
+    }
+
+    fn accept_columns(
+        &mut self,
+        events: &[(ThreadId, ObjectId, OpKind)],
+        stamps: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), SinkError> {
+        debug_assert_eq!(events.len(), stamps.len());
+        for &(thread, object, kind) in events {
+            self.encoder.push(thread, object, kind);
+        }
+        stamps.clear();
+        Ok(())
+    }
+
+    fn events_accepted(&self) -> usize {
+        self.encoder.event_count() as usize
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Aggregate statistics kept by a [`StatsSink`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Total events accepted.
+    pub events: usize,
+    /// Events per operation kind, indexed `[read, write, acquire, release,
+    /// op]`.
+    pub per_kind: [usize; 5],
+    /// `1 + max thread index` seen (0 if none).
+    pub thread_index_bound: usize,
+    /// `1 + max object index` seen (0 if none).
+    pub object_index_bound: usize,
+    /// Widest timestamp seen — the clock-size high-water mark.
+    pub max_clock_width: usize,
+}
+
+/// The monitoring backend: constant-memory counters over the stamped
+/// stream, for services that want visibility without storage.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSink {
+    stats: SinkStats,
+}
+
+fn kind_slot(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
+        OpKind::Acquire => 2,
+        OpKind::Release => 3,
+        OpKind::Op => 4,
+    }
+}
+
+impl StatsSink {
+    /// Creates a sink with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> &SinkStats {
+        &self.stats
+    }
+}
+
+impl EventSink for StatsSink {
+    fn name(&self) -> &str {
+        "stats"
+    }
+
+    fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+        for e in batch {
+            self.stats.events += 1;
+            self.stats.per_kind[kind_slot(e.kind)] += 1;
+            self.stats.thread_index_bound = self.stats.thread_index_bound.max(e.thread.index() + 1);
+            self.stats.object_index_bound = self.stats.object_index_bound.max(e.object.index() + 1);
+            self.stats.max_clock_width = self.stats.max_clock_width.max(e.timestamp.len());
+        }
+        Ok(())
+    }
+
+    fn accept_columns(
+        &mut self,
+        events: &[(ThreadId, ObjectId, OpKind)],
+        stamps: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), SinkError> {
+        debug_assert_eq!(events.len(), stamps.len());
+        for &(thread, object, kind) in events {
+            self.stats.events += 1;
+            self.stats.per_kind[kind_slot(kind)] += 1;
+            self.stats.thread_index_bound = self.stats.thread_index_bound.max(thread.index() + 1);
+            self.stats.object_index_bound = self.stats.object_index_bound.max(object.index() + 1);
+        }
+        for stamp in stamps.iter() {
+            self.stats.max_clock_width = self.stats.max_clock_width.max(stamp.len());
+        }
+        stamps.clear();
+        Ok(())
+    }
+
+    fn events_accepted(&self) -> usize {
+        self.stats.events
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// The fan-out combinator: forwards every batch to each child sink in
+/// order.
+///
+/// A child failure aborts the batch with that child's error.  Children
+/// earlier in the list have already accepted it, so the tee remembers how
+/// far it got: when the caller re-offers the batch (the retry contract —
+/// see [`EventSink::accept_batch`]), delivery resumes at the child that
+/// failed instead of duplicating events into the children that already
+/// stored them.
+pub struct TeeSink {
+    children: Vec<Box<dyn EventSink>>,
+    events: usize,
+    /// Children that accepted the in-flight batch before a later child
+    /// refused it; skipped when the identical batch is re-offered.
+    accepted_children: usize,
+}
+
+impl TeeSink {
+    /// Creates a tee over the given children.
+    pub fn new(children: Vec<Box<dyn EventSink>>) -> Self {
+        Self {
+            children,
+            events: 0,
+            accepted_children: 0,
+        }
+    }
+
+    /// The child sinks, in fan-out order.
+    pub fn children(&self) -> &[Box<dyn EventSink>] {
+        &self.children
+    }
+
+    /// Consumes the tee, returning the children (to recover per-child
+    /// results after a run).
+    pub fn into_children(self) -> Vec<Box<dyn EventSink>> {
+        self.children
+    }
+}
+
+impl fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TeeSink")
+            .field("children", &self.children.len())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+impl EventSink for TeeSink {
+    fn name(&self) -> &str {
+        "tee"
+    }
+
+    fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+        while self.accepted_children < self.children.len() {
+            self.children[self.accepted_children].accept_batch(batch)?;
+            self.accepted_children += 1;
+        }
+        self.accepted_children = 0;
+        self.events += batch.len();
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), SinkError> {
+        for child in &mut self.children {
+            child.flush()?;
+        }
+        Ok(())
+    }
+
+    fn events_accepted(&self) -> usize {
+        self.events
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_trace::codec;
+
+    fn stamped(thread: usize, object: usize, kind: OpKind, stamp: &[u64]) -> StampedEvent {
+        StampedEvent {
+            thread: ThreadId(thread),
+            object: ObjectId(object),
+            kind,
+            timestamp: VectorTimestamp::from_components(stamp.to_vec()),
+        }
+    }
+
+    fn sample_batch() -> Vec<StampedEvent> {
+        vec![
+            stamped(0, 0, OpKind::Write, &[1]),
+            stamped(1, 0, OpKind::Read, &[1, 1]),
+            stamped(0, 2, OpKind::Acquire, &[2, 1]),
+        ]
+    }
+
+    #[test]
+    fn memory_recorder_keeps_interleaving_and_stamps() {
+        let mut sink = MemoryRecorder::new();
+        let mut batch = sample_batch();
+        let expected: Vec<_> = batch.iter().map(|e| e.timestamp.clone()).collect();
+        sink.accept_owned(&mut batch).unwrap();
+        assert!(batch.is_empty(), "owned batch is drained");
+        assert_eq!(sink.events_accepted(), 3);
+        assert_eq!(sink.computation().len(), 3);
+        assert_eq!(sink.timestamps(), &expected[..]);
+        let (c, ts) = sink.into_parts();
+        assert_eq!(c.object_chain(ObjectId(0)).len(), 2);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn memory_recorder_borrowed_and_owned_paths_agree() {
+        let batch = sample_batch();
+        let mut borrowed = MemoryRecorder::new();
+        borrowed.accept_batch(&batch).unwrap();
+        let mut owned = MemoryRecorder::new();
+        owned.accept_owned(&mut batch.clone()).unwrap();
+        assert_eq!(borrowed.computation(), owned.computation());
+        assert_eq!(borrowed.timestamps(), owned.timestamps());
+    }
+
+    #[test]
+    fn codec_sink_output_decodes_to_the_interleaving() {
+        let mut sink = CodecSink::new();
+        let batch = sample_batch();
+        sink.accept_batch(&batch).unwrap();
+        sink.accept_batch(&batch).unwrap();
+        assert_eq!(sink.events_accepted(), 6);
+        assert!(sink.encoded_len() > 0);
+        let decoded = codec::decode(&sink.into_bytes()).unwrap();
+        assert_eq!(decoded.len(), 6);
+        let mut reference = Computation::new();
+        for e in batch.iter().chain(batch.iter()) {
+            reference.record_op(e.thread, e.object, e.kind);
+        }
+        assert_eq!(decoded, reference);
+    }
+
+    #[test]
+    fn stats_sink_counts_without_storing() {
+        let mut sink = StatsSink::new();
+        sink.accept_batch(&sample_batch()).unwrap();
+        let stats = sink.stats();
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.per_kind, [1, 1, 1, 0, 0]);
+        assert_eq!(stats.thread_index_bound, 2);
+        assert_eq!(stats.object_index_bound, 3);
+        assert_eq!(stats.max_clock_width, 2);
+        assert_eq!(sink.events_accepted(), 3);
+        assert_eq!(sink.name(), "stats");
+    }
+
+    #[test]
+    fn tee_fans_out_to_every_child() {
+        let mut tee = TeeSink::new(vec![
+            Box::new(MemoryRecorder::new()),
+            Box::new(StatsSink::new()),
+            Box::new(CodecSink::new()),
+        ]);
+        let mut batch = sample_batch();
+        tee.accept_owned(&mut batch).unwrap();
+        assert!(batch.is_empty());
+        tee.flush().unwrap();
+        assert_eq!(tee.events_accepted(), 3);
+        assert_eq!(tee.name(), "tee");
+        for child in tee.children() {
+            assert_eq!(child.events_accepted(), 3, "{}", child.name());
+        }
+        assert!(format!("{tee:?}").contains("children"));
+    }
+
+    /// A sink that refuses its first `failures` batches, then accepts.
+    struct FlakySink {
+        failures: usize,
+        accepted: usize,
+    }
+
+    impl EventSink for FlakySink {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+
+        fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(SinkError::Io("transient".into()));
+            }
+            self.accepted += batch.len();
+            Ok(())
+        }
+
+        fn events_accepted(&self) -> usize {
+            self.accepted
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn tee_retry_does_not_duplicate_into_children_that_already_accepted() {
+        // Child 0 (mem) accepts, child 1 fails twice, child 2 (stats) is
+        // never reached until the retry succeeds.  Re-offering the same
+        // batch must deliver it exactly once to every child.
+        let mut tee = TeeSink::new(vec![
+            Box::new(MemoryRecorder::new()),
+            Box::new(FlakySink {
+                failures: 2,
+                accepted: 0,
+            }),
+            Box::new(StatsSink::new()),
+        ]);
+        let mut batch = sample_batch();
+        assert!(tee.accept_owned(&mut batch).is_err());
+        assert_eq!(batch.len(), 3, "failed batch is left for retry");
+        assert!(tee.accept_owned(&mut batch).is_err(), "still flaky");
+        tee.accept_owned(&mut batch).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(tee.events_accepted(), 3);
+        for child in tee.children() {
+            assert_eq!(
+                child.events_accepted(),
+                3,
+                "{}: exactly once, no duplication",
+                child.name()
+            );
+        }
+
+        // And the next (new) batch goes to every child again.
+        let mut next = sample_batch();
+        tee.accept_owned(&mut next).unwrap();
+        for child in tee.children() {
+            assert_eq!(child.events_accepted(), 6, "{}", child.name());
+        }
+    }
+
+    #[test]
+    fn boxed_sinks_forward_through_the_blanket_impl() {
+        let mut sink: Box<dyn EventSink> = Box::new(MemoryRecorder::new());
+        let mut batch = sample_batch();
+        sink.accept_owned(&mut batch).unwrap();
+        sink.flush().unwrap();
+        assert_eq!(sink.events_accepted(), 3);
+        assert_eq!(sink.name(), "mem");
+    }
+
+    #[test]
+    fn sink_error_displays_the_source() {
+        let err = SinkError::Io("disk full".into());
+        assert!(err.to_string().contains("disk full"));
+    }
+}

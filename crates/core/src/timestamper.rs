@@ -202,6 +202,39 @@ pub trait Timestamper {
     fn finish(&self) -> TimestampReport;
 }
 
+/// Boxed timestampers are timestampers, so pipeline drivers generic over
+/// `T: Timestamper` also accept a `Box<dyn Timestamper>` selected at
+/// runtime.
+impl<T: Timestamper + ?Sized> Timestamper for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn observe(
+        &mut self,
+        thread: ThreadId,
+        object: ObjectId,
+    ) -> Result<VectorTimestamp, TimestampError> {
+        (**self).observe(thread, object)
+    }
+
+    fn observe_batch(
+        &mut self,
+        events: &[(ThreadId, ObjectId)],
+        out: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), TimestampError> {
+        (**self).observe_batch(events, out)
+    }
+
+    fn width(&self) -> usize {
+        (**self).width()
+    }
+
+    fn finish(&self) -> TimestampReport {
+        (**self).finish()
+    }
+}
+
 /// A whole computation timestamped by one [`Timestamper`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimestampedRun {

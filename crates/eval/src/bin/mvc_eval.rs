@@ -4,7 +4,8 @@
 //! mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] [--trials N] [--csv DIR]
 //! mvc-eval sweep [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]
 //! mvc-eval trajectory [--mechanisms a,b,c] [--workload uniform|nonuniform] [--trials N] [--csv DIR]
-//! mvc-eval throughput [--events N] [--shards 1,2,4,8] [--workload KIND] [--csv DIR]
+//! mvc-eval throughput [--events N] [--shards 1,2,4,8] [--workload KIND]
+//!                     [--sink mem|codec|stats|tee] [--csv DIR] [--out FILE]
 //! ```
 //!
 //! Each figure is printed as an aligned table; with `--csv DIR` the raw series
@@ -17,8 +18,11 @@
 //! per-reveal competitive trajectory (online size vs. the incrementally
 //! maintained offline optimum of the revealed prefix).  The `throughput`
 //! command times the sequential engine against the sharded engine at each
-//! requested shard count and prints the result as **JSON** (and writes
-//! `DIR/throughput.json` with `--csv DIR`), giving future changes a
+//! requested shard count — both as pure stamping and through the full
+//! segmented-ingest pipeline with the `--sink`-selected egress backend —
+//! and prints the result as **JSON** (written to `DIR/throughput.json` with
+//! `--csv DIR`, or to an explicit path with `--out FILE`, e.g. the repo's
+//! `BENCH_throughput.json` trajectory point), giving future changes a
 //! mechanical bench trajectory to compare against.
 
 use std::env;
@@ -29,7 +33,7 @@ use std::process::ExitCode;
 use mvc_eval::{
     adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, measure_throughput,
     registry_sweep, render_csv, render_table, render_throughput_json, star_sweep, FigureData,
-    SweepConfig, ThroughputConfig,
+    SinkKind, SweepConfig, ThroughputConfig,
 };
 use mvc_graph::GraphScenario;
 use mvc_online::MechanismRegistry;
@@ -51,6 +55,10 @@ struct Options {
     events: Option<usize>,
     /// `--shards`, used by `throughput`.
     shards: Option<Vec<usize>>,
+    /// `--sink`, used by `throughput` (default `mem`).
+    sink: Option<SinkKind>,
+    /// `--out`, used by `throughput`: write the JSON to this exact path.
+    out: Option<PathBuf>,
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
@@ -88,6 +96,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut workload = None;
     let mut events = None;
     let mut shards = None;
+    let mut sink = None;
+    let mut out = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -158,13 +168,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 shards = Some(counts);
             }
+            "--sink" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--sink requires a backend name".to_string())?;
+                sink = Some(SinkKind::parse(value)?);
+            }
+            "--out" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--out requires a file path".to_string())?;
+                out = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] \
                      [--trials N] [--csv DIR]\n       mvc-eval sweep|trajectory \
                      [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]\n       \
                      mvc-eval throughput [--events N] [--shards 1,2,4,8] [--workload KIND] \
-                     [--csv DIR]"
+                     [--sink mem|codec|stats|tee] [--csv DIR] [--out FILE]"
                         .into(),
                 )
             }
@@ -182,6 +204,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         workload,
         events,
         shards,
+        sink,
+        out,
     })
 }
 
@@ -196,6 +220,9 @@ fn run_throughput(options: &Options) -> Result<String, String> {
     }
     if let Some(shards) = &options.shards {
         config.shard_counts = shards.clone();
+    }
+    if let Some(sink) = options.sink {
+        config.sink = sink;
     }
     let report = measure_throughput(&config);
     Ok(render_throughput_json(&report))
@@ -315,6 +342,13 @@ fn main() -> ExitCode {
                 }
                 println!("wrote {}", path.display());
             }
+            if let Some(path) = &options.out {
+                if let Err(e) = fs::write(path, &json) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
             continue;
         }
         let figures = match run_figure(name, &options) {
@@ -360,6 +394,8 @@ mod tests {
             workload: None,
             events: None,
             shards: None,
+            sink: None,
+            out: None,
         }
     }
 
@@ -432,6 +468,9 @@ mod tests {
         assert!(parse_args(&args(&["--shards", ""])).is_err());
         assert!(parse_args(&args(&["--shards", "2,0"])).is_err());
         assert!(parse_args(&args(&["--shards", "two"])).is_err());
+        assert!(parse_args(&args(&["--sink"])).is_err());
+        assert!(parse_args(&args(&["--sink", "paper"])).is_err());
+        assert!(parse_args(&args(&["--out"])).is_err());
         assert!(parse_args(&args(&["--help"])).is_err());
         assert!(run_figure("fig99", &opts(1)).is_err());
     }
@@ -446,15 +485,26 @@ mod tests {
             "1,2",
             "--workload",
             "phase-shift",
+            "--sink",
+            "stats",
+            "--out",
+            "/tmp/bench.json",
         ]))
         .unwrap();
         assert_eq!(o.figures, vec!["throughput"]);
         assert_eq!(o.events, Some(2000));
         assert_eq!(o.shards, Some(vec![1, 2]));
+        assert_eq!(o.sink, Some(SinkKind::Stats));
+        assert_eq!(
+            o.out.as_deref(),
+            Some(std::path::Path::new("/tmp/bench.json"))
+        );
 
         let json = run_throughput(&o).unwrap();
         assert!(json.contains("\"workload\": \"phase-shift\""));
         assert!(json.contains("\"events\": 2000"));
+        assert!(json.contains("\"sink\": \"stats\""));
+        assert!(json.contains("\"ingest\": ["));
         assert!(json.contains("\"engine\": \"sharded\""));
     }
 

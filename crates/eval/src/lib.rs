@@ -30,7 +30,9 @@
 //!
 //! Beyond the paper's clock-size figures, [`throughput`] measures recording
 //! *speed* — sequential vs. sharded events per second over the same workload
-//! and component map — and renders it as JSON (`mvc-eval throughput`), so
+//! and component map, both as pure stamping and through the full segmented
+//! ingest → merge → stamp → sink pipeline with a selectable
+//! [`SinkKind`] backend — and renders it as JSON (`mvc-eval throughput`), so
 //! future changes have a mechanical bench trajectory to compare against.
 
 #![forbid(unsafe_code)]
@@ -48,6 +50,6 @@ pub use experiments::{
 pub use report::{render_csv, render_table};
 pub use runner::{average_size, single_run, AlgorithmKind, DataPoint, SweepConfig};
 pub use throughput::{
-    measure_throughput, render_throughput_json, EngineThroughput, ThroughputConfig,
+    measure_throughput, render_throughput_json, EngineThroughput, SinkKind, ThroughputConfig,
     ThroughputReport,
 };

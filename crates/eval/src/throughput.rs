@@ -1,10 +1,21 @@
 //! Engine throughput measurement: sequential vs. sharded events/second.
 //!
 //! The paper's figures measure clock *size*; this module measures recording
-//! *speed* — how many events per second a timestamper stamps when driven
-//! through the unified batch path ([`mvc_core::replay`]).  The `mvc-eval
-//! throughput` command emits the result as JSON so successive PRs can
-//! compare bench trajectories mechanically (`jq`-able, no table parsing).
+//! *speed*, split into two sections so the ingest path scales can be read
+//! separately from raw stamping:
+//!
+//! * **`engines`** — how many events per second a timestamper stamps when
+//!   driven through the unified batch path ([`mvc_core::replay`]): no
+//!   ingest, no sink, pure stamping.  Comparable across PRs since PR 4.
+//! * **`ingest`** — the same engines driven through the full runtime
+//!   pipeline: events staged into per-thread segmented buffers, then timed
+//!   through merge → [`observe_batch`](mvc_core::Timestamper::observe_batch)
+//!   → the selected [`EventSink`] backend.  The sink is selectable
+//!   (`--sink mem|codec|stats|tee`), so egress cost is visible too.
+//!
+//! The `mvc-eval throughput` command emits the result as JSON so successive
+//! PRs can compare bench trajectories mechanically (`jq`-able, no table
+//! parsing).
 //!
 //! Every engine sees the identical precomputed workload and the identical
 //! offline-optimal component map, so the numbers isolate engine overhead:
@@ -13,9 +24,70 @@
 
 use std::time::Instant;
 
+use mvc_core::sink::{CodecSink, EventSink, MemoryRecorder, StatsSink, TeeSink};
 use mvc_core::{replay, OfflineOptimizer, TimestampingEngine};
+use mvc_runtime::TraceSession;
 use mvc_shard::{ShardExecutor, ShardedEngine};
 use mvc_trace::{Computation, WorkloadBuilder, WorkloadKind};
+
+/// The egress backend an ingest measurement drives
+/// (`--sink mem|codec|stats|tee`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SinkKind {
+    /// In-memory recorder — the default, and the closest to the historical
+    /// single-channel live path (interleaving + timestamps retained).
+    #[default]
+    Mem,
+    /// Streaming codec writer: the trace persists as encoded bytes.
+    Codec,
+    /// Constant-memory stats counters.
+    Stats,
+    /// Tee of all three of the above.
+    Tee,
+}
+
+impl SinkKind {
+    /// Parses a CLI sink name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the candidates when the name is unknown.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "mem" => Ok(SinkKind::Mem),
+            "codec" => Ok(SinkKind::Codec),
+            "stats" => Ok(SinkKind::Stats),
+            "tee" => Ok(SinkKind::Tee),
+            other => Err(format!(
+                "unknown sink '{other}' (expected mem|codec|stats|tee)"
+            )),
+        }
+    }
+
+    /// The stable CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SinkKind::Mem => "mem",
+            SinkKind::Codec => "codec",
+            SinkKind::Stats => "stats",
+            SinkKind::Tee => "tee",
+        }
+    }
+
+    /// Builds a fresh sink of this kind.
+    pub fn build(self) -> Box<dyn EventSink> {
+        match self {
+            SinkKind::Mem => Box::new(MemoryRecorder::new()),
+            SinkKind::Codec => Box::new(CodecSink::new()),
+            SinkKind::Stats => Box::new(StatsSink::new()),
+            SinkKind::Tee => Box::new(TeeSink::new(vec![
+                Box::new(MemoryRecorder::new()),
+                Box::new(StatsSink::new()),
+                Box::new(CodecSink::new()),
+            ])),
+        }
+    }
+}
 
 /// Configuration for one throughput measurement.
 #[derive(Debug, Clone)]
@@ -35,6 +107,8 @@ pub struct ThroughputConfig {
     /// Timed repetitions per engine (the best run is reported, like a
     /// benchmark's minimum — throughput noise is one-sided).
     pub repeats: usize,
+    /// The egress backend the ingest section drives.
+    pub sink: SinkKind,
 }
 
 impl ThroughputConfig {
@@ -49,6 +123,7 @@ impl ThroughputConfig {
             shard_counts: vec![1, 2, 4, 8],
             seed: 42,
             repeats: 3,
+            sink: SinkKind::Mem,
         }
     }
 }
@@ -71,7 +146,8 @@ pub struct EngineThroughput {
     pub speedup: f64,
 }
 
-/// A full throughput report: workload metadata plus one row per engine.
+/// A full throughput report: workload metadata plus one row per engine in
+/// each section.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
     /// The workload family name.
@@ -84,8 +160,13 @@ pub struct ThroughputReport {
     pub events: usize,
     /// Width of the offline-optimal clock all engines replayed with.
     pub clock_width: usize,
-    /// Measured engines, sequential first.
+    /// The sink backend the ingest section drove.
+    pub sink: String,
+    /// Pure stamping (replay, no ingest/sink), sequential first.
     pub engines: Vec<EngineThroughput>,
+    /// Full pipeline (segmented ingest → merge → stamp → sink), sequential
+    /// first.  Speedups are relative to the sequential *ingest* row.
+    pub ingest: Vec<EngineThroughput>,
 }
 
 /// Times one replay of `computation` through a fresh engine.
@@ -97,23 +178,59 @@ fn time_one(mut engine: Box<dyn mvc_core::Timestamper>, computation: &Computatio
     elapsed
 }
 
-/// Times every engine `repeats` times, interleaved round-robin (one rep of
-/// each engine per round) so machine-level noise — frequency scaling, noisy
-/// neighbours — hits all engines alike, and returns each engine's best run
-/// (throughput noise is one-sided).  A leading untimed warm-up round maps
-/// the allocator arena the stamp vectors will recycle, so the timed rounds
-/// measure steady-state throughput rather than first-touch page faults.
-fn time_interleaved(
-    factories: &mut [Box<dyn FnMut() -> Box<dyn mvc_core::Timestamper> + '_>],
+/// Times one pass of `computation` through the full runtime pipeline with a
+/// fresh engine and sink: the events are staged into per-thread segmented
+/// ingest buffers (untimed — that is the producers' cost, paid on their own
+/// threads in production), then the drain — order-preserving merge, bulk
+/// stamping, sink delivery — is timed as one `pump`.
+fn time_one_ingest(
+    engine: Box<dyn mvc_core::Timestamper>,
     computation: &Computation,
+    sink: Box<dyn EventSink>,
+    threads: usize,
+    objects: usize,
+) -> u128 {
+    let session = TraceSession::new();
+    let handles: Vec<_> = (0..threads)
+        .map(|i| session.register_thread(&format!("t{i}")))
+        .collect();
+    let objs: Vec<_> = (0..objects)
+        .map(|i| session.shared_object(&format!("o{i}"), ()))
+        .collect();
+    for e in computation.events() {
+        objs[e.object.index()].apply(&handles[e.thread.index()], e.kind, |_| ());
+    }
+    let mut live = session.live_with_sink(engine, sink);
+    let start = Instant::now();
+    let pumped = live.pump().expect("plan covers the workload");
+    let (sink, _report) = live
+        .finish_into_sink()
+        .map_err(|(_, e)| e)
+        .expect("final drain is clean");
+    let elapsed = start.elapsed().as_nanos();
+    assert_eq!(pumped, computation.len());
+    assert_eq!(sink.events_accepted(), computation.len());
+    elapsed
+}
+
+/// Times `engines` measurement slots `repeats` times each, interleaved
+/// round-robin (one rep of each slot per round) so machine-level noise —
+/// frequency scaling, noisy neighbours — hits all slots alike, and returns
+/// each slot's best run (throughput noise is one-sided).  A leading untimed
+/// warm-up round maps the allocator arena the stamp vectors will recycle, so
+/// the timed rounds measure steady-state throughput rather than first-touch
+/// page faults.
+fn time_interleaved(
+    engines: usize,
     repeats: usize,
+    mut run_slot: impl FnMut(usize) -> u128,
 ) -> Vec<u128> {
-    let mut best = vec![u128::MAX; factories.len()];
+    let mut best = vec![u128::MAX; engines];
     for round in 0..repeats.max(1) + 1 {
-        for (i, make) in factories.iter_mut().enumerate() {
-            let elapsed = time_one(make(), computation);
+        for (i, b) in best.iter_mut().enumerate() {
+            let elapsed = run_slot(i);
             if round > 0 {
-                best[i] = best[i].min(elapsed);
+                *b = (*b).min(elapsed);
             }
         }
     }
@@ -127,8 +244,40 @@ fn events_per_sec(events: usize, elapsed_ns: u128) -> f64 {
     events as f64 / (elapsed_ns as f64 / 1e9)
 }
 
+/// Builds the report rows for one measured section: sequential first, then
+/// one sharded row per configured count, speedups relative to the
+/// sequential row of the *same* section.
+fn rows(config: &ThroughputConfig, executor_name: &str, timings: &[u128]) -> Vec<EngineThroughput> {
+    let sequential_ns = timings[0];
+    let mut out = vec![EngineThroughput {
+        engine: "sequential".to_owned(),
+        shards: 1,
+        executor: "none".to_owned(),
+        elapsed_ns: sequential_ns,
+        events_per_sec: events_per_sec(config.events, sequential_ns),
+        speedup: 1.0,
+    }];
+    for (&shards, &ns) in config.shard_counts.iter().zip(&timings[1..]) {
+        out.push(EngineThroughput {
+            engine: "sharded".to_owned(),
+            shards,
+            executor: executor_name.to_owned(),
+            elapsed_ns: ns,
+            events_per_sec: events_per_sec(config.events, ns),
+            speedup: if ns == 0 {
+                0.0
+            } else {
+                sequential_ns as f64 / ns as f64
+            },
+        });
+    }
+    out
+}
+
 /// Measures the sequential engine and the sharded engine (at every
-/// configured shard count) over the same workload and component map.
+/// configured shard count) over the same workload and component map — once
+/// through the pure stamping path and once through the full ingest → stamp
+/// → sink pipeline with the configured sink backend.
 pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
     let computation = WorkloadBuilder::new(config.threads, config.objects)
         .operations(config.events)
@@ -143,42 +292,32 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
         ShardExecutor::Inline => "inline",
         ShardExecutor::Threads => "threads",
     };
-    let mut factories: Vec<Box<dyn FnMut() -> Box<dyn mvc_core::Timestamper> + '_>> = Vec::new();
-    factories.push(Box::new(|| {
-        Box::new(TimestampingEngine::with_components(map.clone()))
-    }));
-    for &shards in &config.shard_counts {
-        let map = &map;
-        factories.push(Box::new(move || {
-            Box::new(ShardedEngine::with_executor(map.clone(), shards, executor))
-        }));
-    }
-    let timings = time_interleaved(&mut factories, &computation, config.repeats);
-    drop(factories);
+    // Slot 0 is the sequential engine, slot k the k-th shard count.
+    let make_engine = |slot: usize| -> Box<dyn mvc_core::Timestamper> {
+        if slot == 0 {
+            Box::new(TimestampingEngine::with_components(map.clone()))
+        } else {
+            Box::new(ShardedEngine::with_executor(
+                map.clone(),
+                config.shard_counts[slot - 1],
+                executor,
+            ))
+        }
+    };
+    let slots = 1 + config.shard_counts.len();
 
-    let sequential_ns = timings[0];
-    let mut engines = vec![EngineThroughput {
-        engine: "sequential".to_owned(),
-        shards: 1,
-        executor: "none".to_owned(),
-        elapsed_ns: sequential_ns,
-        events_per_sec: events_per_sec(config.events, sequential_ns),
-        speedup: 1.0,
-    }];
-    for (&shards, &ns) in config.shard_counts.iter().zip(&timings[1..]) {
-        engines.push(EngineThroughput {
-            engine: "sharded".to_owned(),
-            shards,
-            executor: executor_name.to_owned(),
-            elapsed_ns: ns,
-            events_per_sec: events_per_sec(config.events, ns),
-            speedup: if ns == 0 {
-                0.0
-            } else {
-                sequential_ns as f64 / ns as f64
-            },
-        });
-    }
+    let stamping = time_interleaved(slots, config.repeats, |slot| {
+        time_one(make_engine(slot), &computation)
+    });
+    let pipeline = time_interleaved(slots, config.repeats, |slot| {
+        time_one_ingest(
+            make_engine(slot),
+            &computation,
+            config.sink.build(),
+            config.threads,
+            config.objects,
+        )
+    });
 
     ThroughputReport {
         workload: config.workload.name().to_owned(),
@@ -186,7 +325,9 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
         objects: config.objects,
         events: config.events,
         clock_width: map.len(),
-        engines,
+        sink: config.sink.name().to_owned(),
+        engines: rows(config, executor_name, &stamping),
+        ingest: rows(config, executor_name, &pipeline),
     }
 }
 
@@ -196,6 +337,32 @@ fn json_f64(value: f64) -> String {
     } else {
         "null".to_owned()
     }
+}
+
+fn render_rows(out: &mut String, key: &str, rows: &[EngineThroughput], trailing_comma: bool) {
+    out.push_str(&format!("  \"{key}\": [\n"));
+    for (i, e) in rows.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"engine\": \"{}\", ", e.engine));
+        out.push_str(&format!("\"shards\": {}, ", e.shards));
+        out.push_str(&format!("\"executor\": \"{}\", ", e.executor));
+        out.push_str(&format!("\"elapsed_ns\": {}, ", e.elapsed_ns));
+        out.push_str(&format!(
+            "\"events_per_sec\": {}, ",
+            json_f64(e.events_per_sec)
+        ));
+        out.push_str(&format!("\"speedup\": {}", json_f64(e.speedup)));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]");
+    if trailing_comma {
+        out.push(',');
+    }
+    out.push('\n');
 }
 
 /// Renders a report as a single JSON object (two-space indent, stable key
@@ -208,25 +375,10 @@ pub fn render_throughput_json(report: &ThroughputReport) -> String {
     out.push_str(&format!("  \"objects\": {},\n", report.objects));
     out.push_str(&format!("  \"events\": {},\n", report.events));
     out.push_str(&format!("  \"clock_width\": {},\n", report.clock_width));
-    out.push_str("  \"engines\": [\n");
-    for (i, e) in report.engines.iter().enumerate() {
-        out.push_str("    {");
-        out.push_str(&format!("\"engine\": \"{}\", ", e.engine));
-        out.push_str(&format!("\"shards\": {}, ", e.shards));
-        out.push_str(&format!("\"executor\": \"{}\", ", e.executor));
-        out.push_str(&format!("\"elapsed_ns\": {}, ", e.elapsed_ns));
-        out.push_str(&format!(
-            "\"events_per_sec\": {}, ",
-            json_f64(e.events_per_sec)
-        ));
-        out.push_str(&format!("\"speedup\": {}", json_f64(e.speedup)));
-        out.push('}');
-        if i + 1 < report.engines.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ]\n}");
+    out.push_str(&format!("  \"sink\": \"{}\",\n", report.sink));
+    render_rows(&mut out, "engines", &report.engines, true);
+    render_rows(&mut out, "ingest", &report.ingest, false);
+    out.push('}');
     out
 }
 
@@ -244,17 +396,59 @@ mod tests {
             shard_counts: vec![1, 2],
             seed: 3,
             repeats: 1,
+            sink: SinkKind::Mem,
         };
         let report = measure_throughput(&config);
-        assert_eq!(report.engines.len(), 3);
-        assert_eq!(report.engines[0].engine, "sequential");
-        assert_eq!(report.engines[0].speedup, 1.0);
-        assert_eq!(report.engines[1].shards, 1);
-        assert_eq!(report.engines[2].shards, 2);
-        assert!(report.clock_width > 0);
-        for e in &report.engines {
-            assert!(e.events_per_sec > 0.0, "{}: zero throughput", e.engine);
+        for section in [&report.engines, &report.ingest] {
+            assert_eq!(section.len(), 3);
+            assert_eq!(section[0].engine, "sequential");
+            assert_eq!(section[0].speedup, 1.0);
+            assert_eq!(section[1].shards, 1);
+            assert_eq!(section[2].shards, 2);
+            for e in section.iter() {
+                assert!(e.events_per_sec > 0.0, "{}: zero throughput", e.engine);
+            }
         }
+        assert!(report.clock_width > 0);
+        assert_eq!(report.sink, "mem");
+    }
+
+    #[test]
+    fn every_sink_backend_drives_the_ingest_section() {
+        for sink in [
+            SinkKind::Mem,
+            SinkKind::Codec,
+            SinkKind::Stats,
+            SinkKind::Tee,
+        ] {
+            let config = ThroughputConfig {
+                threads: 4,
+                objects: 4,
+                events: 400,
+                workload: WorkloadKind::Uniform,
+                shard_counts: vec![2],
+                seed: 9,
+                repeats: 1,
+                sink,
+            };
+            let report = measure_throughput(&config);
+            assert_eq!(report.sink, sink.name());
+            assert_eq!(report.ingest.len(), 2);
+            for e in &report.ingest {
+                assert!(e.events_per_sec > 0.0, "{}: zero throughput", e.engine);
+            }
+        }
+    }
+
+    #[test]
+    fn sink_names_parse_and_round_trip() {
+        for name in ["mem", "codec", "stats", "tee"] {
+            assert_eq!(SinkKind::parse(name).unwrap().name(), name);
+        }
+        let err = SinkKind::parse("paper").unwrap_err();
+        assert!(err.contains("unknown sink 'paper'"));
+        assert!(err.contains("mem|codec|stats|tee"), "lists candidates");
+        assert_eq!(SinkKind::default(), SinkKind::Mem);
     }
 
     #[test]
@@ -270,6 +464,7 @@ mod tests {
             shard_counts: vec![2],
             seed: 1,
             repeats: 1,
+            sink: SinkKind::Tee,
         };
         let json = render_throughput_json(&measure_throughput(&config));
         for key in [
@@ -277,7 +472,9 @@ mod tests {
             "\"threads\": 4",
             "\"events\": 500",
             "\"clock_width\":",
+            "\"sink\": \"tee\"",
             "\"engines\": [",
+            "\"ingest\": [",
             "\"engine\": \"sequential\"",
             "\"engine\": \"sharded\"",
             "\"events_per_sec\":",
@@ -294,5 +491,6 @@ mod tests {
         assert_eq!((c.threads, c.objects), (64, 64));
         assert_eq!(c.shard_counts, vec![1, 2, 4, 8]);
         assert_eq!(c.workload.name(), "uniform");
+        assert_eq!(c.sink, SinkKind::Mem);
     }
 }

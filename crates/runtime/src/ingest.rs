@@ -1,0 +1,348 @@
+//! Per-thread segmented ingest buffers and the order-preserving merge.
+//!
+//! The paper's model needs exactly two orders to survive tracing: each
+//! thread's program order and each object's serialization order.  The old
+//! runtime got both by funnelling every event through one global channel —
+//! correct, but every producer contends on the same lock.  This module keeps
+//! the two orders with *no* cross-producer contention:
+//!
+//! * **Per-thread buffers.**  Every [`ThreadHandle`](crate::ThreadHandle)
+//!   owns a segmented queue ([`crossbeam::queue::SegQueue`]); a traced
+//!   operation is pushed onto the *performing thread's own* queue, so
+//!   producers never touch each other's buffers.  Queue order is program
+//!   order by construction.
+//! * **Per-object sequence numbers.**  Each
+//!   [`SharedObject`](crate::SharedObject) carries one atomic counter,
+//!   bumped *while the object's lock is held*; the ticket an operation draws
+//!   is its position in the object's serialization order.
+//! * **Order-preserving merge.**  The drain side runs a k-way merge over the
+//!   thread buffers (`OrderedMerge`): a buffered event is emitted only
+//!   when it is the next unconsumed ticket of its object, and events of one
+//!   thread are only consumed front-to-back.  The merged stream is therefore
+//!   a linear extension of both chain families — a faithful interleaving,
+//!   exactly what the single channel produced.
+//!
+//! **Why the merge cannot deadlock on a quiescent buffer set** (all
+//! producers finished or between operations): consider the unconsumed event
+//! `e` that drew its ticket earliest in real time.  Every smaller ticket of
+//! `e`'s object was drawn earlier still, so those events are all consumed —
+//! `e` is its object's next ticket.  Every earlier operation of `e`'s thread
+//! also drew its ticket earlier (a thread runs its operations one after
+//! another), so they are consumed too — `e` is at the front of its buffer.
+//! Hence `e` is emittable, and induction drains everything.  While producers
+//! are mid-operation the merge may stall on a ticket that exists but is not
+//! yet published; it simply reports no progress and the next drain resumes —
+//! the same "concurrent operations may or may not be included" contract the
+//! channel had.
+
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+
+use mvc_trace::{ObjectId, OpKind, ThreadId};
+
+use crate::session::RawEvent;
+
+/// One traced operation as it sits in a thread's ingest buffer: the raw
+/// event plus the per-object serialization ticket drawn under the object's
+/// lock.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SequencedEvent {
+    pub(crate) thread: ThreadId,
+    pub(crate) object: ObjectId,
+    pub(crate) kind: OpKind,
+    /// Position in the object's serialization order (0-based).
+    pub(crate) object_seq: u64,
+}
+
+/// A thread's ingest buffer.  Cheap to clone (the queue is shared).
+pub(crate) type ThreadBuffer = Arc<SegQueue<SequencedEvent>>;
+
+/// Creates a fresh, empty thread buffer.
+pub(crate) fn new_thread_buffer() -> ThreadBuffer {
+    Arc::new(SegQueue::new())
+}
+
+/// Events moved per `pop_batch` lock acquisition when draining a buffer.
+/// Bounding the batch bounds how long the drain holds a buffer's internal
+/// lock, so a producer mid-`push` (which runs while the traced object's
+/// lock is held!) is never stalled behind an O(backlog) move.
+const POP_BATCH: usize = 1024;
+
+/// Default per-call emission budget for [`OrderedMerge::drain`].  Consumers
+/// process each drained batch (stamp it, record it) immediately, so a
+/// bounded batch is still cache-warm when it is consumed — unbounded drains
+/// of a large backlog would walk every event twice with the first pass long
+/// evicted.
+pub(crate) const DRAIN_BUDGET: usize = 4096;
+
+/// A thread's drained-but-unemitted events: a vector with a consumed-prefix
+/// cursor, so [`SegQueue::pop_batch`] appends straight into it (no
+/// middle-man copy) and the merge pops from the front in O(1).
+#[derive(Debug, Default)]
+struct Stash {
+    events: Vec<SequencedEvent>,
+    head: usize,
+}
+
+impl Stash {
+    fn front(&self) -> Option<&SequencedEvent> {
+        self.events.get(self.head)
+    }
+
+    fn advance(&mut self) {
+        self.head += 1;
+        if self.head == self.events.len() {
+            self.events.clear();
+            self.head = 0;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head == self.events.len()
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.events.len() - self.head
+    }
+
+    /// Moves everything currently published in `buffer` onto the stash
+    /// tail.  The consumed prefix is compacted away only once it outweighs
+    /// the live tail, so each event is moved O(1) amortized times no matter
+    /// how many bounded merge rounds nibble at the front.
+    fn refill(&mut self, buffer: &SegQueue<SequencedEvent>) {
+        if self.head * 2 > self.events.len() {
+            self.events.drain(..self.head);
+            self.head = 0;
+        }
+        // Bounded batches, re-acquiring the lock between them, so
+        // producers interleave freely with a large drain.
+        while buffer.pop_batch(&mut self.events, POP_BATCH) > 0 {}
+    }
+}
+
+/// Drain-side state of the k-way merge: per-thread stashes of events popped
+/// from the shared buffers but not yet emittable, and each object's next
+/// expected ticket.
+///
+/// The merge is incremental — state survives across [`drain`] calls, so a
+/// live session can pump repeatedly while producers keep running.
+///
+/// [`drain`]: OrderedMerge::drain
+#[derive(Debug, Default)]
+pub(crate) struct OrderedMerge {
+    /// Popped-but-unemitted events, per thread, in program order.
+    stash: Vec<Stash>,
+    /// `next_expected[o]` is the ticket the merge will emit next for object
+    /// `o`; grown on demand.
+    next_expected: Vec<u64>,
+    /// Scratch: threads whose stash front should be (re)examined.
+    ready: Vec<usize>,
+    /// Scratch: `waiting[o]` holds threads whose stash front is an
+    /// out-of-order ticket on object `o`; they are re-examined when the
+    /// merge emits on `o`.  Rebuilt every drain call.
+    waiting: Vec<Vec<usize>>,
+}
+
+impl OrderedMerge {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pulls everything currently published in `buffers`, merges emittable
+    /// events onto `out` (a faithful interleaving) up to `max_events`, and
+    /// returns how many events were emitted.
+    ///
+    /// Returning `0` means no further progress is possible right now: the
+    /// buffers are drained, or every buffered event is stalled behind a
+    /// ticket that a still-running producer has drawn but not yet published.
+    /// A return of exactly `max_events` may mean more events are already
+    /// mergeable — call again (callers loop anyway, consuming each bounded
+    /// batch while it is cache-warm).
+    pub(crate) fn drain(
+        &mut self,
+        buffers: &[ThreadBuffer],
+        out: &mut Vec<RawEvent>,
+        max_events: usize,
+    ) -> usize {
+        if self.stash.len() < buffers.len() {
+            self.stash.resize_with(buffers.len(), Default::default);
+        }
+        for (thread, buffer) in buffers.iter().enumerate() {
+            self.stash[thread].refill(buffer);
+        }
+        self.merge(out, max_events)
+    }
+
+    /// Number of events popped from the buffers but not yet emitted
+    /// (stalled behind unpublished tickets).
+    #[cfg(test)]
+    pub(crate) fn stalled(&self) -> usize {
+        self.stash.iter().map(Stash::len).sum()
+    }
+
+    /// The k-way merge pass over the current stashes, emitting at most
+    /// `max_events`.
+    ///
+    /// Cost is O(emitted + waiting wake-ups): a thread is examined when it
+    /// first has events, after each of its own emissions, and once per
+    /// emission on the object its front event waits for.
+    fn merge(&mut self, out: &mut Vec<RawEvent>, max_events: usize) -> usize {
+        let emitted_before = out.len();
+        let out_cap = emitted_before.saturating_add(max_events);
+        for w in &mut self.waiting {
+            w.clear();
+        }
+        self.ready.clear();
+        self.ready
+            .extend((0..self.stash.len()).filter(|&t| !self.stash[t].is_empty()));
+        'threads: while let Some(thread) = self.ready.pop() {
+            while let Some(&front) = self.stash[thread].front() {
+                if out.len() == out_cap {
+                    // Budget reached; leftover stash is picked up by the
+                    // next call (ready/waiting are rebuilt from scratch).
+                    break 'threads;
+                }
+                let object = front.object.index();
+                if self.next_expected.len() <= object {
+                    self.next_expected.resize(object + 1, 0);
+                }
+                if self.next_expected[object] != front.object_seq {
+                    // Out of order: park this thread until the merge emits
+                    // the object's current ticket.
+                    if self.waiting.len() <= object {
+                        self.waiting.resize_with(object + 1, Vec::new);
+                    }
+                    self.waiting[object].push(thread);
+                    break;
+                }
+                self.next_expected[object] += 1;
+                self.stash[thread].advance();
+                out.push((front.thread, front.object, front.kind));
+                // Emitting on this object may unblock parked threads.
+                if let Some(waiters) = self.waiting.get_mut(object) {
+                    self.ready.append(waiters);
+                }
+            }
+        }
+        out.len() - emitted_before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: usize, object: usize, seq: u64) -> SequencedEvent {
+        SequencedEvent {
+            thread: ThreadId(thread),
+            object: ObjectId(object),
+            kind: OpKind::Op,
+            object_seq: seq,
+        }
+    }
+
+    fn order(out: &[RawEvent]) -> Vec<(usize, usize)> {
+        out.iter()
+            .map(|&(t, o, _)| (t.index(), o.index()))
+            .collect()
+    }
+
+    #[test]
+    fn single_thread_drains_in_program_order() {
+        let buffer = new_thread_buffer();
+        for (i, o) in [0, 1, 0, 2].into_iter().enumerate() {
+            let seq = if o == 0 && i == 2 { 1 } else { 0 };
+            buffer.push(ev(0, o, seq));
+        }
+        let mut merge = OrderedMerge::new();
+        let mut out = Vec::new();
+        assert_eq!(merge.drain(&[buffer], &mut out, usize::MAX), 4);
+        assert_eq!(order(&out), vec![(0, 0), (0, 1), (0, 0), (0, 2)]);
+        assert_eq!(merge.stalled(), 0);
+    }
+
+    #[test]
+    fn merge_respects_object_serialization_across_threads() {
+        // Object 0's serialization order is T1 then T0, even though T0's
+        // buffer is scanned first.
+        let b0 = new_thread_buffer();
+        let b1 = new_thread_buffer();
+        b0.push(ev(0, 0, 1));
+        b1.push(ev(1, 0, 0));
+        let mut merge = OrderedMerge::new();
+        let mut out = Vec::new();
+        assert_eq!(merge.drain(&[b0, b1], &mut out, usize::MAX), 2);
+        assert_eq!(order(&out), vec![(1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn merge_chains_wakeups_through_multiple_objects() {
+        // T0: o0#1, o1#1 ; T1: o1#0, o0#0 — emitting T1's events unblocks
+        // T0's, one object at a time.
+        let b0 = new_thread_buffer();
+        let b1 = new_thread_buffer();
+        b0.push(ev(0, 0, 1));
+        b0.push(ev(0, 1, 1));
+        b1.push(ev(1, 1, 0));
+        b1.push(ev(1, 0, 0));
+        let mut merge = OrderedMerge::new();
+        let mut out = Vec::new();
+        assert_eq!(merge.drain(&[b0, b1], &mut out, usize::MAX), 4);
+        assert_eq!(order(&out), vec![(1, 1), (1, 0), (0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn unpublished_ticket_stalls_without_losing_events() {
+        // Ticket 0 of object 0 was drawn by a producer that has not
+        // published yet: everything behind it stalls, then resumes.
+        let b0 = new_thread_buffer();
+        b0.push(ev(0, 0, 1));
+        let b1 = new_thread_buffer();
+        let mut merge = OrderedMerge::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            merge.drain(&[b0.clone(), b1.clone()], &mut out, usize::MAX),
+            0
+        );
+        assert_eq!(merge.stalled(), 1, "the event is parked, not lost");
+        // The slow producer publishes; the next drain emits both in order.
+        b1.push(ev(1, 0, 0));
+        assert_eq!(merge.drain(&[b0, b1], &mut out, usize::MAX), 2);
+        assert_eq!(order(&out), vec![(1, 0), (0, 0)]);
+        assert_eq!(merge.stalled(), 0);
+    }
+
+    #[test]
+    fn merge_state_survives_across_drains() {
+        let b0 = new_thread_buffer();
+        b0.push(ev(0, 0, 0));
+        let mut merge = OrderedMerge::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            merge.drain(std::slice::from_ref(&b0), &mut out, usize::MAX),
+            1
+        );
+        // Next ticket on the same object continues from the merged state.
+        b0.push(ev(0, 0, 1));
+        assert_eq!(merge.drain(&[b0], &mut out, usize::MAX), 1);
+        assert_eq!(order(&out), vec![(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn late_threads_grow_the_merge() {
+        let b0 = new_thread_buffer();
+        b0.push(ev(0, 0, 0));
+        let mut merge = OrderedMerge::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            merge.drain(std::slice::from_ref(&b0), &mut out, usize::MAX),
+            1
+        );
+        let b1 = new_thread_buffer();
+        b1.push(ev(1, 0, 1));
+        assert_eq!(merge.drain(&[b0, b1], &mut out, usize::MAX), 1);
+        assert_eq!(order(&out), vec![(0, 0), (1, 0)]);
+    }
+}

@@ -7,13 +7,20 @@
 //!
 //! * [`session`] — [`TraceSession`]: registers threads, creates
 //!   [`SharedObject`]s, and collects every operation into a
-//!   [`Computation`](mvc_trace::Computation) through a crossbeam channel.
-//!   Each operation is recorded while the object's lock is held, so the
-//!   per-object order in the trace is exactly the serialization order the
-//!   paper's model assumes.
+//!   [`Computation`](mvc_trace::Computation).  Each registered thread owns a
+//!   segmented ingest buffer and each operation draws a per-object
+//!   serialization ticket while the object's lock is held, so the trace is
+//!   exactly the interleaving the paper's model assumes — with no global
+//!   queue for producers to contend on.
+//! * [`ingest`] — the per-thread segmented buffers and the order-preserving
+//!   merge that reassembles a faithful interleaving on the drain side.
+//! * [`pipeline`] — the shared drain driver (ingest →
+//!   [`Timestamper`](mvc_core::Timestamper) → [`EventSink`](mvc_core::sink::EventSink))
+//!   and its [`PipelineError`].
 //! * [`live`] — [`LiveSession`]: the same session switched into live mode,
 //!   where any [`Timestamper`](mvc_core::Timestamper) stamps events as they
-//!   drain from the channel instead of waiting for a post-hoc batch replay.
+//!   drain from the ingest buffers and any sink receives the stamped
+//!   batches, instead of waiting for a post-hoc batch replay.
 //! * [`object`] — [`SharedObject<T>`]: a value behind a `parking_lot` mutex
 //!   whose reads and writes are traced.
 //! * [`monitor`] — [`OnlineMonitor`]: a thread-safe live causality monitor
@@ -44,13 +51,16 @@
 #![warn(missing_docs)]
 
 pub mod conflict;
+pub mod ingest;
 pub mod live;
 pub mod monitor;
 pub mod object;
+pub mod pipeline;
 pub mod session;
 
 pub use conflict::{ConflictAnalyzer, ConflictPair};
 pub use live::{LiveRun, LiveSession};
 pub use monitor::OnlineMonitor;
 pub use object::SharedObject;
+pub use pipeline::PipelineError;
 pub use session::{ThreadHandle, TraceSession};

@@ -1,13 +1,16 @@
-//! Live timestamping: events are stamped as they drain from the channel.
+//! Live timestamping: events are stamped as they drain from the ingest
+//! buffers and delivered to a pluggable [`EventSink`].
 //!
 //! A plain [`TraceSession`] only *collects* a [`Computation`] for later
 //! batch processing.
-//! [`LiveSession`] attaches any [`Timestamper`] to the same event channel, so
-//! operations receive their mixed-clock timestamps while the program is still
-//! running — the streaming half of the unified timestamping API.  Because the
-//! session records the drained interleaving as a computation at the same
-//! time, a live run can always be cross-checked against a post-hoc batch
-//! replay of the identical event order.
+//! [`LiveSession`] attaches any [`Timestamper`] and any [`EventSink`] to the
+//! same ingest pipeline, so operations receive their mixed-clock timestamps
+//! while the program is still running — the streaming half of the unified
+//! timestamping API — and the stamped stream goes wherever the sink points
+//! (memory, the streaming codec, stats counters, or a tee of several).
+//! With the default [`MemoryRecorder`] sink the session records the drained
+//! interleaving as a computation, so a live run can always be cross-checked
+//! against a post-hoc batch replay of the identical event order.
 //!
 //! ```
 //! use mvc_runtime::TraceSession;
@@ -18,7 +21,7 @@
 //! let counter = session.shared_object("counter", 0u64);
 //!
 //! // Switch into live mode; the traced operations below are timestamped as
-//! // they are pumped out of the channel.
+//! // they are pumped out of the ingest buffers.
 //! let mut live = session.live(OnlineTimestamper::new(Popularity::new()));
 //! counter.write(&worker, |v| *v += 1);
 //! counter.read(&worker, |v| *v);
@@ -32,19 +35,19 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
-
 use mvc_clock::VectorTimestamp;
-use mvc_core::{TimestampError, TimestampReport, Timestamper};
+use mvc_core::sink::{EventSink, MemoryRecorder};
+use mvc_core::{TimestampReport, Timestamper};
 use mvc_trace::Computation;
 
-use crate::session::{RawEvent, SessionInner, ThreadHandle, TraceSession};
+use crate::pipeline::{PipelineError, PipelineState};
+use crate::session::{SessionInner, ThreadHandle, TraceSession};
 use crate::SharedObject;
 
 /// The completed output of a live session.
 #[derive(Debug, Clone)]
 pub struct LiveRun {
-    /// The drained interleaving, in the order events left the channel (the
+    /// The drained interleaving, in the order events left the merge (the
     /// same order the timestamper observed them).
     pub computation: Computation,
     /// Per-event timestamps in that order, all padded to the final clock
@@ -55,46 +58,50 @@ pub struct LiveRun {
 }
 
 /// A [`TraceSession`] in live mode: a [`Timestamper`] stamps events as they
-/// drain from the event channel.
+/// drain from the ingest buffers and an [`EventSink`] receives the stamped
+/// batches.
 ///
 /// Threads and objects can still be registered after the switch; draining
 /// happens whenever [`pump`](LiveSession::pump) is called and once more in
 /// [`finish`](LiveSession::finish).  Per-object and per-thread orders are
-/// preserved exactly as in batch mode, because the channel is filled while
-/// each object's lock is held.
+/// preserved exactly as in batch mode, because the order-preserving merge
+/// replays the serialization tickets drawn under each object's lock (see
+/// [`crate::ingest`]).
 #[derive(Debug)]
-pub struct LiveSession<T> {
+pub struct LiveSession<T, S = MemoryRecorder> {
     inner: Arc<SessionInner>,
-    receiver: Receiver<RawEvent>,
     timestamper: T,
-    computation: Computation,
-    timestamps: Vec<VectorTimestamp>,
-    /// Events pulled from the channel but not yet stamped (the failing event
-    /// and everything drained behind it when an observation errors); retried
-    /// ahead of the channel on the next drain so a recoverable error never
-    /// loses an operation that really executed.
-    pending: Vec<RawEvent>,
+    sink: S,
+    state: PipelineState,
 }
 
 impl TraceSession {
-    /// Switches the session into live mode around the given timestamper.
+    /// Switches the session into live mode around the given timestamper,
+    /// recording into the default in-memory sink.
     ///
     /// Existing [`SharedObject`]s and [`ThreadHandle`]s keep working — they
-    /// feed the same channel the live session drains.
+    /// feed the same ingest buffers the live session drains.
     pub fn live<T: Timestamper>(self, timestamper: T) -> LiveSession<T> {
-        let TraceSession { inner, receiver } = self;
+        self.live_with_sink(timestamper, MemoryRecorder::new())
+    }
+
+    /// Switches the session into live mode with an explicit event sink.
+    pub fn live_with_sink<T: Timestamper, S: EventSink>(
+        self,
+        timestamper: T,
+        sink: S,
+    ) -> LiveSession<T, S> {
+        let TraceSession { inner } = self;
         LiveSession {
             inner,
-            receiver,
             timestamper,
-            computation: Computation::new(),
-            timestamps: Vec::new(),
-            pending: Vec::new(),
+            sink,
+            state: PipelineState::new(),
         }
     }
 }
 
-impl<T: Timestamper> LiveSession<T> {
+impl<T: Timestamper, S: EventSink> LiveSession<T, S> {
     /// Registers an application thread and returns its handle.
     pub fn register_thread(&self, name: &str) -> ThreadHandle {
         self.inner.register_thread_handle(name)
@@ -103,17 +110,18 @@ impl<T: Timestamper> LiveSession<T> {
     /// Creates a traced shared object holding `value`.
     pub fn shared_object<V>(&self, name: &str, value: V) -> SharedObject<V> {
         let id = self.inner.register_object(name);
-        SharedObject::new(id, name, value, Arc::clone(&self.inner))
+        SharedObject::new(id, name, value)
     }
 
-    /// Drains every event currently queued in the channel through the
-    /// timestamper, returning how many were stamped.
+    /// Drains every event currently published to the ingest buffers through
+    /// the timestamper into the sink, returning how many events the sink
+    /// accepted.
     ///
-    /// The drain is batched: events are moved out of the channel up to 1024
-    /// at a time (one lock round-trip per batch) and handed
-    /// to [`Timestamper::observe_batch`], so a timestamper with a bulk fast
-    /// path — notably the sharded engine — is driven at full speed while
-    /// every other implementation falls back to per-event observation.
+    /// The drain is the three-stage pipeline: the order-preserving merge
+    /// reassembles a faithful interleaving, whole batches are handed to
+    /// [`Timestamper::observe_batch`] (so a timestamper with a bulk fast
+    /// path — notably the sharded engine — is driven at full speed), and
+    /// each stamped batch goes to the sink in one call.
     ///
     /// Events sent concurrently with the call may or may not be included;
     /// call [`finish`](LiveSession::finish) after joining the workers to
@@ -121,31 +129,16 @@ impl<T: Timestamper> LiveSession<T> {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`TimestampError`] an observation reports.
-    /// Events drained before the failure keep their timestamps; the failing
-    /// event is held back and retried first by the next `pump` (or by
-    /// [`finish`](LiveSession::finish)), so after recovering — e.g. adding a
-    /// component via [`timestamper_mut`](LiveSession::timestamper_mut) — no
-    /// operation is lost.
-    pub fn pump(&mut self) -> Result<usize, TimestampError> {
-        drain(
-            &self.receiver,
-            &mut self.timestamper,
-            &mut self.computation,
-            &mut self.timestamps,
-            &mut self.pending,
-        )
-    }
-
-    /// The timestamps assigned so far, in drain order, at the raw width each
-    /// observation had (see [`LiveRun::timestamps`] for the padded form).
-    pub fn timestamps(&self) -> &[VectorTimestamp] {
-        &self.timestamps
-    }
-
-    /// The interleaving drained so far.
-    pub fn computation(&self) -> &Computation {
-        &self.computation
+    /// Propagates the first failure of either downstream stage.  Events
+    /// accepted before the failure keep their place; the failing event (on
+    /// a [`PipelineError::Timestamp`]) or the whole stamped batch (on a
+    /// [`PipelineError::Sink`]) is held back and retried by the next `pump`
+    /// (or by [`finish`](LiveSession::finish)), so after recovering — e.g.
+    /// adding a component via [`timestamper_mut`](Self::timestamper_mut) —
+    /// no operation is lost.
+    pub fn pump(&mut self) -> Result<usize, PipelineError> {
+        self.state
+            .pump(&self.inner, &mut self.timestamper, &mut self.sink)
     }
 
     /// The attached timestamper.
@@ -160,88 +153,86 @@ impl<T: Timestamper> LiveSession<T> {
         &mut self.timestamper
     }
 
+    /// The attached sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the attached sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
     /// Current clock width.
     pub fn clock_size(&self) -> usize {
         self.timestamper.width()
     }
 
-    /// Closes the session, drains the remaining events, and returns the
-    /// completed run with every timestamp padded to the final clock width.
+    /// Closes the session, drains the remaining events, flushes the sink,
+    /// and returns it together with the timestamper's final report.
     ///
-    /// Call this after all worker threads have been joined; operations still
-    /// being performed concurrently with the drain may or may not be
-    /// included (the same contract as
-    /// [`TraceSession::into_computation`]).
+    /// This is the generic form of [`finish`](LiveSession::finish) for
+    /// sessions with a custom sink; the caller recovers the sink's product
+    /// (encoded bytes, stats, …) from the returned sink value.
+    ///
+    /// Call this after all worker threads have been joined; operations
+    /// still being performed concurrently with the drain may or may not be
+    /// included (the same contract as [`TraceSession::into_computation`]).
     ///
     /// # Errors
     ///
-    /// Propagates the first [`TimestampError`] the final drain reports.
-    pub fn finish(self) -> Result<LiveRun, TimestampError> {
-        let LiveSession {
-            inner,
-            receiver,
-            mut timestamper,
-            mut computation,
-            mut timestamps,
-            mut pending,
-        } = self;
-        // Drop the session's own handle on the sender; live `SharedObject`s
-        // may still hold clones, so this does not close the channel — the
-        // try_recv drain simply collects whatever has been queued, which is
-        // everything sent before the (already joined) workers finished.
-        drop(inner);
-        drain(
-            &receiver,
-            &mut timestamper,
-            &mut computation,
-            &mut timestamps,
-            &mut pending,
-        )?;
-        let width = timestamper.width();
+    /// On the first [`PipelineError`] the final drain or flush reports, the
+    /// session is handed back *with* the error: everything the sink already
+    /// accepted and every held-back backlog survives, so the caller can
+    /// recover (add the component, free the disk) and finish again — the
+    /// same no-operation-is-ever-lost contract as
+    /// [`pump`](LiveSession::pump).
+    #[allow(clippy::result_large_err)]
+    pub fn finish_into_sink(mut self) -> Result<(S, TimestampReport), (Self, PipelineError)> {
+        if let Err(e) = self.pump() {
+            return Err((self, e));
+        }
+        if let Err(e) = self.sink.flush() {
+            return Err((self, PipelineError::Sink(e)));
+        }
+        Ok((self.sink, self.timestamper.finish()))
+    }
+}
+
+impl<T: Timestamper> LiveSession<T, MemoryRecorder> {
+    /// The timestamps assigned so far, in drain order, at the raw width each
+    /// observation had (see [`LiveRun::timestamps`] for the padded form).
+    pub fn timestamps(&self) -> &[VectorTimestamp] {
+        self.sink.timestamps()
+    }
+
+    /// The interleaving drained so far.
+    pub fn computation(&self) -> &Computation {
+        self.sink.computation()
+    }
+
+    /// Closes the session, drains the remaining events, and returns the
+    /// completed run with every timestamp padded to the final clock width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PipelineError`] the final drain reports (the
+    /// session is dropped; keep it alive through repeated
+    /// [`pump`](LiveSession::pump)s — or use
+    /// [`finish_into_sink`](LiveSession::finish_into_sink), which hands the
+    /// session back — if recovery matters).
+    pub fn finish(self) -> Result<LiveRun, PipelineError> {
+        let (sink, report) = self.finish_into_sink().map_err(|(_, e)| e)?;
+        let width = report.width();
+        let (computation, timestamps) = sink.into_parts();
         Ok(LiveRun {
             computation,
             timestamps: timestamps
                 .into_iter()
                 .map(|t| t.into_padded_to(width))
                 .collect(),
-            report: timestamper.finish(),
+            report,
         })
-    }
-}
-
-use crate::session::DRAIN_BATCH;
-
-/// Drains the held-back events (if any) and then every event currently
-/// queued in `receiver` through the timestamper in batches, recording the
-/// interleaving and the stamps in lockstep.  On error the failing event —
-/// and everything drained behind it — stays in `pending` instead of being
-/// lost, so the next drain retries it first; events stamped before the
-/// failure keep their timestamps.
-fn drain<T: Timestamper>(
-    receiver: &Receiver<RawEvent>,
-    timestamper: &mut T,
-    computation: &mut Computation,
-    timestamps: &mut Vec<VectorTimestamp>,
-    pending: &mut Vec<RawEvent>,
-) -> Result<usize, TimestampError> {
-    let mut drained = 0;
-    let mut batch: Vec<(mvc_trace::ThreadId, mvc_trace::ObjectId)> = Vec::new();
-    loop {
-        if pending.is_empty() && receiver.try_recv_batch(pending, DRAIN_BATCH) == 0 {
-            return Ok(drained);
-        }
-        batch.clear();
-        batch.extend(pending.iter().map(|ev| (ev.thread, ev.object)));
-        let before = timestamps.len();
-        let result = timestamper.observe_batch(&batch, timestamps);
-        // Per the observe_batch contract, exactly the stamped prefix was
-        // appended; record it and keep the rest pending.
-        let done = timestamps.len() - before;
-        for ev in pending.drain(..done) {
-            computation.record_op(ev.thread, ev.object, ev.kind);
-        }
-        drained += done;
-        result?;
     }
 }
 
@@ -251,6 +242,7 @@ mod tests {
     use std::thread;
 
     use mvc_clock::TimestampAssigner;
+    use mvc_core::sink::{CodecSink, StatsSink, TeeSink};
     use mvc_core::{BatchReplay, OfflineOptimizer, TimestampingEngine};
     use mvc_online::{MechanismRegistry, OnlineTimestamper, Popularity};
 
@@ -263,7 +255,7 @@ mod tests {
         x.write(&t, |v| *v = 1);
         x.read(&t, |v| *v);
         assert_eq!(live.pump().unwrap(), 2);
-        assert_eq!(live.pump().unwrap(), 0, "channel already drained");
+        assert_eq!(live.pump().unwrap(), 0, "buffers already drained");
         assert_eq!(live.computation().len(), 2);
         assert!(live.clock_size() >= 1);
         let run = live.finish().unwrap();
@@ -356,7 +348,10 @@ mod tests {
         let mut live = session.live(TimestampingEngine::new());
         o.write(&t, |v| *v = 1);
         let err = live.pump().unwrap_err();
-        assert!(matches!(err, mvc_core::TimestampError::Uncovered { .. }));
+        assert!(matches!(
+            err.as_timestamp_error(),
+            Some(mvc_core::TimestampError::Uncovered { .. })
+        ));
         assert_eq!(live.computation().len(), 0, "failed event is not recorded");
 
         // Recover: cover the object, retry — the held-back event is stamped.
@@ -366,6 +361,83 @@ mod tests {
         let run = live.finish().unwrap();
         assert_eq!(run.computation.len(), 1, "no operation was lost");
         assert_eq!(run.timestamps.len(), 1);
+    }
+
+    /// A memory recorder whose first `failures` batches are refused.
+    #[derive(Debug, Default)]
+    struct FlakyRecorder {
+        failures: usize,
+        inner: MemoryRecorder,
+    }
+
+    impl EventSink for FlakyRecorder {
+        fn name(&self) -> &str {
+            "flaky-mem"
+        }
+
+        fn accept_batch(
+            &mut self,
+            batch: &[mvc_core::StampedEvent],
+        ) -> Result<(), mvc_core::SinkError> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(mvc_core::SinkError::Io("transient".into()));
+            }
+            self.inner.accept_batch(batch)
+        }
+
+        fn events_accepted(&self) -> usize {
+            self.inner.events_accepted()
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn failed_sink_holds_the_stamped_batch_back_for_retry() {
+        // The egress half of the failure-containment contract: a sink error
+        // keeps the stamped batch in the pipeline, and the next pump
+        // delivers it exactly once — nothing lost, nothing duplicated.
+        let session = TraceSession::new();
+        let t = session.register_thread("t");
+        let o = session.shared_object("o", 0u32);
+        let sink = FlakyRecorder {
+            failures: 1,
+            inner: MemoryRecorder::new(),
+        };
+        let mut live = session.live_with_sink(OnlineTimestamper::new(Popularity::new()), sink);
+        o.write(&t, |v| *v = 1);
+        o.read(&t, |v| *v);
+        let err = live.pump().unwrap_err();
+        assert!(matches!(err, PipelineError::Sink(_)));
+        assert_eq!(live.sink().events_accepted(), 0, "batch was refused whole");
+        assert_eq!(live.pump().unwrap(), 2, "held-back batch retried");
+        let (sink, report) = live.finish_into_sink().map_err(|(_, e)| e).unwrap();
+        assert_eq!(report.events, 2, "timestamper observed each event once");
+        assert_eq!(sink.inner.computation().len(), 2, "delivered exactly once");
+    }
+
+    #[test]
+    fn failed_finish_hands_the_session_back_for_recovery() {
+        // finish_into_sink must not destroy the sink's product on error:
+        // the session comes back with the error, and finishing again
+        // delivers the held-back batch.
+        let session = TraceSession::new();
+        let t = session.register_thread("t");
+        let o = session.shared_object("o", 0u8);
+        let sink = FlakyRecorder {
+            failures: 1,
+            inner: MemoryRecorder::new(),
+        };
+        let live = session.live_with_sink(OnlineTimestamper::new(Popularity::new()), sink);
+        o.write(&t, |v| *v = 1);
+        let (live, err) = live.finish_into_sink().unwrap_err();
+        assert!(matches!(err, PipelineError::Sink(_)));
+        let (sink, report) = live.finish_into_sink().map_err(|(_, e)| e).unwrap();
+        assert_eq!(report.events, 1);
+        assert_eq!(sink.inner.computation().len(), 1, "nothing was lost");
     }
 
     #[test]
@@ -380,5 +452,34 @@ mod tests {
         let run = live.finish().unwrap();
         assert_eq!(run.report.name, "adaptive");
         assert_eq!(run.report.events, 1);
+    }
+
+    #[test]
+    fn live_session_streams_into_a_custom_sink() {
+        // A tee of stats + codec: no computation is materialised anywhere,
+        // yet the encoded trace decodes to the drained interleaving.
+        let session = TraceSession::new();
+        let t = session.register_thread("t");
+        let o = session.shared_object("o", 0u32);
+        let sink = TeeSink::new(vec![Box::new(StatsSink::new()), Box::new(CodecSink::new())]);
+        let mut live = session.live_with_sink(OnlineTimestamper::new(Popularity::new()), sink);
+        o.write(&t, |v| *v = 1);
+        o.read(&t, |v| *v);
+        assert_eq!(live.pump().unwrap(), 2);
+        assert_eq!(live.sink().events_accepted(), 2);
+        let (sink, report) = live.finish_into_sink().map_err(|(_, e)| e).unwrap();
+        assert_eq!(report.events, 2);
+        let children = sink.into_children();
+        let stats = children[0]
+            .as_any()
+            .downcast_ref::<StatsSink>()
+            .unwrap()
+            .stats();
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.per_kind[0], 1, "one read");
+        assert_eq!(stats.per_kind[1], 1, "one write");
+        let codec = children[1].as_any().downcast_ref::<CodecSink>().unwrap();
+        let decoded = mvc_trace::codec::decode(&codec.clone().into_bytes()).unwrap();
+        assert_eq!(decoded.len(), 2, "the streamed trace decodes");
     }
 }

@@ -4,18 +4,21 @@
 //! accesses go through [`read`](SharedObject::read) /
 //! [`write`](SharedObject::write) (or the lower-level
 //! [`apply`](SharedObject::apply)), which run a closure under the lock and
-//! record the operation.  Because the trace event is emitted *before the lock
-//! is released*, the per-object order of events in the session's channel is
-//! the true serialization order, which is the assumption the paper's system
-//! model makes about objects.
+//! record the operation.  Because the object's serialization ticket is drawn
+//! and the event is published to the thread's ingest buffer *before the lock
+//! is released*, the ticket stream is the true serialization order — the
+//! assumption the paper's system model makes about objects — and the
+//! drain-side merge can replay it (see [`crate::ingest`]).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use mvc_trace::{ObjectId, OpKind};
 
-use crate::session::{RawEvent, SessionInner, ThreadHandle};
+use crate::ingest::SequencedEvent;
+use crate::session::ThreadHandle;
 
 /// A shared, lock-protected, traced object.
 ///
@@ -26,7 +29,10 @@ pub struct SharedObject<T> {
     id: ObjectId,
     name: Arc<str>,
     value: Arc<Mutex<T>>,
-    session: Arc<SessionInner>,
+    /// The object's serialization ticket counter, bumped while the lock is
+    /// held (the lock provides the ordering; the atomic only makes the
+    /// counter shareable across handle clones).
+    seq: Arc<AtomicU64>,
 }
 
 impl<T> Clone for SharedObject<T> {
@@ -35,18 +41,18 @@ impl<T> Clone for SharedObject<T> {
             id: self.id,
             name: Arc::clone(&self.name),
             value: Arc::clone(&self.value),
-            session: Arc::clone(&self.session),
+            seq: Arc::clone(&self.seq),
         }
     }
 }
 
 impl<T> SharedObject<T> {
-    pub(crate) fn new(id: ObjectId, name: &str, value: T, session: Arc<SessionInner>) -> Self {
+    pub(crate) fn new(id: ObjectId, name: &str, value: T) -> Self {
         Self {
             id,
             name: Arc::from(name),
             value: Arc::new(Mutex::new(value)),
-            session,
+            seq: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -65,12 +71,16 @@ impl<T> SharedObject<T> {
     pub fn apply<R>(&self, thread: &ThreadHandle, kind: OpKind, f: impl FnOnce(&mut T) -> R) -> R {
         let mut guard = self.value.lock();
         let result = f(&mut guard);
-        // Send while the lock is held so the channel order matches the
-        // object's serialization order.
-        let _ = self.session.sender.send(RawEvent {
+        // Draw the serialization ticket and publish to the thread's own
+        // buffer while the lock is held, so the ticket stream matches the
+        // object's serialization order and the drain-side merge never sees
+        // a drawn-but-unpublished ticket from a released lock.
+        let object_seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        thread.buffer.push(SequencedEvent {
             thread: thread.id(),
             object: self.id,
             kind,
+            object_seq,
         });
         result
     }

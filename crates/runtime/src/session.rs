@@ -1,45 +1,41 @@
 //! Trace sessions and thread registration.
 //!
 //! A [`TraceSession`] owns the identifier spaces (threads and objects get
-//! dense ids in registration order) and the event sink.  Operations are sent
-//! through an unbounded crossbeam channel; each [`SharedObject`] sends the
-//! event *while still holding its lock*, so for any single object the order
-//! of events in the channel matches the order in which the operations really
-//! serialised — exactly the per-object chain order the paper's model
-//! requires.  Per-thread order is preserved because a thread enqueues its own
-//! events in program order.
+//! dense ids in registration order) and the ingest side of the event
+//! pipeline.  Each registered thread owns a segmented ingest buffer and each
+//! [`SharedObject`] draws a per-object sequence ticket *while still holding
+//! its lock* (see [`crate::ingest`]), so the per-thread buffers plus the
+//! ticket stream carry exactly the two orders the paper's model requires —
+//! per-thread program order and per-object serialization order — without a
+//! global queue for producers to contend on.  The drain side reassembles a
+//! faithful interleaving with an order-preserving merge.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use mvc_trace::{Computation, ObjectId, OpKind, ThreadId};
 
+use crate::ingest::{new_thread_buffer, OrderedMerge, ThreadBuffer, DRAIN_BUDGET};
 use crate::object::SharedObject;
 
-/// Events moved out of the channel per lock acquisition by the batched
-/// drains (`TraceSession::into_computation`, `LiveSession::pump`).
-pub(crate) const DRAIN_BATCH: usize = 1024;
-
-/// One recorded operation, as sent over the event channel.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct RawEvent {
-    pub(crate) thread: ThreadId,
-    pub(crate) object: ObjectId,
-    pub(crate) kind: OpKind,
-}
+/// One recorded operation, as emitted by the order-preserving merge — the
+/// `(thread, object, kind)` column layout [`Computation::record_ops`] and
+/// [`EventSink::accept_columns`](mvc_core::EventSink::accept_columns)
+/// consume directly.
+pub(crate) type RawEvent = (ThreadId, ObjectId, OpKind);
 
 /// A handle identifying a registered application thread.
 ///
 /// Handles are cheap to clone and can be moved into spawned threads; every
 /// traced operation takes a handle so the trace knows which logical thread
-/// performed it.
+/// performed it.  The handle owns the thread's ingest buffer — operations
+/// recorded through it never contend with other threads.
 #[derive(Debug, Clone)]
 pub struct ThreadHandle {
     id: ThreadId,
     name: Arc<str>,
+    pub(crate) buffer: ThreadBuffer,
 }
 
 impl ThreadHandle {
@@ -55,11 +51,15 @@ impl ThreadHandle {
 }
 
 /// Shared interior of a session, referenced by every [`SharedObject`].
+///
+/// Ids are assigned *under* the registry lock (id = current length), so a
+/// thread's dense id, its name slot and its buffer slot are allocated
+/// atomically — concurrent registrations can never mis-associate them.
 #[derive(Debug)]
 pub(crate) struct SessionInner {
-    pub(crate) sender: Sender<RawEvent>,
-    next_thread: AtomicUsize,
-    next_object: AtomicUsize,
+    /// Every registered thread's ingest buffer, indexed by thread id — the
+    /// drain side snapshots this to run the merge.
+    buffers: Mutex<Vec<ThreadBuffer>>,
     names: Mutex<SessionNames>,
 }
 
@@ -70,27 +70,48 @@ struct SessionNames {
 }
 
 impl SessionInner {
-    fn register_thread(&self, name: &str) -> ThreadId {
-        let id = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
-        let mut names = self.names.lock();
-        debug_assert_eq!(names.threads.len(), id.index());
-        names.threads.push(name.to_owned());
-        id
+    pub(crate) fn new() -> Self {
+        SessionInner {
+            buffers: Mutex::new(Vec::new()),
+            names: Mutex::new(SessionNames::default()),
+        }
     }
 
     pub(crate) fn register_thread_handle(&self, name: &str) -> ThreadHandle {
+        let buffer = new_thread_buffer();
+        let mut names = self.names.lock();
+        let id = ThreadId(names.threads.len());
+        names.threads.push(name.to_owned());
+        // Push the buffer while still holding the names lock, so
+        // `buffers[i]` really is thread `i`'s buffer (the merge itself only
+        // needs the set, but the invariant keeps diagnostics sane).
+        self.buffers.lock().push(Arc::clone(&buffer));
+        drop(names);
         ThreadHandle {
-            id: self.register_thread(name),
+            id,
             name: Arc::from(name),
+            buffer,
         }
     }
 
     pub(crate) fn register_object(&self, name: &str) -> ObjectId {
-        let id = ObjectId(self.next_object.fetch_add(1, Ordering::Relaxed));
         let mut names = self.names.lock();
-        debug_assert_eq!(names.objects.len(), id.index());
+        let id = ObjectId(names.objects.len());
         names.objects.push(name.to_owned());
         id
+    }
+
+    pub(crate) fn thread_count(&self) -> usize {
+        self.names.lock().threads.len()
+    }
+
+    pub(crate) fn object_count(&self) -> usize {
+        self.names.lock().objects.len()
+    }
+
+    /// Snapshot of every thread buffer registered so far.
+    pub(crate) fn buffer_snapshot(&self) -> Vec<ThreadBuffer> {
+        self.buffers.lock().clone()
     }
 }
 
@@ -99,7 +120,6 @@ impl SessionInner {
 #[derive(Debug)]
 pub struct TraceSession {
     pub(crate) inner: Arc<SessionInner>,
-    pub(crate) receiver: Receiver<RawEvent>,
 }
 
 impl Default for TraceSession {
@@ -111,15 +131,8 @@ impl Default for TraceSession {
 impl TraceSession {
     /// Creates an empty session.
     pub fn new() -> Self {
-        let (sender, receiver) = unbounded();
         Self {
-            inner: Arc::new(SessionInner {
-                sender,
-                next_thread: AtomicUsize::new(0),
-                next_object: AtomicUsize::new(0),
-                names: Mutex::new(SessionNames::default()),
-            }),
-            receiver,
+            inner: Arc::new(SessionInner::new()),
         }
     }
 
@@ -131,7 +144,7 @@ impl TraceSession {
     /// Creates a traced shared object holding `value`.
     pub fn shared_object<T>(&self, name: &str, value: T) -> SharedObject<T> {
         let id = self.inner.register_object(name);
-        SharedObject::new(id, name, value, Arc::clone(&self.inner))
+        SharedObject::new(id, name, value)
     }
 
     /// The name a thread was registered with, if the id is known.
@@ -146,32 +159,33 @@ impl TraceSession {
 
     /// Number of threads registered so far.
     pub fn thread_count(&self) -> usize {
-        self.inner.next_thread.load(Ordering::Relaxed)
+        self.inner.thread_count()
     }
 
     /// Number of objects created so far.
     pub fn object_count(&self) -> usize {
-        self.inner.next_object.load(Ordering::Relaxed)
+        self.inner.object_count()
     }
 
     /// Drains every recorded operation into a [`Computation`].
     ///
-    /// Call this after all worker threads have been joined; operations still
-    /// being performed concurrently with the drain may or may not be
-    /// included.
+    /// The per-thread buffers are merged into a faithful interleaving (see
+    /// [`crate::ingest`]) and appended in bulk.  Call this after all worker
+    /// threads have been joined; operations still being performed
+    /// concurrently with the drain may or may not be included.
     pub fn into_computation(self) -> Computation {
-        let TraceSession { inner, receiver } = self;
-        // Dropping the last sender closes the channel so the batched drain
-        // collects everything that was sent. SharedObjects may still hold
-        // clones of the inner; events they send after this point are
-        // intentionally dropped.
-        drop(inner);
+        let TraceSession { inner } = self;
         let mut computation = Computation::new();
+        let mut merge = OrderedMerge::new();
         let mut batch = Vec::new();
-        while receiver.try_recv_batch(&mut batch, DRAIN_BATCH) > 0 {
-            for ev in batch.drain(..) {
-                computation.record_op(ev.thread, ev.object, ev.kind);
+        loop {
+            let buffers = inner.buffer_snapshot();
+            // Bounded batches: each one is appended while still cache-warm
+            // from the merge.
+            if merge.drain(&buffers, &mut batch, DRAIN_BUDGET) == 0 {
+                break;
             }
+            computation.record_ops(batch.drain(..));
         }
         computation
     }
@@ -198,6 +212,33 @@ mod tests {
         assert_eq!(o.id(), ObjectId(0));
         assert_eq!(session.object_name(ObjectId(0)).as_deref(), Some("obj"));
         assert_eq!(session.object_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_registration_keeps_ids_names_and_buffers_associated() {
+        // Ids are assigned under the registry lock: however registrations
+        // interleave, every handle's id must map back to its own name.
+        let session = TraceSession::new();
+        let handles: Vec<ThreadHandle> = thread::scope(|scope| {
+            let spawned: Vec<_> = (0..8)
+                .map(|i| {
+                    let session = &session;
+                    scope.spawn(move || session.register_thread(&format!("w{i}")))
+                })
+                .collect();
+            spawned.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        assert_eq!(session.thread_count(), 8);
+        for (i, handle) in handles.iter().enumerate() {
+            assert_eq!(
+                session.thread_name(handle.id()).as_deref(),
+                Some(format!("w{i}").as_str()),
+                "handle {i} mis-associated"
+            );
+        }
+        let mut ids: Vec<usize> = handles.iter().map(|h| h.id().index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>(), "ids are dense");
     }
 
     #[test]

@@ -37,11 +37,13 @@
 //!    component `k` of that timestamp is read from shard `k % N`'s buffer at
 //!    local index `k / N` — each component is produced by exactly one shard.
 //! 3. **Program and chain order are preserved.**  Because all shards see
-//!    the single arrival order (the same order
-//!    [`TraceSession`](../mvc_runtime/struct.TraceSession.html) enqueues
-//!    under each object's lock), per-thread program order and per-object
-//!    chain order in the output equal the sequential engine's — not just up
-//!    to equivalence, but as the identical stamp sequence.
+//!    the single arrival order (the faithful interleaving
+//!    [`TraceSession`](../mvc_runtime/struct.TraceSession.html)'s
+//!    order-preserving ingest merge produces from the per-thread segmented
+//!    buffers and the serialization tickets drawn under each object's
+//!    lock), per-thread program order and per-object chain order in the
+//!    output equal the sequential engine's — not just up to equivalence,
+//!    but as the identical stamp sequence.
 //!
 //! The engine implements [`Timestamper`](mvc_core::Timestamper), so
 //! `TraceSession::live`, [`replay`](mvc_core::replay), `mvc-bench`, and the

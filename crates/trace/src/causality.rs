@@ -108,16 +108,19 @@ impl CausalityOracle {
 
     /// All `(a, b)` pairs with `a → b`, in lexicographic order. Intended for
     /// small computations in tests.
+    ///
+    /// Chain predecessors always carry smaller ids (append order is a linear
+    /// extension), so `a < b` for every pair and iterating `a` outer / `b`
+    /// inner emits lexicographic order directly — no sort needed.
     pub fn all_ordered_pairs(&self) -> Vec<(EventId, EventId)> {
         let mut out = Vec::new();
-        for b in 0..self.n {
-            for a in 0..self.n {
+        for a in 0..self.n {
+            for b in a + 1..self.n {
                 if (self.pred[b][a / 64] >> (a % 64)) & 1 == 1 {
                     out.push((EventId(a), EventId(b)));
                 }
             }
         }
-        out.sort_unstable();
         out
     }
 }
@@ -209,6 +212,22 @@ mod tests {
                 (EventId(1), EventId(2)),
             ]
         );
+    }
+
+    #[test]
+    fn all_ordered_pairs_is_lexicographic_without_sorting() {
+        // A 3-thread, 2-object interleaving with plenty of cross-chain
+        // closure edges; the emitted list must already be sorted.
+        let c = comp(&[(0, 0), (1, 1), (2, 0), (0, 1), (1, 0), (2, 1)]);
+        let o = c.causality_oracle();
+        let pairs = o.all_ordered_pairs();
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pairs, sorted);
+        for &(a, b) in &pairs {
+            assert!(a < b, "append order is a linear extension");
+            assert!(o.happened_before(a, b));
+        }
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //!
 //! The format is versioned with a 4-byte magic so that accidental decoding of
 //! unrelated data fails loudly instead of producing a garbage computation.
+//!
+//! Besides the whole-computation [`encode`]/[`decode`] pair, the module has
+//! a streaming pair for the event-sink pipeline: [`StreamEncoder`] appends
+//! events one batch at a time and emits output byte-identical to [`encode`]
+//! of the equivalent computation (so a trace can be persisted without ever
+//! materialising a [`Computation`]), and [`StreamDecoder`] consumes the
+//! encoding in arbitrary chunks, yielding events as soon as their bytes are
+//! complete.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -132,6 +140,229 @@ pub fn decode(bytes: &[u8]) -> Result<Computation, DecodeError> {
     Ok(computation)
 }
 
+/// Incremental encoder: accepts events one at a time and produces output
+/// **byte-identical** to [`encode`] of a computation holding the same event
+/// sequence.
+///
+/// The record body is encoded as each event arrives; only the header (magic
+/// plus the varint event count, whose byte length depends on the final
+/// count) is prepended at [`finish`](StreamEncoder::finish).  Memory is the
+/// encoded bytes themselves — no chains, no [`Computation`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamEncoder {
+    body: BytesMut,
+    count: u64,
+}
+
+impl StreamEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event to the encoding.
+    pub fn push(&mut self, thread: ThreadId, object: ObjectId, kind: OpKind) {
+        put_varint(&mut self.body, thread.index() as u64);
+        put_varint(&mut self.body, object.index() as u64);
+        self.body.put_u8(op_kind_tag(kind));
+        self.count += 1;
+    }
+
+    /// Number of events encoded so far.
+    pub fn event_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Encoded size so far in bytes, excluding the header written by
+    /// [`finish`](Self::finish).
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Seals the encoding: magic, event count, then the accumulated body.
+    pub fn finish(self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(MAGIC.len() + 10 + self.body.len());
+        buf.put_slice(MAGIC);
+        put_varint(&mut buf, self.count);
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+/// Incremental decoder: the inverse of [`StreamEncoder`], consuming an
+/// encoding in arbitrary chunks.
+///
+/// Feed bytes with [`feed`](StreamDecoder::feed) and pull completed events
+/// with [`try_next`](StreamDecoder::try_next), which returns `Ok(None)`
+/// whenever the buffered bytes end mid-record (more input is needed).
+/// Malformed input — bad magic, an unknown op-kind tag, an overlong varint —
+/// fails as soon as the offending bytes are seen, with the same
+/// [`DecodeError`] the batch [`decode`] reports.  Truncation is only
+/// detectable by the caller declaring the input complete:
+/// [`finish`](StreamDecoder::finish) returns [`DecodeError::UnexpectedEof`]
+/// if the declared event count has not been reached.
+#[derive(Debug, Clone)]
+pub struct StreamDecoder {
+    /// Buffered input; `pos` marks the consumed prefix, compacted away once
+    /// it grows past a threshold so memory stays proportional to the unread
+    /// tail, not the whole stream.
+    buf: Vec<u8>,
+    pos: usize,
+    /// `None` until the header has been decoded; then the declared count.
+    expected: Option<u64>,
+    yielded: u64,
+}
+
+impl Default for StreamDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Attempts to read one varint from the front of `buf` without consuming on
+/// failure.  `Ok(None)` means more bytes are needed.
+fn peek_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(Some((value, i + 1)));
+        }
+        shift += 7;
+    }
+    // Ran out of buffered bytes mid-varint.  A u64 varint is at most 10
+    // bytes (the 10th must terminate), so 10 buffered continuation bytes
+    // are already overlong — report it now rather than waiting for the
+    // terminating byte that can never make the value fit.
+    if buf.len() >= 10 {
+        return Err(DecodeError::VarintOverflow);
+    }
+    Ok(None)
+}
+
+impl StreamDecoder {
+    /// Creates a decoder expecting a fresh encoding (magic first).
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            expected: None,
+            yielded: 0,
+        }
+    }
+
+    /// Appends a chunk of encoded bytes to the decoder's buffer.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    fn unread(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Declared event count, once the header has been decoded.
+    pub fn expected_events(&self) -> Option<u64> {
+        self.expected
+    }
+
+    /// Events yielded so far.
+    pub fn events_decoded(&self) -> u64 {
+        self.yielded
+    }
+
+    /// Returns `true` once every declared event has been yielded.
+    pub fn is_complete(&self) -> bool {
+        self.expected == Some(self.yielded)
+    }
+
+    fn decode_header(&mut self) -> Result<bool, DecodeError> {
+        if self.expected.is_some() {
+            return Ok(true);
+        }
+        let unread = self.unread();
+        if unread.len() < MAGIC.len() {
+            // A wrong magic is reported as soon as the prefix diverges.
+            if !MAGIC.starts_with(unread) {
+                return Err(DecodeError::BadMagic);
+            }
+            return Ok(false);
+        }
+        if &unread[..MAGIC.len()] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        match peek_varint(&unread[MAGIC.len()..])? {
+            None => Ok(false),
+            Some((count, used)) => {
+                self.consume(MAGIC.len() + used);
+                self.expected = Some(count);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Yields the next event if its bytes are fully buffered.
+    ///
+    /// `Ok(None)` means "need more input" (or, once
+    /// [`is_complete`](Self::is_complete), "finished").
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`DecodeError`] variants as [`decode`], as soon as
+    /// the malformed bytes are observed.
+    pub fn try_next(&mut self) -> Result<Option<(ThreadId, ObjectId, OpKind)>, DecodeError> {
+        if !self.decode_header()? {
+            return Ok(None);
+        }
+        if self.is_complete() {
+            return Ok(None);
+        }
+        let unread = self.unread();
+        let Some((thread, t_used)) = peek_varint(unread)? else {
+            return Ok(None);
+        };
+        let Some((object, o_used)) = peek_varint(&unread[t_used..])? else {
+            return Ok(None);
+        };
+        let Some(&tag) = unread.get(t_used + o_used) else {
+            return Ok(None);
+        };
+        let kind = op_kind_from_tag(tag)?;
+        self.consume(t_used + o_used + 1);
+        self.yielded += 1;
+        Ok(Some((
+            ThreadId(thread as usize),
+            ObjectId(object as usize),
+            kind,
+        )))
+    }
+
+    /// Declares the input complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if the header never arrived or
+    /// fewer events than declared were yielded (a truncated stream).
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.is_complete() {
+            Ok(())
+        } else {
+            Err(DecodeError::UnexpectedEof)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +456,164 @@ mod tests {
             }
             prop_assert_eq!(decode(&encode(&c)).unwrap(), c);
         }
+
+        #[test]
+        fn prop_stream_encoder_is_byte_identical_to_batch_encode(
+            ops in proptest::collection::vec((0usize..900, 0usize..900, 0u8..5), 0..300),
+        ) {
+            // Id range crosses the 1-byte/2-byte varint boundary (128) so the
+            // equality is exercised on variable record widths.
+            let mut c = Computation::new();
+            let mut encoder = StreamEncoder::new();
+            for (t, o, k) in ops {
+                let kind = op_kind_from_tag(k).unwrap();
+                c.record_op(ThreadId(t), ObjectId(o), kind);
+                encoder.push(ThreadId(t), ObjectId(o), kind);
+            }
+            prop_assert_eq!(encoder.event_count(), c.len() as u64);
+            prop_assert_eq!(&encoder.finish()[..], &encode(&c)[..]);
+        }
+
+        #[test]
+        fn prop_stream_decoder_round_trips_under_arbitrary_chunking(
+            ops in proptest::collection::vec((0usize..300, 0usize..300, 0u8..5), 0..120),
+            chunk in 1usize..17,
+        ) {
+            let mut c = Computation::new();
+            for &(t, o, k) in &ops {
+                c.record_op(ThreadId(t), ObjectId(o), op_kind_from_tag(k).unwrap());
+            }
+            let encoded = encode(&c);
+            let mut decoder = StreamDecoder::new();
+            let mut decoded = Computation::new();
+            for piece in encoded.chunks(chunk) {
+                decoder.feed(piece);
+                while let Some((t, o, kind)) = decoder.try_next().unwrap() {
+                    decoded.record_op(t, o, kind);
+                }
+            }
+            prop_assert!(decoder.is_complete());
+            prop_assert_eq!(decoder.events_decoded(), c.len() as u64);
+            decoder.finish().unwrap();
+            prop_assert_eq!(decoded, c);
+        }
+    }
+
+    /// Drives a decoder over `bytes` one byte at a time and returns the
+    /// first error (from `try_next` or the final `finish`).
+    fn stream_decode_expecting_error(bytes: &[u8]) -> DecodeError {
+        let mut decoder = StreamDecoder::new();
+        for &b in bytes {
+            decoder.feed(&[b]);
+            loop {
+                match decoder.try_next() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => return e,
+                }
+            }
+        }
+        decoder
+            .finish()
+            .expect_err("malformed stream must not finish cleanly")
+    }
+
+    #[test]
+    fn stream_decoder_rejects_bad_magic_as_soon_as_the_prefix_diverges() {
+        // Full wrong magic...
+        assert_eq!(
+            stream_decode_expecting_error(b"NOPE"),
+            DecodeError::BadMagic
+        );
+        // ...and a diverging partial prefix, before 4 bytes ever arrive.
+        let mut decoder = StreamDecoder::new();
+        decoder.feed(b"MX");
+        assert_eq!(decoder.try_next(), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn stream_decoder_reports_truncation_at_finish() {
+        let c = WorkloadBuilder::new(4, 4).operations(10).seed(1).build();
+        let encoded = encode(&c);
+        // Truncate at every prefix length: events before the cut still
+        // decode; finish must flag the missing tail.
+        for cut in 0..encoded.len() {
+            let mut decoder = StreamDecoder::new();
+            decoder.feed(&encoded[..cut]);
+            while let Ok(Some(_)) = decoder.try_next() {}
+            assert_eq!(
+                decoder.finish(),
+                Err(DecodeError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_decoder_rejects_bad_op_kind_mid_stream() {
+        let mut c = Computation::new();
+        c.record(ThreadId(0), ObjectId(0));
+        let mut raw = encode(&c).to_vec();
+        let last = raw.len() - 1;
+        raw[last] = 99; // corrupt the op-kind tag
+        assert_eq!(
+            stream_decode_expecting_error(&raw),
+            DecodeError::BadOpKind(99)
+        );
+    }
+
+    #[test]
+    fn stream_decoder_rejects_varint_overflow() {
+        // Header magic followed by an 11-byte all-continuation varint: the
+        // count can never fit a u64.
+        let mut raw = MAGIC.to_vec();
+        raw.extend([0x80u8; 11]);
+        assert_eq!(
+            stream_decode_expecting_error(&raw),
+            DecodeError::VarintOverflow
+        );
+        // Same corruption inside a record id.
+        let mut raw = MAGIC.to_vec();
+        raw.push(1); // one event
+        raw.extend([0x80u8; 11]); // thread id varint overflows
+        assert_eq!(
+            stream_decode_expecting_error(&raw),
+            DecodeError::VarintOverflow
+        );
+        // A 10-continuation-byte prefix is already overlong — the decoder
+        // must not wait for a terminating byte that cannot make it fit
+        // (and must not misreport truncation here).
+        let mut decoder = StreamDecoder::new();
+        decoder.feed(MAGIC);
+        decoder.feed(&[0x80u8; 10]);
+        assert_eq!(decoder.try_next(), Err(DecodeError::VarintOverflow));
+        // One byte short of that is still legitimately incomplete.
+        let mut decoder = StreamDecoder::new();
+        decoder.feed(MAGIC);
+        decoder.feed(&[0x80u8; 9]);
+        assert_eq!(decoder.try_next(), Ok(None));
+    }
+
+    #[test]
+    fn stream_decoder_ignores_trailing_bytes_after_completion() {
+        let mut encoder = StreamEncoder::new();
+        encoder.push(ThreadId(1), ObjectId(2), OpKind::Write);
+        assert_eq!(encoder.body_len(), 3);
+        let bytes = encoder.finish();
+        let mut decoder = StreamDecoder::new();
+        decoder.feed(&bytes);
+        decoder.feed(b"trailing garbage");
+        assert_eq!(
+            decoder.try_next().unwrap(),
+            Some((ThreadId(1), ObjectId(2), OpKind::Write))
+        );
+        assert_eq!(
+            decoder.try_next().unwrap(),
+            None,
+            "complete: no more events"
+        );
+        assert_eq!(decoder.expected_events(), Some(1));
+        assert!(decoder.is_complete());
+        decoder.finish().unwrap();
     }
 }

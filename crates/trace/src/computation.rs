@@ -6,8 +6,6 @@
 //! extension because each chain is appended in its own order) is enough to
 //! reconstruct the full happened-before relation.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use mvc_graph::BipartiteGraph;
@@ -24,13 +22,22 @@ use crate::ids::{EventId, ObjectId, ThreadId};
 /// extension of the real-time order in which the operations were serialised
 /// (per thread and per object), which is automatic when a single trace source
 /// appends events as it observes them.
+///
+/// Chains are stored densely, indexed by raw thread/object id (ids are dense
+/// by construction everywhere in this workspace), so the per-event append is
+/// two array indexes rather than two map lookups — `record` is on the hot
+/// path of every tracing backend.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Computation {
     events: Vec<Event>,
-    thread_chains: BTreeMap<usize, Vec<EventId>>,
-    object_chains: BTreeMap<usize, Vec<EventId>>,
-    max_thread: Option<usize>,
-    max_object: Option<usize>,
+    /// `thread_chains[t]` is thread `t`'s chain; slots below the largest
+    /// recorded id may be empty (a thread that never performed an op).
+    thread_chains: Vec<Vec<EventId>>,
+    object_chains: Vec<Vec<EventId>>,
+    /// Number of non-empty thread chains.
+    active_threads: usize,
+    /// Number of non-empty object chains.
+    active_objects: usize,
 }
 
 impl Computation {
@@ -48,33 +55,55 @@ impl Computation {
     /// Records an operation of the given kind, returning the new event's id.
     pub fn record_op(&mut self, thread: ThreadId, object: ObjectId, kind: OpKind) -> EventId {
         let id = EventId(self.events.len());
-        let thread_chain = self.thread_chains.entry(thread.index()).or_default();
-        let object_chain = self.object_chains.entry(object.index()).or_default();
-        let event = Event {
+        if self.thread_chains.len() <= thread.index() {
+            self.thread_chains.resize_with(thread.index() + 1, Vec::new);
+        }
+        if self.object_chains.len() <= object.index() {
+            self.object_chains.resize_with(object.index() + 1, Vec::new);
+        }
+        let thread_chain = &mut self.thread_chains[thread.index()];
+        if thread_chain.is_empty() {
+            self.active_threads += 1;
+        }
+        let thread_seq = thread_chain.len();
+        thread_chain.push(id);
+        let object_chain = &mut self.object_chains[object.index()];
+        if object_chain.is_empty() {
+            self.active_objects += 1;
+        }
+        let object_seq = object_chain.len();
+        object_chain.push(id);
+        self.events.push(Event {
             id,
             thread,
             object,
             kind,
-            thread_seq: thread_chain.len(),
-            object_seq: object_chain.len(),
-        };
-        thread_chain.push(id);
-        object_chain.push(id);
-        self.max_thread = Some(
-            self.max_thread
-                .map_or(thread.index(), |m| m.max(thread.index())),
-        );
-        self.max_object = Some(
-            self.max_object
-                .map_or(object.index(), |m| m.max(object.index())),
-        );
-        self.events.push(event);
+            thread_seq,
+            object_seq,
+        });
         id
     }
 
     /// Records a whole slice of `(thread, object)` operations in order.
     pub fn record_all(&mut self, ops: &[(ThreadId, ObjectId)]) -> Vec<EventId> {
         ops.iter().map(|&(t, o)| self.record(t, o)).collect()
+    }
+
+    /// Appends a whole batch of typed operations in order — the bulk
+    /// counterpart of [`record_op`](Self::record_op), used by sinks and
+    /// drains that already hold a stamped batch.  Event ids are assigned
+    /// sequentially; the first appended event's id is the computation's
+    /// length before the call.
+    pub fn record_ops<I>(&mut self, ops: I)
+    where
+        I: IntoIterator<Item = (ThreadId, ObjectId, OpKind)>,
+    {
+        let iter = ops.into_iter();
+        let (lower, _) = iter.size_hint();
+        self.events.reserve(lower);
+        for (thread, object, kind) in iter {
+            self.record_op(thread, object, kind);
+        }
     }
 
     /// Number of events.
@@ -106,42 +135,52 @@ impl Computation {
         self.events.iter()
     }
 
-    /// Iterator over the thread ids that appear in the computation.
+    /// Iterator over the thread ids that appear in the computation, in
+    /// ascending id order.
     pub fn threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
-        self.thread_chains.keys().map(|&t| ThreadId(t))
+        self.thread_chains
+            .iter()
+            .enumerate()
+            .filter(|(_, chain)| !chain.is_empty())
+            .map(|(t, _)| ThreadId(t))
     }
 
-    /// Iterator over the object ids that appear in the computation.
+    /// Iterator over the object ids that appear in the computation, in
+    /// ascending id order.
     pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.object_chains.keys().map(|&o| ObjectId(o))
+        self.object_chains
+            .iter()
+            .enumerate()
+            .filter(|(_, chain)| !chain.is_empty())
+            .map(|(o, _)| ObjectId(o))
     }
 
     /// Number of distinct threads that performed at least one operation.
     pub fn thread_count(&self) -> usize {
-        self.thread_chains.len()
+        self.active_threads
     }
 
     /// Number of distinct objects with at least one operation.
     pub fn object_count(&self) -> usize {
-        self.object_chains.len()
+        self.active_objects
     }
 
     /// `1 + max thread index`, i.e. the size a thread-based vector clock
     /// indexed by raw thread id would need. Zero for an empty computation.
     pub fn thread_index_bound(&self) -> usize {
-        self.max_thread.map_or(0, |m| m + 1)
+        self.thread_chains.len()
     }
 
     /// `1 + max object index`, i.e. the size an object-based vector clock
     /// indexed by raw object id would need. Zero for an empty computation.
     pub fn object_index_bound(&self) -> usize {
-        self.max_object.map_or(0, |m| m + 1)
+        self.object_chains.len()
     }
 
     /// The chain of events of a thread, in program order.
     pub fn thread_chain(&self, thread: ThreadId) -> &[EventId] {
         self.thread_chains
-            .get(&thread.index())
+            .get(thread.index())
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -149,7 +188,7 @@ impl Computation {
     /// The chain of events on an object, in serialization order.
     pub fn object_chain(&self, object: ObjectId) -> &[EventId] {
         self.object_chains
-            .get(&object.index())
+            .get(object.index())
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -307,5 +346,22 @@ mod tests {
         let mut c = Computation::new();
         let id = c.record_op(ThreadId(0), ObjectId(0), OpKind::Write);
         assert_eq!(c.event(id).kind, OpKind::Write);
+    }
+
+    #[test]
+    fn record_ops_bulk_matches_per_event_appends() {
+        let ops = [
+            (ThreadId(0), ObjectId(0), OpKind::Write),
+            (ThreadId(1), ObjectId(0), OpKind::Read),
+            (ThreadId(0), ObjectId(1), OpKind::Acquire),
+        ];
+        let mut bulk = Computation::new();
+        bulk.record_ops(ops);
+        let mut single = Computation::new();
+        for (t, o, k) in ops {
+            single.record_op(t, o, k);
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.len(), 3);
     }
 }

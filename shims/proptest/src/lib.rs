@@ -32,6 +32,37 @@ pub mod strategy {
 
         /// Generates one value.
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`, mirroring
+        /// `proptest::strategy::Strategy::prop_map`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: std::fmt::Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: std::fmt::Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
     }
 
     macro_rules! impl_range_strategy {
@@ -121,6 +152,15 @@ pub mod collection {
             SizeRange {
                 min: range.start,
                 max: range.end.max(range.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max: range.end() + 1,
             }
         }
     }

@@ -58,9 +58,11 @@ pub use mvc_trace as trace;
 /// [`OnlineTimestamper`](mvc_online::OnlineTimestamper),
 /// [`ShardedEngine`](mvc_shard::ShardedEngine)), the
 /// [`MechanismRegistry`](mvc_online::MechanismRegistry) for name-based
-/// mechanism selection, and the batch
+/// mechanism selection, the batch
 /// ([`TraceSession`](mvc_runtime::TraceSession)) / live
-/// ([`LiveSession`](mvc_runtime::LiveSession)) recording modes.
+/// ([`LiveSession`](mvc_runtime::LiveSession)) recording modes, and the
+/// pluggable event sinks ([`EventSink`](mvc_core::EventSink) with the
+/// mem / codec / stats / tee backends).
 pub mod prelude {
     pub use mvc_core::prelude::*;
     pub use mvc_online::{
@@ -69,8 +71,8 @@ pub mod prelude {
         Popularity, Random, UnknownMechanismError,
     };
     pub use mvc_runtime::{
-        ConflictAnalyzer, LiveRun, LiveSession, OnlineMonitor, SharedObject, ThreadHandle,
-        TraceSession,
+        ConflictAnalyzer, LiveRun, LiveSession, OnlineMonitor, PipelineError, SharedObject,
+        ThreadHandle, TraceSession,
     };
     pub use mvc_shard::{ShardExecutor, ShardedEngine};
     pub use mvc_trace::{WorkloadBuilder, WorkloadKind};

@@ -1,9 +1,9 @@
 //! Cross-crate conformance suite: the paper's load-bearing theorems as
 //! executable oracles.
 //!
-//! Six invariant families are encoded so that any future refactor of the
-//! graph, clock, core, online or shard crates is checked against the
-//! mathematics rather than against snapshots:
+//! Seven invariant families are encoded so that any future refactor of the
+//! graph, clock, core, online, shard or runtime crates is checked against
+//! the mathematics rather than against snapshots:
 //!
 //! 1. **Kőnig duality (Theorem: offline optimality).**  The offline
 //!    optimizer's clock size equals the maximum matching of the
@@ -36,13 +36,21 @@
 //!    count, either executor, with or without mid-run component additions —
 //!    produces the sequential engine's stamp stream bit for bit: sharding
 //!    is a scheduling strategy, never a semantic change.
+//! 7. **Ingest pipeline faithfulness.**  A live multi-threaded run through
+//!    the segmented per-thread ingest buffers, the order-preserving merge,
+//!    the sharded engine and any sink backend produces timestamps
+//!    bit-for-bit equal to a post-hoc sequential batch replay of the merged
+//!    interleaving — contention-free ingest is a scheduling strategy too,
+//!    never a semantic change.
 
 mod support;
 
 use mvc_clock::chain::ChainClockAssigner;
 use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
 use mvc_clock::{ClockOrd, TimestampAssigner, VectorTimestamp};
-use mvc_core::{replay, verify_assignment, OfflineOptimizer, Timestamper, TimestampingEngine};
+use mvc_core::{
+    replay, verify_assignment, EventSink, OfflineOptimizer, Timestamper, TimestampingEngine,
+};
 use mvc_graph::matching::{hopcroft_karp, simple_augmenting};
 use mvc_graph::{BipartiteGraph, IncrementalOptimum};
 use mvc_online::{
@@ -571,6 +579,191 @@ proptest! {
             prop_assert_eq!(&seq_out, &shard_out);
             prop_assert_eq!(seq_out.len(), events.len());
             prop_assert_eq!(sequential.width(), Timestamper::width(&sharded));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 7: segmented ingest + sharded engine + any sink == sequential batch
+// replay of the merged interleaving, bit for bit
+// ---------------------------------------------------------------------------
+
+/// A full object cover: every operation touches an object, so stamping with
+/// one component per object can never fail — the live runs below need no
+/// recovery path.
+fn full_object_cover(objects: usize) -> mvc_clock::ComponentMap {
+    (0..objects)
+        .map(|o| mvc_clock::Component::Object(ObjectId(o)))
+        .collect()
+}
+
+/// Runs one live multi-threaded session: `scripts[t]` is thread `t`'s
+/// program (object index, kind) in program order, executed on a real OS
+/// thread over shared contended objects, stamped as it drains through the
+/// segmented ingest pipeline by a sharded engine into `sink`.
+fn run_live_pipeline<S: mvc_core::EventSink>(
+    scripts: &[Vec<(usize, mvc_trace::OpKind)>],
+    objects: usize,
+    shards: usize,
+    executor: ShardExecutor,
+    sink: S,
+) -> (S, mvc_core::TimestampReport) {
+    let session = mvc_runtime::TraceSession::new();
+    let handles: Vec<_> = (0..scripts.len())
+        .map(|t| session.register_thread(&format!("t{t}")))
+        .collect();
+    let objs: Vec<_> = (0..objects)
+        .map(|o| session.shared_object(&format!("o{o}"), 0u64))
+        .collect();
+    let engine = ShardedEngine::with_executor(full_object_cover(objects), shards, executor);
+    let mut live = session.live_with_sink(engine, sink);
+    std::thread::scope(|scope| {
+        for (script, handle) in scripts.iter().zip(&handles) {
+            let objs = &objs;
+            scope.spawn(move || {
+                for &(o, kind) in script {
+                    objs[o].apply(handle, kind, |v| *v += 1);
+                }
+            });
+        }
+        // Pump concurrently with the producers at least once, so the oracle
+        // exercises mid-run drains (partial merges, stalls) and not only the
+        // final quiescent drain.
+        let _ = live.pump().unwrap();
+    });
+    live.finish_into_sink().map_err(|(_, e)| e).unwrap()
+}
+
+/// Sequential batch replay of `computation` over the same full object
+/// cover, padded to the final width — the reference stream live runs must
+/// reproduce bit for bit.
+fn sequential_reference(computation: &Computation, objects: usize) -> Vec<VectorTimestamp> {
+    let mut engine = TimestampingEngine::with_components(full_object_cover(objects));
+    replay(&mut engine, computation).unwrap().timestamps
+}
+
+/// Per-thread scripts: `threads` threads × up to 24 ops over `objects`
+/// contended objects with mixed op kinds.
+fn scripts_strategy(
+    threads: usize,
+    objects: usize,
+) -> impl Strategy<Value = Vec<Vec<(usize, mvc_trace::OpKind)>>> {
+    use mvc_trace::OpKind;
+    let op = (0..objects, 0usize..5).prop_map(|(o, k)| {
+        let kind = [
+            OpKind::Read,
+            OpKind::Write,
+            OpKind::Acquire,
+            OpKind::Release,
+            OpKind::Op,
+        ][k];
+        (o, kind)
+    });
+    proptest::collection::vec(proptest::collection::vec(op, 0..24), threads..=threads)
+}
+
+/// Thread counts oracle 7 sweeps (the 8-thread case is the stress shape the
+/// ingest design targets).
+const ORACLE7_THREADS: [usize; 4] = [1, 2, 4, 8];
+const ORACLE7_SHARDS: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A live multi-threaded run through segmented ingest + sharded engine +
+    /// memory sink produces timestamps bit-for-bit equal to a post-hoc
+    /// sequential batch replay of the merged interleaving, and the merged
+    /// interleaving preserves every per-thread chain.
+    #[test]
+    fn live_segmented_ingest_equals_sequential_batch_replay(
+        config_idx in (0usize..4, 0usize..3, 0usize..2),
+        seed_scripts in scripts_strategy(8, 5),
+    ) {
+        let (threads_idx, shards_idx, executor_idx) = config_idx;
+        let threads = ORACLE7_THREADS[threads_idx];
+        let shards = ORACLE7_SHARDS[shards_idx];
+        let executor = [ShardExecutor::Inline, ShardExecutor::Threads][executor_idx];
+        let scripts = &seed_scripts[..threads];
+
+        let (recorder, report) = run_live_pipeline(
+            scripts,
+            5,
+            shards,
+            executor,
+            mvc_core::MemoryRecorder::new(),
+        );
+        let (computation, timestamps) = recorder.into_parts();
+        // Every produced operation is drained.
+        prop_assert_eq!(computation.len(), scripts.iter().map(Vec::len).sum::<usize>());
+        // Per-thread program order survives the merge.
+        for (t, script) in scripts.iter().enumerate() {
+            let chain: Vec<usize> = computation
+                .thread_chain(ThreadId(t))
+                .iter()
+                .map(|&id| computation.event(id).object.index())
+                .collect();
+            let expected: Vec<usize> = script.iter().map(|&(o, _)| o).collect();
+            prop_assert!(chain == expected, "thread {} program order", t);
+        }
+        // Bit-for-bit parity with a sequential batch replay of the merged
+        // interleaving (full object cover ⇒ width fixed ⇒ no padding
+        // subtleties).
+        let reference = sequential_reference(&computation, 5);
+        prop_assert_eq!(timestamps, reference);
+        prop_assert_eq!(report.events, computation.len());
+    }
+
+    /// The same parity holds through every sink backend at once: a tee of
+    /// mem + stats + codec.  The memory child carries the stamps for the
+    /// bit-for-bit check, the codec child's bytes decode to the identical
+    /// interleaving, and the stats child counted every event.
+    #[test]
+    fn live_pipeline_agrees_through_every_sink_backend(
+        scripts in scripts_strategy(4, 4),
+        shards_idx in 0usize..3,
+    ) {
+        let shards = ORACLE7_SHARDS[shards_idx];
+        let sink = mvc_core::TeeSink::new(vec![
+            Box::new(mvc_core::MemoryRecorder::new()),
+            Box::new(mvc_core::StatsSink::new()),
+            Box::new(mvc_core::CodecSink::new()),
+        ]);
+        let (tee, report) =
+            run_live_pipeline(&scripts, 4, shards, ShardExecutor::Inline, sink);
+        let total: usize = scripts.iter().map(Vec::len).sum();
+        prop_assert_eq!(report.events, total);
+        prop_assert_eq!(tee.events_accepted(), total);
+
+        let children = tee.into_children();
+        let recorder = children[0]
+            .as_any()
+            .downcast_ref::<mvc_core::MemoryRecorder>()
+            .unwrap();
+        let computation = recorder.computation();
+        prop_assert_eq!(computation.len(), total);
+        // Mem child: bit-for-bit parity with the sequential batch replay.
+        prop_assert_eq!(
+            recorder.timestamps().to_vec(),
+            sequential_reference(computation, 4)
+        );
+
+        let codec = children[2]
+            .as_any()
+            .downcast_ref::<mvc_core::CodecSink>()
+            .unwrap();
+        let decoded = mvc_trace::codec::decode(&codec.clone().into_bytes()).unwrap();
+        // Codec child: the streamed trace round-trips.
+        prop_assert_eq!(&decoded, computation);
+
+        let stats = children[1]
+            .as_any()
+            .downcast_ref::<mvc_core::StatsSink>()
+            .unwrap()
+            .stats();
+        prop_assert_eq!(stats.events, total);
+        if total > 0 {
+            // Full object cover width.
+            prop_assert_eq!(stats.max_clock_width, 4);
         }
     }
 }

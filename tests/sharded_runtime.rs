@@ -85,7 +85,10 @@ fn sharded_engine_recovers_live_after_component_addition() {
     let mut live = session.live(ShardedEngine::new(2));
     o.write(&t, |v| *v = 1);
     let err = live.pump().unwrap_err();
-    assert!(matches!(err, mvc_core::TimestampError::Uncovered { .. }));
+    assert!(matches!(
+        err.as_timestamp_error(),
+        Some(mvc_core::TimestampError::Uncovered { .. })
+    ));
     assert_eq!(live.computation().len(), 0, "failed event is not recorded");
 
     live.timestamper_mut()
