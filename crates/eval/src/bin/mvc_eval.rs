@@ -4,8 +4,9 @@
 //! mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] [--trials N] [--csv DIR]
 //! mvc-eval sweep [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]
 //! mvc-eval trajectory [--mechanisms a,b,c] [--workload uniform|nonuniform] [--trials N] [--csv DIR]
-//! mvc-eval throughput [--events N] [--shards 1,2,4,8] [--workload KIND]
-//!                     [--sink mem|codec|stats|tee] [--csv DIR] [--out FILE]
+//! mvc-eval throughput [--events N] [--threads N] [--objects N] [--shards 1,2,4,8]
+//!                     [--workload KIND] [--sink mem|codec|stats|conflict|reach|competitive|tee]
+//!                     [--csv DIR] [--out FILE]
 //! ```
 //!
 //! Each figure is printed as an aligned table; with `--csv DIR` the raw series
@@ -53,6 +54,10 @@ struct Options {
     workload: Option<WorkloadKind>,
     /// `--events`, used by `throughput`.
     events: Option<usize>,
+    /// `--threads`, used by `throughput` (workload threads; default 64).
+    threads: Option<usize>,
+    /// `--objects`, used by `throughput` (workload objects; default 64).
+    objects: Option<usize>,
     /// `--shards`, used by `throughput`.
     shards: Option<Vec<usize>>,
     /// `--sink`, used by `throughput` (default `mem`).
@@ -95,6 +100,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut mechanisms = Vec::new();
     let mut workload = None;
     let mut events = None;
+    let mut threads = None;
+    let mut objects = None;
     let mut shards = None;
     let mut sink = None;
     let mut out = None;
@@ -149,6 +156,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 events = Some(parsed);
             }
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--threads requires a value".to_string())?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count: {value}"))?;
+                if parsed == 0 {
+                    return Err("thread count must be at least 1".into());
+                }
+                threads = Some(parsed);
+            }
+            "--objects" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--objects requires a value".to_string())?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid object count: {value}"))?;
+                if parsed == 0 {
+                    return Err("object count must be at least 1".into());
+                }
+                objects = Some(parsed);
+            }
             "--shards" => {
                 let value = iter
                     .next()
@@ -185,8 +216,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] \
                      [--trials N] [--csv DIR]\n       mvc-eval sweep|trajectory \
                      [--mechanisms a,b,c] [--workload KIND] [--trials N] [--csv DIR]\n       \
-                     mvc-eval throughput [--events N] [--shards 1,2,4,8] [--workload KIND] \
-                     [--sink mem|codec|stats|tee] [--csv DIR] [--out FILE]"
+                     mvc-eval throughput [--events N] [--threads N] [--objects N] \
+                     [--shards 1,2,4,8] [--workload KIND] \
+                     [--sink mem|codec|stats|conflict|reach|competitive|tee] \
+                     [--csv DIR] [--out FILE]"
                         .into(),
                 )
             }
@@ -203,6 +236,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         mechanisms,
         workload,
         events,
+        threads,
+        objects,
         shards,
         sink,
         out,
@@ -217,6 +252,12 @@ fn run_throughput(options: &Options) -> Result<String, String> {
         ThroughputConfig::uniform_64x64(options.events.unwrap_or(DEFAULT_THROUGHPUT_EVENTS));
     if let Some(workload) = options.workload {
         config.workload = workload;
+    }
+    if let Some(threads) = options.threads {
+        config.threads = threads;
+    }
+    if let Some(objects) = options.objects {
+        config.objects = objects;
     }
     if let Some(shards) = &options.shards {
         config.shard_counts = shards.clone();
@@ -393,6 +434,8 @@ mod tests {
             mechanisms: vec![],
             workload: None,
             events: None,
+            threads: None,
+            objects: None,
             shards: None,
             sink: None,
             out: None,
@@ -464,6 +507,10 @@ mod tests {
         assert!(parse_args(&args(&["--events"])).is_err());
         assert!(parse_args(&args(&["--events", "0"])).is_err());
         assert!(parse_args(&args(&["--events", "many"])).is_err());
+        assert!(parse_args(&args(&["--threads"])).is_err());
+        assert!(parse_args(&args(&["--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["--objects"])).is_err());
+        assert!(parse_args(&args(&["--objects", "0"])).is_err());
         assert!(parse_args(&args(&["--shards"])).is_err());
         assert!(parse_args(&args(&["--shards", ""])).is_err());
         assert!(parse_args(&args(&["--shards", "2,0"])).is_err());
@@ -481,6 +528,10 @@ mod tests {
             "throughput",
             "--events",
             "2000",
+            "--threads",
+            "8",
+            "--objects",
+            "8",
             "--shards",
             "1,2",
             "--workload",
@@ -493,6 +544,8 @@ mod tests {
         .unwrap();
         assert_eq!(o.figures, vec!["throughput"]);
         assert_eq!(o.events, Some(2000));
+        assert_eq!(o.threads, Some(8));
+        assert_eq!(o.objects, Some(8));
         assert_eq!(o.shards, Some(vec![1, 2]));
         assert_eq!(o.sink, Some(SinkKind::Stats));
         assert_eq!(
@@ -503,9 +556,21 @@ mod tests {
         let json = run_throughput(&o).unwrap();
         assert!(json.contains("\"workload\": \"phase-shift\""));
         assert!(json.contains("\"events\": 2000"));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"objects\": 8"));
         assert!(json.contains("\"sink\": \"stats\""));
         assert!(json.contains("\"ingest\": ["));
         assert!(json.contains("\"engine\": \"sharded\""));
+        assert!(json.contains("\"ingest_baseline\": {"));
+        assert!(json.contains("\"sink_relative_throughput\":"));
+    }
+
+    #[test]
+    fn analysis_sink_names_are_accepted() {
+        for name in ["conflict", "reach", "competitive"] {
+            let o = parse_args(&args(&["throughput", "--sink", name])).unwrap();
+            assert_eq!(o.sink.unwrap().name(), name);
+        }
     }
 
     #[test]

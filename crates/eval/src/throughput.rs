@@ -11,7 +11,12 @@
 //!   pipeline: events staged into per-thread segmented buffers, then timed
 //!   through merge → [`observe_batch`](mvc_core::Timestamper::observe_batch)
 //!   → the selected [`EventSink`] backend.  The sink is selectable
-//!   (`--sink mem|codec|stats|tee`), so egress cost is visible too.
+//!   (`--sink mem|codec|stats|conflict|reach|competitive|tee`), so egress
+//!   cost — including the streaming analysis sinks' monitoring overhead —
+//!   is visible too.  When a non-default sink is selected, the same
+//!   interleaved timing also measures a sequential + mem-sink baseline, and
+//!   the report carries the selected sink's throughput relative to it
+//!   (`sink_relative_throughput`, the number CI gates on).
 //!
 //! The `mvc-eval throughput` command emits the result as JSON so successive
 //! PRs can compare bench trajectories mechanically (`jq`-able, no table
@@ -22,16 +27,17 @@
 //! routing, slice arithmetic, merge, and (for the threaded executor)
 //! queue traffic.
 
+use std::any::Any;
 use std::time::Instant;
 
 use mvc_core::sink::{CodecSink, EventSink, MemoryRecorder, StatsSink, TeeSink};
 use mvc_core::{replay, OfflineOptimizer, TimestampingEngine};
-use mvc_runtime::TraceSession;
+use mvc_runtime::{CompetitiveSink, ConflictSink, ReachabilityIndexSink, TraceSession};
 use mvc_shard::{ShardExecutor, ShardedEngine};
 use mvc_trace::{Computation, WorkloadBuilder, WorkloadKind};
 
 /// The egress backend an ingest measurement drives
-/// (`--sink mem|codec|stats|tee`).
+/// (`--sink mem|codec|stats|conflict|reach|competitive|tee`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SinkKind {
     /// In-memory recorder — the default, and the closest to the historical
@@ -42,9 +48,19 @@ pub enum SinkKind {
     Codec,
     /// Constant-memory stats counters.
     Stats,
-    /// Tee of all three of the above.
+    /// Streaming conflict flagging over consecutive-object-pair groups.
+    Conflict,
+    /// Streaming happened-before index over a bounded window.
+    Reach,
+    /// Windowed competitive-ratio tracking against the revealed optimum.
+    Competitive,
+    /// Tee of everything above: record, persist *and* monitor in one run.
     Tee,
 }
+
+/// The reachability window the eval harness provisions (matches the
+/// pipeline's stamping window, so an in-flight batch is always queryable).
+const REACH_WINDOW: usize = 4096;
 
 impl SinkKind {
     /// Parses a CLI sink name.
@@ -57,9 +73,12 @@ impl SinkKind {
             "mem" => Ok(SinkKind::Mem),
             "codec" => Ok(SinkKind::Codec),
             "stats" => Ok(SinkKind::Stats),
+            "conflict" => Ok(SinkKind::Conflict),
+            "reach" => Ok(SinkKind::Reach),
+            "competitive" => Ok(SinkKind::Competitive),
             "tee" => Ok(SinkKind::Tee),
             other => Err(format!(
-                "unknown sink '{other}' (expected mem|codec|stats|tee)"
+                "unknown sink '{other}' (expected mem|codec|stats|conflict|reach|competitive|tee)"
             )),
         }
     }
@@ -70,20 +89,43 @@ impl SinkKind {
             SinkKind::Mem => "mem",
             SinkKind::Codec => "codec",
             SinkKind::Stats => "stats",
+            SinkKind::Conflict => "conflict",
+            SinkKind::Reach => "reach",
+            SinkKind::Competitive => "competitive",
             SinkKind::Tee => "tee",
         }
     }
 
-    /// Builds a fresh sink of this kind.
-    pub fn build(self) -> Box<dyn EventSink> {
+    /// Builds a fresh sink of this kind for a workload over `objects`
+    /// objects.
+    ///
+    /// The conflict sink declares disjoint object pairs `{2i, 2i + 1}` as
+    /// its invariant groups — every object is monitored, every group is
+    /// contended under the uniform workload, and each event lands in
+    /// exactly one group, so the measured overhead reflects full-coverage
+    /// monitoring at a realistic invariant density (overlapping groups
+    /// would charge every event twice).
+    pub fn build_for(self, objects: usize) -> Box<dyn EventSink> {
+        let conflict = || {
+            ConflictSink::with_groups(
+                (0..objects / 2)
+                    .map(|i| vec![mvc_trace::ObjectId(2 * i), mvc_trace::ObjectId(2 * i + 1)]),
+            )
+        };
         match self {
             SinkKind::Mem => Box::new(MemoryRecorder::new()),
             SinkKind::Codec => Box::new(CodecSink::new()),
             SinkKind::Stats => Box::new(StatsSink::new()),
+            SinkKind::Conflict => Box::new(conflict()),
+            SinkKind::Reach => Box::new(ReachabilityIndexSink::with_capacity(REACH_WINDOW)),
+            SinkKind::Competitive => Box::new(CompetitiveSink::new()),
             SinkKind::Tee => Box::new(TeeSink::new(vec![
                 Box::new(MemoryRecorder::new()),
                 Box::new(StatsSink::new()),
                 Box::new(CodecSink::new()),
+                Box::new(conflict()),
+                Box::new(ReachabilityIndexSink::with_capacity(REACH_WINDOW)),
+                Box::new(CompetitiveSink::new()),
             ])),
         }
     }
@@ -167,15 +209,31 @@ pub struct ThroughputReport {
     /// Full pipeline (segmented ingest → merge → stamp → sink), sequential
     /// first.  Speedups are relative to the sequential *ingest* row.
     pub ingest: Vec<EngineThroughput>,
+    /// A sequential + mem-sink ingest row measured in the same interleaved
+    /// run, present when the selected sink is not `mem` — the baseline the
+    /// selected sink's overhead is judged against.
+    pub ingest_baseline: Option<EngineThroughput>,
+    /// The selected sink's sequential ingest throughput relative to the
+    /// mem-sink baseline (1.0 when the selected sink *is* `mem`).  CI fails
+    /// a monitoring sink below 0.5.
+    pub sink_relative_throughput: f64,
 }
 
 /// Times one replay of `computation` through a fresh engine.
-fn time_one(mut engine: Box<dyn mvc_core::Timestamper>, computation: &Computation) -> u128 {
+///
+/// The run (engine state + every produced stamp) is returned alongside the
+/// elapsed time instead of being dropped here: [`time_interleaved`] keeps it
+/// alive until the *next* slot has allocated, so the allocator never trims
+/// the freed pages out from under the following measurement.
+fn time_one(
+    mut engine: Box<dyn mvc_core::Timestamper>,
+    computation: &Computation,
+) -> (u128, Box<dyn Any>) {
     let start = Instant::now();
     let run = replay(engine.as_mut(), computation).expect("plan covers the workload");
     let elapsed = start.elapsed().as_nanos();
     assert_eq!(run.timestamps.len(), computation.len());
-    elapsed
+    (elapsed, Box::new(run))
 }
 
 /// Times one pass of `computation` through the full runtime pipeline with a
@@ -189,7 +247,7 @@ fn time_one_ingest(
     sink: Box<dyn EventSink>,
     threads: usize,
     objects: usize,
-) -> u128 {
+) -> (u128, Box<dyn Any>) {
     let session = TraceSession::new();
     let handles: Vec<_> = (0..threads)
         .map(|i| session.register_thread(&format!("t{i}")))
@@ -210,7 +268,9 @@ fn time_one_ingest(
     let elapsed = start.elapsed().as_nanos();
     assert_eq!(pumped, computation.len());
     assert_eq!(sink.events_accepted(), computation.len());
-    elapsed
+    // The sink owns the run's stamps (for the mem backend, ~all of the
+    // slot's allocation) — hand it to the harness to keep alive.
+    (elapsed, Box::new(sink))
 }
 
 /// Times `engines` measurement slots `repeats` times each, interleaved
@@ -220,20 +280,37 @@ fn time_one_ingest(
 /// warm-up round maps the allocator arena the stamp vectors will recycle, so
 /// the timed rounds measure steady-state throughput rather than first-touch
 /// page faults.
+///
+/// Each slot returns its product (the run's stamps) alongside its time, and
+/// `keep` holds it until the *next* slot has allocated and been timed.
+/// Dropping ~100 MB of uniform stamp vectors between slots would otherwise
+/// let glibc consolidate and trim the arena top, and the following slot's
+/// timed region would pay the page-fault storm instead of measuring the
+/// engine.  The tax was asymmetric — only the slot right after the
+/// still-churning sequential engine ran warm — which is exactly the
+/// "1-shard fast, 2/4/8 collapse" artifact the committed bench used to
+/// show.  Keeping the previous product alive turns the freed pages into an
+/// interior hole the next slot reuses instead of a trimmed arena top it
+/// must re-fault.
 fn time_interleaved(
     engines: usize,
     repeats: usize,
-    mut run_slot: impl FnMut(usize) -> u128,
+    mut run_slot: impl FnMut(usize) -> (u128, Box<dyn Any>),
 ) -> Vec<u128> {
     let mut best = vec![u128::MAX; engines];
+    let mut keep: Option<Box<dyn Any>> = None;
     for round in 0..repeats.max(1) + 1 {
         for (i, b) in best.iter_mut().enumerate() {
-            let elapsed = run_slot(i);
+            let (elapsed, product) = run_slot(i);
+            // Drops the previous slot's product only now, after the current
+            // slot has allocated on top of it.
+            keep = Some(product);
             if round > 0 {
                 *b = (*b).min(elapsed);
             }
         }
     }
+    drop(keep);
     best
 }
 
@@ -309,15 +386,46 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
     let stamping = time_interleaved(slots, config.repeats, |slot| {
         time_one(make_engine(slot), &computation)
     });
-    let pipeline = time_interleaved(slots, config.repeats, |slot| {
+    // When the selected sink is not `mem`, one extra slot measures the
+    // sequential engine through a mem sink in the *same* interleaved run —
+    // the baseline `sink_relative_throughput` (and the CI overhead gate)
+    // compares against.
+    let baseline_slots = usize::from(config.sink != SinkKind::Mem);
+    let pipeline = time_interleaved(slots + baseline_slots, config.repeats, |slot| {
+        // The extra trailing slot is sequential + mem; every other slot
+        // drives the selected sink.
+        let (engine_slot, sink) = if slot < slots {
+            (slot, config.sink)
+        } else {
+            (0, SinkKind::Mem)
+        };
         time_one_ingest(
-            make_engine(slot),
+            make_engine(engine_slot),
             &computation,
-            config.sink.build(),
+            sink.build_for(config.objects),
             config.threads,
             config.objects,
         )
     });
+    let ingest = rows(config, executor_name, &pipeline[..slots]);
+    let ingest_baseline = (baseline_slots == 1).then(|| EngineThroughput {
+        engine: "sequential".to_owned(),
+        shards: 1,
+        executor: "none".to_owned(),
+        elapsed_ns: pipeline[slots],
+        events_per_sec: events_per_sec(config.events, pipeline[slots]),
+        speedup: 1.0,
+    });
+    let sink_relative_throughput = match &ingest_baseline {
+        None => 1.0,
+        Some(baseline) => {
+            if ingest[0].elapsed_ns == 0 {
+                0.0
+            } else {
+                baseline.elapsed_ns as f64 / ingest[0].elapsed_ns as f64
+            }
+        }
+    };
 
     ThroughputReport {
         workload: config.workload.name().to_owned(),
@@ -327,7 +435,9 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
         clock_width: map.len(),
         sink: config.sink.name().to_owned(),
         engines: rows(config, executor_name, &stamping),
-        ingest: rows(config, executor_name, &pipeline),
+        ingest,
+        ingest_baseline,
+        sink_relative_throughput,
     }
 }
 
@@ -339,20 +449,25 @@ fn json_f64(value: f64) -> String {
     }
 }
 
+fn render_row(out: &mut String, e: &EngineThroughput) {
+    out.push('{');
+    out.push_str(&format!("\"engine\": \"{}\", ", e.engine));
+    out.push_str(&format!("\"shards\": {}, ", e.shards));
+    out.push_str(&format!("\"executor\": \"{}\", ", e.executor));
+    out.push_str(&format!("\"elapsed_ns\": {}, ", e.elapsed_ns));
+    out.push_str(&format!(
+        "\"events_per_sec\": {}, ",
+        json_f64(e.events_per_sec)
+    ));
+    out.push_str(&format!("\"speedup\": {}", json_f64(e.speedup)));
+    out.push('}');
+}
+
 fn render_rows(out: &mut String, key: &str, rows: &[EngineThroughput], trailing_comma: bool) {
     out.push_str(&format!("  \"{key}\": [\n"));
     for (i, e) in rows.iter().enumerate() {
-        out.push_str("    {");
-        out.push_str(&format!("\"engine\": \"{}\", ", e.engine));
-        out.push_str(&format!("\"shards\": {}, ", e.shards));
-        out.push_str(&format!("\"executor\": \"{}\", ", e.executor));
-        out.push_str(&format!("\"elapsed_ns\": {}, ", e.elapsed_ns));
-        out.push_str(&format!(
-            "\"events_per_sec\": {}, ",
-            json_f64(e.events_per_sec)
-        ));
-        out.push_str(&format!("\"speedup\": {}", json_f64(e.speedup)));
-        out.push('}');
+        out.push_str("    ");
+        render_row(out, e);
         if i + 1 < rows.len() {
             out.push(',');
         }
@@ -377,7 +492,17 @@ pub fn render_throughput_json(report: &ThroughputReport) -> String {
     out.push_str(&format!("  \"clock_width\": {},\n", report.clock_width));
     out.push_str(&format!("  \"sink\": \"{}\",\n", report.sink));
     render_rows(&mut out, "engines", &report.engines, true);
-    render_rows(&mut out, "ingest", &report.ingest, false);
+    render_rows(&mut out, "ingest", &report.ingest, true);
+    out.push_str("  \"ingest_baseline\": ");
+    match &report.ingest_baseline {
+        None => out.push_str("null"),
+        Some(row) => render_row(&mut out, row),
+    }
+    out.push_str(",\n");
+    out.push_str(&format!(
+        "  \"sink_relative_throughput\": {}\n",
+        json_f64(report.sink_relative_throughput)
+    ));
     out.push('}');
     out
 }
@@ -411,6 +536,8 @@ mod tests {
         }
         assert!(report.clock_width > 0);
         assert_eq!(report.sink, "mem");
+        assert!(report.ingest_baseline.is_none(), "mem is its own baseline");
+        assert_eq!(report.sink_relative_throughput, 1.0);
     }
 
     #[test]
@@ -419,6 +546,9 @@ mod tests {
             SinkKind::Mem,
             SinkKind::Codec,
             SinkKind::Stats,
+            SinkKind::Conflict,
+            SinkKind::Reach,
+            SinkKind::Competitive,
             SinkKind::Tee,
         ] {
             let config = ThroughputConfig {
@@ -437,18 +567,59 @@ mod tests {
             for e in &report.ingest {
                 assert!(e.events_per_sec > 0.0, "{}: zero throughput", e.engine);
             }
+            if sink == SinkKind::Mem {
+                assert!(report.ingest_baseline.is_none());
+                assert_eq!(report.sink_relative_throughput, 1.0);
+            } else {
+                let baseline = report.ingest_baseline.as_ref().unwrap();
+                assert_eq!(baseline.engine, "sequential");
+                assert!(baseline.events_per_sec > 0.0);
+                assert!(report.sink_relative_throughput > 0.0);
+            }
         }
     }
 
     #[test]
     fn sink_names_parse_and_round_trip() {
-        for name in ["mem", "codec", "stats", "tee"] {
+        for name in [
+            "mem",
+            "codec",
+            "stats",
+            "conflict",
+            "reach",
+            "competitive",
+            "tee",
+        ] {
             assert_eq!(SinkKind::parse(name).unwrap().name(), name);
         }
         let err = SinkKind::parse("paper").unwrap_err();
         assert!(err.contains("unknown sink 'paper'"));
-        assert!(err.contains("mem|codec|stats|tee"), "lists candidates");
+        assert!(
+            err.contains("mem|codec|stats|conflict|reach|competitive|tee"),
+            "lists candidates"
+        );
         assert_eq!(SinkKind::default(), SinkKind::Mem);
+    }
+
+    #[test]
+    fn analysis_sinks_produce_their_analysis_during_ingest() {
+        // The conflict sink must actually flag something on a contended
+        // workload, not just count events — drive one ingest run by hand.
+        let config = ThroughputConfig {
+            threads: 8,
+            objects: 8,
+            events: 800,
+            workload: WorkloadKind::Uniform,
+            shard_counts: vec![1],
+            seed: 7,
+            repeats: 1,
+            sink: SinkKind::Conflict,
+        };
+        let sink = SinkKind::Conflict.build_for(config.objects);
+        let conflict = sink.as_any().downcast_ref::<ConflictSink>().unwrap();
+        assert_eq!(conflict.group_count(), 4, "disjoint object pairs");
+        let report = measure_throughput(&config);
+        assert!(report.sink_relative_throughput > 0.0);
     }
 
     #[test]
@@ -479,10 +650,21 @@ mod tests {
             "\"engine\": \"sharded\"",
             "\"events_per_sec\":",
             "\"speedup\":",
+            "\"ingest_baseline\": {",
+            "\"sink_relative_throughput\":",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert!(json.starts_with('{') && json.ends_with('}'));
+
+        // With the default mem sink the baseline is null.
+        let mem = ThroughputConfig {
+            sink: SinkKind::Mem,
+            ..ThroughputConfig::uniform_64x64(200)
+        };
+        let json = render_throughput_json(&measure_throughput(&mem));
+        assert!(json.contains("\"ingest_baseline\": null"));
+        assert!(json.contains("\"sink_relative_throughput\": 1.00"));
     }
 
     #[test]

@@ -23,7 +23,12 @@ use mvc_core::OfflineOptimizer;
 use mvc_trace::{Computation, EventId, ObjectId};
 
 /// A pair of concurrent, conflicting operations within one object group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Pairs order lexicographically by `(group, first, second)` — the derived
+/// order — which is also exactly the order [`ConflictAnalyzer::analyze`]
+/// emits, so reports are deterministic across runs and sortable for
+/// cross-implementation comparison (conformance oracle 8 relies on both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ConflictPair {
     /// The index of the object group the pair belongs to.
     pub group: usize,
@@ -47,16 +52,29 @@ impl ConflictAnalyzer {
 
     /// Adds a group of objects related by an application invariant, returning
     /// the group's index.
+    ///
+    /// Duplicate objects within the group are dropped — membership counts
+    /// once, so a repeated object cannot double-bucket its events and
+    /// duplicate reported pairs.
     pub fn add_group(&mut self, objects: impl IntoIterator<Item = ObjectId>) -> usize {
-        self.groups.push(objects.into_iter().collect());
+        let mut deduped: Vec<ObjectId> = Vec::new();
+        for o in objects {
+            if !deduped.contains(&o) {
+                deduped.push(o);
+            }
+        }
+        self.groups.push(deduped);
         self.groups.len() - 1
     }
 
-    /// Creates an analyzer from explicit groups.
+    /// Creates an analyzer from explicit groups (each deduplicated like
+    /// [`add_group`](Self::add_group)).
     pub fn with_groups(groups: impl IntoIterator<Item = Vec<ObjectId>>) -> Self {
-        Self {
-            groups: groups.into_iter().collect(),
+        let mut analyzer = Self::new();
+        for g in groups {
+            analyzer.add_group(g);
         }
+        analyzer
     }
 
     /// The declared groups.
@@ -64,8 +82,9 @@ impl ConflictAnalyzer {
         &self.groups
     }
 
-    /// Analyses a recorded computation and returns every conflict pair, in
-    /// `(group, first event id)` order.
+    /// Analyses a recorded computation and returns every conflict pair,
+    /// sorted in the derived `(group, first, second)` order — the output is
+    /// deterministic across runs.
     ///
     /// A pair is reported when the two events are in the same group, were
     /// performed by different threads, are causally concurrent under the
@@ -75,6 +94,9 @@ impl ConflictAnalyzer {
         if computation.is_empty() || self.groups.is_empty() {
             return Vec::new();
         }
+        // One offline solve serves every group: the plan depends only on the
+        // computation, not on the groups, so it must stay outside the group
+        // loop (a source-scan test enforces this).
         let plan = OfflineOptimizer::new().plan_for_computation(computation);
         let stamps = plan.assigner().assign(computation);
 
@@ -198,6 +220,70 @@ mod tests {
         record(&mut c, &[(0, 5, OpKind::Write), (1, 6, OpKind::Write)]);
         let analyzer = ConflictAnalyzer::with_groups([vec![ObjectId(0), ObjectId(1)]]);
         assert!(analyzer.analyze(&c).is_empty());
+    }
+
+    #[test]
+    fn duplicate_objects_in_a_group_do_not_duplicate_pairs() {
+        // Regression: a repeated object used to bucket its events once per
+        // occurrence, so every pair involving it was reported twice.
+        let mut c = Computation::new();
+        record(&mut c, &[(0, 0, OpKind::Write), (1, 1, OpKind::Write)]);
+        let mut analyzer = ConflictAnalyzer::new();
+        let g = analyzer.add_group([ObjectId(0), ObjectId(1), ObjectId(0), ObjectId(1)]);
+        assert_eq!(analyzer.groups()[g], vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(analyzer.analyze(&c).len(), 1);
+        let via_with = ConflictAnalyzer::with_groups([vec![ObjectId(0), ObjectId(0), ObjectId(1)]]);
+        assert_eq!(via_with.analyze(&c).len(), 1, "with_groups dedupes too");
+    }
+
+    #[test]
+    fn analyze_output_is_sorted_and_deterministic() {
+        // Four threads, overlapping groups, plenty of concurrent writes.
+        let mut c = Computation::new();
+        record(
+            &mut c,
+            &[
+                (0, 0, OpKind::Write),
+                (1, 1, OpKind::Write),
+                (2, 2, OpKind::Write),
+                (3, 3, OpKind::Write),
+                (0, 2, OpKind::Write),
+                (1, 3, OpKind::Write),
+            ],
+        );
+        let analyzer = ConflictAnalyzer::with_groups([
+            vec![ObjectId(0), ObjectId(1)],
+            vec![ObjectId(2), ObjectId(3)],
+            vec![ObjectId(1), ObjectId(2)],
+        ]);
+        let first = analyzer.analyze(&c);
+        assert!(!first.is_empty());
+        let mut sorted = first.clone();
+        sorted.sort();
+        assert_eq!(first, sorted, "emitted order is the derived pair order");
+        assert_eq!(first, analyzer.analyze(&c), "runs are identical");
+    }
+
+    #[test]
+    fn one_offline_solve_serves_all_groups() {
+        // Guard: `analyze` must compute the offline plan exactly once, not
+        // per group.  Scans this module's non-test source so a regression
+        // fails loudly.
+        let source = include_str!("conflict.rs");
+        let hot = source
+            .split("#[cfg(test)]")
+            .next()
+            .expect("split always yields a first chunk");
+        assert_eq!(
+            hot.matches("plan_for_computation").count(),
+            1,
+            "analyze must plan exactly once, outside the group loop"
+        );
+        assert_eq!(
+            hot.matches(".assign(").count(),
+            1,
+            "stamps are assigned once for all groups"
+        );
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   conflicting operations across user-declared object groups (atomicity
 //!   violation candidates), the debugging use-case that motivates causality
 //!   tracking in the paper's introduction.
+//! * [`analysis`] — the same questions answered *at pipeline rate*:
+//!   [`ReachabilityIndexSink`], [`ConflictSink`] and [`CompetitiveSink`] are
+//!   [`EventSink`](mvc_core::sink::EventSink)s that ride the
+//!   merge → stamp → sink loop, so ordering queries, conflict flagging and
+//!   competitive-ratio tracking happen while the run is still going.
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod conflict;
 pub mod ingest;
 pub mod live;
@@ -58,6 +64,7 @@ pub mod object;
 pub mod pipeline;
 pub mod session;
 
+pub use analysis::{CompetitiveSink, ConflictSink, ReachabilityIndexSink};
 pub use conflict::{ConflictAnalyzer, ConflictPair};
 pub use live::{LiveRun, LiveSession};
 pub use monitor::OnlineMonitor;

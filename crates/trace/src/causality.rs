@@ -27,20 +27,38 @@ pub struct CausalityOracle {
 }
 
 impl CausalityOracle {
+    /// The largest computation the oracle is meant for.  Production
+    /// causality queries go through the streaming reachability index (an
+    /// `EventSink` over live stamps); the bitset closure exists as test
+    /// ground truth, and at `O(n²/64)` memory a million-event build would
+    /// silently eat ~2 TB.  Debug builds assert the bound so a misuse fails
+    /// in tests, not in production sizing.
+    pub const MAX_ORACLE_EVENTS: usize = 100_000;
+
     /// Builds the oracle for a computation.
     ///
     /// Events are processed in append order. Because each chain is appended in
     /// its own order, every event's chain predecessors have smaller ids, so a
     /// single forward pass suffices:
     /// `pred(e) = pred(tp) ∪ {tp} ∪ pred(op) ∪ {op}` where `tp`/`op` are the
-    /// thread/object immediate predecessors.
+    /// thread/object immediate predecessors.  Each bitset is built in place
+    /// inside the pre-sized table (the split keeps the borrow checker happy
+    /// about reading predecessor rows while writing the current one), so the
+    /// pass allocates the table once, not once more per event.
     pub fn build(computation: &Computation) -> Self {
         let n = computation.len();
+        debug_assert!(
+            n <= Self::MAX_ORACLE_EVENTS,
+            "CausalityOracle is test ground truth, not a production index \
+             ({n} events > {}); stream queries through ReachabilityIndexSink",
+            Self::MAX_ORACLE_EVENTS
+        );
         let words = n.div_ceil(64);
         let mut pred: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
         for e in computation.events() {
             let id = e.id.index();
-            let mut bits = vec![0u64; words];
+            let (done, rest) = pred.split_at_mut(id);
+            let bits = &mut rest[0];
             for p in [
                 computation.thread_predecessor(e.id),
                 computation.object_predecessor(e.id),
@@ -50,12 +68,11 @@ impl CausalityOracle {
             {
                 let pi = p.index();
                 debug_assert!(pi < id, "chain predecessor must precede in append order");
-                for (w, &pw) in bits.iter_mut().zip(pred[pi].iter()) {
+                for (w, &pw) in bits.iter_mut().zip(done[pi].iter()) {
                     *w |= pw;
                 }
                 bits[pi / 64] |= 1u64 << (pi % 64);
             }
-            pred[id] = bits;
         }
         Self { n, pred }
     }
@@ -117,6 +134,23 @@ impl CausalityOracle {
         for a in 0..self.n {
             for b in a + 1..self.n {
                 if (self.pred[b][a / 64] >> (a % 64)) & 1 == 1 {
+                    out.push((EventId(a), EventId(b)));
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(a, b)` pairs with `a ∥ b` (concurrent), `a < b`, in
+    /// lexicographic order — the complement of
+    /// [`all_ordered_pairs`](Self::all_ordered_pairs) over distinct pairs.
+    /// Intended for small computations in tests (conformance oracle 8
+    /// cross-checks every one of these against the streaming index).
+    pub fn all_concurrent_pairs(&self) -> Vec<(EventId, EventId)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for b in a + 1..self.n {
+                if (self.pred[b][a / 64] >> (a % 64)) & 1 == 0 {
                     out.push((EventId(a), EventId(b)));
                 }
             }
@@ -228,6 +262,23 @@ mod tests {
             assert!(a < b, "append order is a linear extension");
             assert!(o.happened_before(a, b));
         }
+    }
+
+    #[test]
+    fn concurrent_pairs_complement_ordered_pairs() {
+        let c = comp(&[(0, 0), (1, 1), (2, 0), (0, 1), (1, 0), (2, 1)]);
+        let o = c.causality_oracle();
+        let ordered = o.all_ordered_pairs();
+        let concurrent = o.all_concurrent_pairs();
+        assert_eq!(ordered.len() + concurrent.len(), 6 * 5 / 2);
+        for &(a, b) in &concurrent {
+            assert!(a < b);
+            assert!(o.concurrent(a, b));
+        }
+        let mut sorted = concurrent.clone();
+        sorted.sort_unstable();
+        assert_eq!(concurrent, sorted, "lexicographic without sorting");
+        assert!(ordered.iter().all(|p| !concurrent.contains(p)));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Cross-crate conformance suite: the paper's load-bearing theorems as
 //! executable oracles.
 //!
-//! Seven invariant families are encoded so that any future refactor of the
+//! Eight invariant families are encoded so that any future refactor of the
 //! graph, clock, core, online, shard or runtime crates is checked against
 //! the mathematics rather than against snapshots:
 //!
@@ -42,6 +42,13 @@
 //!    bit-for-bit equal to a post-hoc sequential batch replay of the merged
 //!    interleaving — contention-free ingest is a scheduling strategy too,
 //!    never a semantic change.
+//! 8. **Streaming analyses equal post-hoc analysis.**  The analysis sinks
+//!    riding the live pipeline reach the verdicts post-hoc analysis reaches
+//!    from the recorded trace: the streaming `ConflictSink` flags *exactly*
+//!    the pairs `ConflictAnalyzer` reports (same groups, same pairs, despite
+//!    live stamps vs. a fresh offline-optimal plan — any valid cover
+//!    characterises happened-before), and the streaming reachability index
+//!    agrees with the bitset `CausalityOracle` on every in-window pair.
 
 mod support;
 
@@ -764,6 +771,152 @@ proptest! {
         if total > 0 {
             // Full object cover width.
             prop_assert_eq!(stats.max_clock_width, 4);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 8: streaming analyses == post-hoc analysis
+// ---------------------------------------------------------------------------
+
+/// The invariant groups oracle 8 monitors over its 5 contended objects:
+/// two disjoint pairs plus one overlapping triple, so both the
+/// single-membership fast path and the multi-group path are exercised.
+fn oracle8_groups() -> Vec<Vec<ObjectId>> {
+    vec![
+        vec![ObjectId(0), ObjectId(1)],
+        vec![ObjectId(2), ObjectId(3)],
+        vec![ObjectId(1), ObjectId(2), ObjectId(4)],
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A live run with the analysis sinks teed next to a recorder flags
+    /// exactly what post-hoc analysis of the recorded trace finds: the
+    /// streaming conflict sink's pairs equal `ConflictAnalyzer::analyze`
+    /// (as sets — discovery order differs from the analyzer's group-major
+    /// order), and the streaming reachability index answers every
+    /// `happened_before` / `concurrent` query on in-window pairs exactly
+    /// like the bitset `CausalityOracle`.
+    #[test]
+    fn streaming_analyses_agree_with_post_hoc_analysis(
+        config_idx in (0usize..4, 0usize..3, 0usize..2),
+        seed_scripts in scripts_strategy(8, 5),
+    ) {
+        let (threads_idx, shards_idx, executor_idx) = config_idx;
+        let threads = ORACLE7_THREADS[threads_idx];
+        let shards = ORACLE7_SHARDS[shards_idx];
+        let executor = [ShardExecutor::Inline, ShardExecutor::Threads][executor_idx];
+        let scripts = &seed_scripts[..threads];
+
+        let analyzer = mvc_runtime::ConflictAnalyzer::with_groups(oracle8_groups());
+        let sink = mvc_core::TeeSink::new(vec![
+            Box::new(mvc_core::MemoryRecorder::new()),
+            Box::new(mvc_runtime::ConflictSink::mirroring(&analyzer)),
+            Box::new(mvc_runtime::ReachabilityIndexSink::unbounded()),
+        ]);
+        let (tee, report) = run_live_pipeline(scripts, 5, shards, executor, sink);
+        let total: usize = scripts.iter().map(Vec::len).sum();
+        prop_assert_eq!(report.events, total);
+
+        let children = tee.into_children();
+        let recorder = children[0]
+            .as_any()
+            .downcast_ref::<mvc_core::MemoryRecorder>()
+            .unwrap();
+        let computation = recorder.computation();
+        prop_assert_eq!(computation.len(), total);
+
+        // Streaming conflict pairs == post-hoc analyzer pairs, exactly.
+        // The streaming sink used the live engine's stamps (full object
+        // cover); the analyzer plans a fresh offline-optimal clock — any
+        // valid cover characterises happened-before, so the pair sets must
+        // still be identical.
+        let conflict = children[1]
+            .as_any()
+            .downcast_ref::<mvc_runtime::ConflictSink>()
+            .unwrap();
+        let mut streamed = conflict.conflicts().to_vec();
+        streamed.sort();
+        prop_assert_eq!(streamed, analyzer.analyze(computation));
+
+        // Streaming reachability == bitset causality oracle on every pair
+        // (the window is unbounded, so every pair is in-window).
+        let reach = children[2]
+            .as_any()
+            .downcast_ref::<mvc_runtime::ReachabilityIndexSink>()
+            .unwrap();
+        prop_assert_eq!(reach.spilled(), 0);
+        let oracle = computation.causality_oracle();
+        for a in 0..total {
+            for b in a + 1..total {
+                let (a, b) = (EventId(a), EventId(b));
+                prop_assert_eq!(
+                    reach.happened_before(a, b),
+                    Some(oracle.happened_before(a, b))
+                );
+                prop_assert_eq!(
+                    reach.happened_before(b, a),
+                    Some(oracle.happened_before(b, a))
+                );
+                prop_assert_eq!(reach.concurrent(a, b), Some(oracle.concurrent(a, b)));
+            }
+        }
+        // The oracle's concurrent-pair enumeration is the same relation.
+        for (a, b) in oracle.all_concurrent_pairs() {
+            prop_assert_eq!(reach.concurrent(a, b), Some(true));
+        }
+    }
+
+    /// Conflict parity survives a bounded reachability window running
+    /// alongside: spilling the reach window must not perturb the conflict
+    /// sink (they are independent children of the tee), and in-window
+    /// queries stay exact after eviction.
+    #[test]
+    fn bounded_window_spill_keeps_in_window_queries_exact(
+        scripts in scripts_strategy(4, 5),
+    ) {
+        let window = 16;
+        let sink = mvc_core::TeeSink::new(vec![
+            Box::new(mvc_core::MemoryRecorder::new()),
+            Box::new(mvc_runtime::ReachabilityIndexSink::with_capacity(window)),
+        ]);
+        let (tee, _) = run_live_pipeline(&scripts, 5, 2, ShardExecutor::Inline, sink);
+        let children = tee.into_children();
+        let recorder = children[0]
+            .as_any()
+            .downcast_ref::<mvc_core::MemoryRecorder>()
+            .unwrap();
+        let computation = recorder.computation();
+        let reach = children[1]
+            .as_any()
+            .downcast_ref::<mvc_runtime::ReachabilityIndexSink>()
+            .unwrap();
+        let total = computation.len();
+        prop_assert_eq!(reach.spilled(), total.saturating_sub(window));
+        let oracle = computation.causality_oracle();
+        for a in 0..total {
+            for b in a + 1..total {
+                let (a, b) = (EventId(a), EventId(b));
+                match reach.compare(a, b) {
+                    // Evicted on either side: explicitly unanswerable.
+                    None => prop_assert!(
+                        !reach.contains(a) || !reach.contains(b)
+                    ),
+                    Some(ord) => {
+                        prop_assert_eq!(
+                            ord.is_before(),
+                            oracle.happened_before(a, b)
+                        );
+                        prop_assert_eq!(
+                            ord.is_concurrent(),
+                            oracle.concurrent(a, b)
+                        );
+                    }
+                }
+            }
         }
     }
 }
