@@ -1,0 +1,195 @@
+//! Networked-service benchmarks: frame codec and end-to-end sessions.
+//!
+//! Three layers are measured separately so a regression is attributable:
+//!
+//! * `net-codec` — pure encode/decode of `Events` frames (no transport,
+//!   no pipeline): the per-event varint cost both ways.
+//! * `net-inproc` — one full client session over the in-process duplex
+//!   pair against a sequential-engine server: framing + session
+//!   management + ingress ticketing + merge + stamping, with the
+//!   transport reduced to a byte queue (no sockets, deterministic).
+//! * `net-tcp` — the same session shape over real loopback TCP with the
+//!   thread-per-connection server, one and four producer clients: adds
+//!   syscalls, socket buffers, and scheduler interaction.  This is the
+//!   slot `BENCH_throughput.json`'s `net` section gates on, reduced to a
+//!   repeatable criterion target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mvc_core::{MemoryRecorder, TimestampingEngine};
+use mvc_net::frame::{write_frame, write_stream_header};
+use mvc_net::{
+    serve_tcp, ClientConfig, Frame, FrameReader, InProcTransport, NetServer, ProducerClient,
+    ServerConfig, TcpTransport,
+};
+use mvc_trace::{Computation, OpKind, WorkloadBuilder, WorkloadKind};
+
+const EVENTS: usize = 20_000;
+
+fn stream(threads: usize, objects: usize) -> Computation {
+    WorkloadBuilder::new(threads, objects)
+        .operations(EVENTS)
+        .kind(WorkloadKind::Uniform)
+        .seed(11)
+        .build()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let computation = stream(8, 8);
+    let events: Vec<(u32, u32, OpKind)> = computation
+        .events()
+        .map(|e| (e.thread.index() as u32, e.object.index() as u32, e.kind))
+        .collect();
+    let mut group = c.benchmark_group("net-codec");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("encode-events", EVENTS), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(EVENTS * 3 + 16);
+            for chunk in events.chunks(4096) {
+                write_frame(
+                    &mut out,
+                    &Frame::Events {
+                        events: chunk.to_vec(),
+                    },
+                );
+            }
+            out
+        });
+    });
+
+    let mut encoded = Vec::new();
+    write_stream_header(&mut encoded);
+    for chunk in events.chunks(4096) {
+        write_frame(
+            &mut encoded,
+            &Frame::Events {
+                events: chunk.to_vec(),
+            },
+        );
+    }
+    group.bench_function(BenchmarkId::new("decode-events", EVENTS), |b| {
+        b.iter(|| {
+            let mut reader = FrameReader::new();
+            reader.feed(&encoded);
+            let mut total = 0;
+            while let Some(frame) = reader.try_next().expect("valid frame") {
+                match frame {
+                    Frame::Events { events } => total += events.len(),
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+            assert_eq!(total, EVENTS);
+        });
+    });
+    group.finish();
+}
+
+fn bench_inproc(c: &mut Criterion) {
+    let computation = stream(8, 8);
+    let mut group = c.benchmark_group("net-inproc");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("session", EVENTS), |b| {
+        b.iter(|| {
+            let mut server = NetServer::new(
+                TimestampingEngine::new(),
+                Box::new(MemoryRecorder::new()),
+                ServerConfig::default(),
+            );
+            let (near, mut far) = InProcTransport::pair();
+            let conn = server.connect();
+            let threads = (0..8).map(|t| format!("t{t}")).collect();
+            let objects = (0..8).map(|o| format!("o{o}")).collect();
+            let mut client =
+                ProducerClient::connect(near, ClientConfig::new(threads, objects, false))
+                    .expect("handshake");
+            for e in computation.events() {
+                client.record(e.thread.index(), e.object.index(), e.kind);
+            }
+            client.request_finish();
+            let zero = Some(std::time::Duration::ZERO);
+            while !client.is_finished() {
+                client.step(zero).expect("client step");
+                server.service(conn, &mut far).expect("server service");
+            }
+            server.finish().expect("server finish").report.events
+        });
+    });
+    group.finish();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net-tcp");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    for clients in [1usize, 4] {
+        let threads = 8;
+        let computation = stream(threads, 8);
+        group.bench_with_input(
+            BenchmarkId::new("session", format!("{clients}-clients")),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let listener =
+                        std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+                    let addr = listener.local_addr().expect("listener addr");
+                    let object_names: Vec<String> = (0..8).map(|o| format!("o{o}")).collect();
+                    let mut producers: Vec<ProducerClient<TcpTransport>> = (0..clients)
+                        .map(|cidx| {
+                            let names: Vec<String> = (0..threads)
+                                .filter(|t| t % clients == cidx)
+                                .map(|t| format!("t{t}"))
+                                .collect();
+                            ProducerClient::connect(
+                                TcpTransport::connect(addr).expect("connect"),
+                                ClientConfig::new(names, object_names.clone(), false),
+                            )
+                            .expect("handshake")
+                        })
+                        .collect();
+                    for e in computation.events() {
+                        let c = e.thread.index() % clients;
+                        producers[c].record(e.thread.index() / clients, e.object.index(), e.kind);
+                    }
+                    for p in &mut producers {
+                        p.request_finish();
+                    }
+                    let server = NetServer::new(
+                        TimestampingEngine::new(),
+                        Box::new(MemoryRecorder::new()),
+                        ServerConfig::default(),
+                    );
+                    let mut events = 0;
+                    std::thread::scope(|scope| {
+                        let srv = scope.spawn(|| serve_tcp(listener, server, clients));
+                        let drivers: Vec<_> = producers
+                            .into_iter()
+                            .map(|p| scope.spawn(move || p.finish().expect("producer")))
+                            .collect();
+                        for d in drivers {
+                            d.join().expect("producer thread");
+                        }
+                        let run = srv.join().expect("server thread").expect("server run");
+                        events = run.report.events;
+                    });
+                    assert_eq!(events, EVENTS);
+                    events
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_codec(c);
+    bench_inproc(c);
+    bench_tcp(c);
+}
+
+criterion_group!(net, benches);
+criterion_main!(net);

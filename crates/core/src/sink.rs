@@ -71,7 +71,11 @@ impl std::error::Error for SinkError {}
 /// first.  The retry clause is what lets a combinator like [`TeeSink`]
 /// resume a partially fanned-out batch without duplicating events into
 /// children that already stored it.
-pub trait EventSink {
+///
+/// Sinks are `Send` so a type-erased `Box<dyn EventSink>` can cross thread
+/// boundaries — the networked service (`mvc-net`) drains one shared sink
+/// from many connection-handler threads behind a mutex.
+pub trait EventSink: Send {
     /// A short, stable name for reports and CLI selection.
     fn name(&self) -> &str;
 

@@ -6,7 +6,9 @@
 //! mvc-eval trajectory [--mechanisms a,b,c] [--workload uniform|nonuniform] [--trials N] [--csv DIR]
 //! mvc-eval throughput [--events N] [--threads N] [--objects N] [--shards 1,2,4,8]
 //!                     [--workload KIND] [--sink mem|codec|stats|conflict|reach|competitive|tee]
-//!                     [--csv DIR] [--out FILE]
+//!                     [--net-clients N] [--csv DIR] [--out FILE]
+//! mvc-eval serve [--addr HOST:PORT] [--clients N] [--out FILE]
+//! mvc-eval produce --addr HOST:PORT [--threads N] [--objects N] [--events N] [--seed N]
 //! ```
 //!
 //! Each figure is printed as an aligned table; with `--csv DIR` the raw series
@@ -24,7 +26,13 @@
 //! and prints the result as **JSON** (written to `DIR/throughput.json` with
 //! `--csv DIR`, or to an explicit path with `--out FILE`, e.g. the repo's
 //! `BENCH_throughput.json` trajectory point), giving future changes a
-//! mechanical bench trajectory to compare against.
+//! mechanical bench trajectory to compare against; with `--net-clients N`
+//! it also times the same workload streamed through the networked service
+//! over loopback TCP.  The `serve` command runs the timestamping pipeline
+//! as a multi-client TCP service until the expected number of producer
+//! sessions completes and reports — as JSON — whether the merged networked
+//! result equals a sequential batch replay (the oracle CI gates on); the
+//! `produce` command is the matching workload-streaming client.
 
 use std::env;
 use std::fs;
@@ -32,9 +40,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mvc_eval::{
-    adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, measure_throughput,
-    registry_sweep, render_csv, render_table, render_throughput_json, star_sweep, FigureData,
-    SinkKind, SweepConfig, ThroughputConfig,
+    adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, measure_throughput, produce,
+    registry_sweep, render_csv, render_produce_json, render_serve_json, render_table,
+    render_throughput_json, serve, star_sweep, FigureData, ProduceConfig, SinkKind, SweepConfig,
+    ThroughputConfig,
 };
 use mvc_graph::GraphScenario;
 use mvc_online::MechanismRegistry;
@@ -64,6 +73,14 @@ struct Options {
     sink: Option<SinkKind>,
     /// `--out`, used by `throughput`: write the JSON to this exact path.
     out: Option<PathBuf>,
+    /// `--net-clients`, used by `throughput` (loopback producers; 0 skips).
+    net_clients: Option<usize>,
+    /// `--addr`, used by `serve` (bind address) and `produce` (server).
+    addr: Option<String>,
+    /// `--clients`, used by `serve`: sessions to expect before exiting.
+    clients: Option<usize>,
+    /// `--seed`, used by `produce` (workload seed).
+    seed: Option<u64>,
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
@@ -105,6 +122,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut shards = None;
     let mut sink = None;
     let mut out = None;
+    let mut net_clients = None;
+    let mut addr = None;
+    let mut clients = None;
+    let mut seed = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -211,6 +232,42 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--out requires a file path".to_string())?;
                 out = Some(PathBuf::from(value));
             }
+            "--net-clients" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--net-clients requires a value".to_string())?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid client count: {value}"))?;
+                net_clients = Some(parsed);
+            }
+            "--addr" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--addr requires HOST:PORT".to_string())?;
+                addr = Some(value.clone());
+            }
+            "--clients" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--clients requires a value".to_string())?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid client count: {value}"))?;
+                if parsed == 0 {
+                    return Err("client count must be at least 1".into());
+                }
+                clients = Some(parsed);
+            }
+            "--seed" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--seed requires a value".to_string())?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed: {value}"))?;
+                seed = Some(parsed);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] \
@@ -219,7 +276,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                      mvc-eval throughput [--events N] [--threads N] [--objects N] \
                      [--shards 1,2,4,8] [--workload KIND] \
                      [--sink mem|codec|stats|conflict|reach|competitive|tee] \
-                     [--csv DIR] [--out FILE]"
+                     [--net-clients N] [--csv DIR] [--out FILE]\n       \
+                     mvc-eval serve [--addr HOST:PORT] [--clients N] [--out FILE]\n       \
+                     mvc-eval produce --addr HOST:PORT [--threads N] [--objects N] \
+                     [--events N] [--seed N] [--workload KIND]"
                         .into(),
                 )
             }
@@ -241,6 +301,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards,
         sink,
         out,
+        net_clients,
+        addr,
+        clients,
+        seed,
     })
 }
 
@@ -265,8 +329,53 @@ fn run_throughput(options: &Options) -> Result<String, String> {
     if let Some(sink) = options.sink {
         config.sink = sink;
     }
+    if let Some(net_clients) = options.net_clients {
+        config.net_clients = net_clients;
+    }
     let report = measure_throughput(&config);
     Ok(render_throughput_json(&report))
+}
+
+/// `mvc-eval serve`: run the networked timestamping service until the
+/// expected number of client sessions completes, then print the summary —
+/// including the networked-equals-batch oracle verdict — as JSON.
+fn run_serve(options: &Options) -> Result<String, String> {
+    let addr = options.addr.as_deref().unwrap_or("127.0.0.1:0");
+    let expected = options.clients.unwrap_or(1);
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if let Ok(bound) = listener.local_addr() {
+        // Stderr, so stdout stays pure JSON for scripts; lets callers
+        // discover an ephemeral port when `--addr` ends in `:0`.
+        eprintln!("mvc-eval serve: listening on {bound}, expecting {expected} client(s)");
+    }
+    serve(listener, expected).map(|summary| render_serve_json(&summary))
+}
+
+/// `mvc-eval produce`: stream one seeded synthetic workload to a running
+/// server and print the session summary as JSON.
+fn run_produce(options: &Options) -> Result<String, String> {
+    let addr = options
+        .addr
+        .as_deref()
+        .ok_or_else(|| "produce requires --addr HOST:PORT".to_string())?;
+    let mut config = ProduceConfig::default();
+    if let Some(workload) = options.workload {
+        config.workload = workload;
+    }
+    if let Some(threads) = options.threads {
+        config.threads = threads;
+    }
+    if let Some(objects) = options.objects {
+        config.objects = objects;
+    }
+    if let Some(events) = options.events {
+        config.events = events;
+    }
+    if let Some(seed) = options.seed {
+        config.seed = seed;
+    }
+    produce(addr, &config).map(|summary| render_produce_json(&summary))
 }
 
 fn run_figure(name: &str, options: &Options) -> Result<Vec<FigureData>, String> {
@@ -346,7 +455,7 @@ fn run_figure(name: &str, options: &Options) -> Result<Vec<FigureData>, String> 
         }
         other => Err(format!(
             "unknown figure '{other}' (expected \
-             fig4|fig5|fig6|fig7|adaptive|star|trajectory|sweep|throughput|all)"
+             fig4|fig5|fig6|fig7|adaptive|star|trajectory|sweep|throughput|serve|produce|all)"
         )),
     }
 }
@@ -362,8 +471,13 @@ fn main() -> ExitCode {
     };
 
     for name in &options.figures {
-        if name == "throughput" {
-            let json = match run_throughput(&options) {
+        if matches!(name.as_str(), "throughput" | "serve" | "produce") {
+            let result = match name.as_str() {
+                "throughput" => run_throughput(&options),
+                "serve" => run_serve(&options),
+                _ => run_produce(&options),
+            };
+            let json = match result {
                 Ok(json) => json,
                 Err(msg) => {
                     eprintln!("{msg}");
@@ -376,7 +490,7 @@ fn main() -> ExitCode {
                     eprintln!("cannot create {}: {e}", dir.display());
                     return ExitCode::FAILURE;
                 }
-                let path = dir.join("throughput.json");
+                let path = dir.join(format!("{name}.json"));
                 if let Err(e) = fs::write(&path, &json) {
                     eprintln!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;
@@ -439,6 +553,10 @@ mod tests {
             shards: None,
             sink: None,
             out: None,
+            net_clients: None,
+            addr: None,
+            clients: None,
+            seed: None,
         }
     }
 
@@ -538,6 +656,8 @@ mod tests {
             "phase-shift",
             "--sink",
             "stats",
+            "--net-clients",
+            "0",
             "--out",
             "/tmp/bench.json",
         ]))
@@ -553,6 +673,7 @@ mod tests {
             Some(std::path::Path::new("/tmp/bench.json"))
         );
 
+        assert_eq!(o.net_clients, Some(0));
         let json = run_throughput(&o).unwrap();
         assert!(json.contains("\"workload\": \"phase-shift\""));
         assert!(json.contains("\"events\": 2000"));
@@ -563,6 +684,51 @@ mod tests {
         assert!(json.contains("\"engine\": \"sharded\""));
         assert!(json.contains("\"ingest_baseline\": {"));
         assert!(json.contains("\"sink_relative_throughput\":"));
+        assert!(
+            json.contains("\"net\": null"),
+            "--net-clients 0 skips the slot"
+        );
+    }
+
+    #[test]
+    fn serve_and_produce_options_parse() {
+        let o = parse_args(&args(&["serve", "--addr", "127.0.0.1:0", "--clients", "2"])).unwrap();
+        assert_eq!(o.figures, vec!["serve"]);
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.clients, Some(2));
+
+        let o = parse_args(&args(&["produce", "--addr", "127.0.0.1:9", "--seed", "11"])).unwrap();
+        assert_eq!(o.figures, vec!["produce"]);
+        assert_eq!(o.seed, Some(11));
+
+        assert!(parse_args(&args(&["serve", "--clients", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--clients"])).is_err());
+        assert!(parse_args(&args(&["produce", "--seed", "x"])).is_err());
+        assert!(parse_args(&args(&["throughput", "--net-clients", "x"])).is_err());
+        assert!(run_produce(&opts(1)).unwrap_err().contains("--addr"));
+    }
+
+    #[test]
+    fn throughput_measures_the_networked_service_when_asked() {
+        let mut o = parse_args(&args(&[
+            "throughput",
+            "--events",
+            "1500",
+            "--threads",
+            "4",
+            "--objects",
+            "4",
+            "--shards",
+            "1",
+            "--net-clients",
+            "2",
+        ]))
+        .unwrap();
+        o.trials = 1;
+        let json = run_throughput(&o).unwrap();
+        assert!(json.contains("\"net\": {"), "{json}");
+        assert!(json.contains("\"clients\": 2"), "{json}");
+        assert!(json.contains("\"relative_to_ingest\":"), "{json}");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod throughput;
 
 pub use experiments::{
@@ -49,7 +50,11 @@ pub use experiments::{
 };
 pub use report::{render_csv, render_table};
 pub use runner::{average_size, single_run, AlgorithmKind, DataPoint, SweepConfig};
+pub use serve::{
+    produce, render_produce_json, render_serve_json, serve, ProduceConfig, ProduceSummary,
+    ServeSummary,
+};
 pub use throughput::{
-    measure_throughput, render_throughput_json, EngineThroughput, SinkKind, ThroughputConfig,
-    ThroughputReport,
+    measure_throughput, render_throughput_json, AnalysisVerdicts, EngineThroughput, NetThroughput,
+    SinkKind, ThroughputConfig, ThroughputReport,
 };

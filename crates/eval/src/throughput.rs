@@ -151,11 +151,13 @@ pub struct ThroughputConfig {
     pub repeats: usize,
     /// The egress backend the ingest section drives.
     pub sink: SinkKind,
+    /// Producer clients for the loopback-TCP `net` section (0 skips it).
+    pub net_clients: usize,
 }
 
 impl ThroughputConfig {
     /// The acceptance configuration: a uniform 64-thread / 64-object stream,
-    /// sharded at 1/2/4/8.
+    /// sharded at 1/2/4/8, with a 4-client loopback service slot.
     pub fn uniform_64x64(events: usize) -> Self {
         ThroughputConfig {
             threads: 64,
@@ -166,6 +168,7 @@ impl ThroughputConfig {
             seed: 42,
             repeats: 3,
             sink: SinkKind::Mem,
+            net_clients: 4,
         }
     }
 }
@@ -186,6 +189,71 @@ pub struct EngineThroughput {
     pub events_per_sec: f64,
     /// Speedup over the sequential engine measured in the same report.
     pub speedup: f64,
+}
+
+/// Loopback-TCP service throughput: one thread-per-connection server fed by
+/// N producer clients streaming the same workload, partitioned round-robin,
+/// with a memory sink and no stamp return.
+#[derive(Debug, Clone)]
+pub struct NetThroughput {
+    /// Producer clients driving the server.
+    pub clients: usize,
+    /// Best elapsed wall-clock nanoseconds over the repeats.
+    pub elapsed_ns: u128,
+    /// Events per second through the networked service.
+    pub events_per_sec: f64,
+    /// The sequential + mem-sink in-process ingest rate measured in the
+    /// *same* interleaved run — the denominator of the CI gate.
+    pub ingest_events_per_sec: f64,
+    /// `events_per_sec / ingest_events_per_sec` — CI fails below 0.5.
+    pub relative_to_ingest: f64,
+}
+
+/// The verdicts the streaming analysis sinks reached while riding the
+/// ingest pipeline — surfaced in the JSON so a bench run doubles as a
+/// monitoring smoke test.  Every field is `None` unless a sink of that
+/// kind (directly or as a tee child) drove the run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisVerdicts {
+    /// Conflict pairs the streaming [`ConflictSink`] flagged.
+    pub conflict_pairs: Option<usize>,
+    /// Invariant groups the conflict sink monitored.
+    pub conflict_groups: Option<usize>,
+    /// Events the bounded [`ReachabilityIndexSink`] evicted from its window.
+    pub reach_spilled: Option<usize>,
+    /// Worst online/offline ratio the [`CompetitiveSink`] observed.
+    pub competitive_worst_ratio: Option<f64>,
+    /// The competitive tracker's final online clock size.
+    pub competitive_online_size: Option<usize>,
+    /// The competitive tracker's final revealed offline optimum.
+    pub competitive_offline_optimum: Option<usize>,
+}
+
+impl AnalysisVerdicts {
+    fn is_empty(&self) -> bool {
+        self.conflict_pairs.is_none()
+            && self.reach_spilled.is_none()
+            && self.competitive_worst_ratio.is_none()
+    }
+
+    /// Harvests every analysis sink reachable from `sink`, recursing into
+    /// tee children.
+    fn collect_from(&mut self, sink: &dyn EventSink) {
+        if let Some(tee) = sink.as_any().downcast_ref::<TeeSink>() {
+            for child in tee.children() {
+                self.collect_from(child.as_ref());
+            }
+        } else if let Some(c) = sink.as_any().downcast_ref::<ConflictSink>() {
+            self.conflict_pairs = Some(c.conflicts().len());
+            self.conflict_groups = Some(c.group_count());
+        } else if let Some(r) = sink.as_any().downcast_ref::<ReachabilityIndexSink>() {
+            self.reach_spilled = Some(r.spilled());
+        } else if let Some(t) = sink.as_any().downcast_ref::<CompetitiveSink>() {
+            self.competitive_worst_ratio = Some(t.worst_ratio());
+            self.competitive_online_size = Some(t.online_size());
+            self.competitive_offline_optimum = Some(t.offline_optimum());
+        }
+    }
 }
 
 /// A full throughput report: workload metadata plus one row per engine in
@@ -217,6 +285,11 @@ pub struct ThroughputReport {
     /// mem-sink baseline (1.0 when the selected sink *is* `mem`).  CI fails
     /// a monitoring sink below 0.5.
     pub sink_relative_throughput: f64,
+    /// The streaming analysis sinks' verdicts, when the selected sink
+    /// carries any (conflict / reach / competitive / tee).
+    pub analysis: Option<AnalysisVerdicts>,
+    /// The loopback-TCP networked-service slot, when `net_clients > 0`.
+    pub net: Option<NetThroughput>,
 }
 
 /// Times one replay of `computation` through a fresh engine.
@@ -427,6 +500,72 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
         }
     };
 
+    // One untimed pass harvests the analysis sinks' verdicts when the
+    // selected backend carries any — the timed slots drop their sinks, and
+    // the verdicts must come from a complete run, not the best-timed one.
+    let analysis = matches!(
+        config.sink,
+        SinkKind::Conflict | SinkKind::Reach | SinkKind::Competitive | SinkKind::Tee
+    )
+    .then(|| {
+        let (_, product) = time_one_ingest(
+            make_engine(0),
+            &computation,
+            config.sink.build_for(config.objects),
+            config.threads,
+            config.objects,
+        );
+        let sink = product
+            .downcast::<Box<dyn EventSink>>()
+            .expect("the ingest product is the sink");
+        let mut verdicts = AnalysisVerdicts::default();
+        verdicts.collect_from(sink.as_ref().as_ref());
+        verdicts
+    })
+    .filter(|v| !v.is_empty());
+
+    // The loopback-TCP service slot, interleaved with its own sequential +
+    // mem-sink in-process baseline so machine noise hits both alike.  The
+    // service run schedules ~2x`net_clients` threads on whatever cores the
+    // machine has, so its best-of converges slower than the single-threaded
+    // slots — give the pair extra repeats when the configured count is low.
+    let net = (config.net_clients > 0).then(|| {
+        let net_repeats = if config.repeats > 1 {
+            config.repeats.max(5)
+        } else {
+            config.repeats
+        };
+        let timings = time_interleaved(2, net_repeats, |slot| {
+            if slot == 0 {
+                time_one_ingest(
+                    Box::new(TimestampingEngine::with_components(map.clone())),
+                    &computation,
+                    SinkKind::Mem.build_for(config.objects),
+                    config.threads,
+                    config.objects,
+                )
+            } else {
+                crate::serve::time_one_net(
+                    &computation,
+                    config.threads,
+                    config.objects,
+                    config.net_clients,
+                )
+            }
+        });
+        NetThroughput {
+            clients: config.net_clients,
+            elapsed_ns: timings[1],
+            events_per_sec: events_per_sec(config.events, timings[1]),
+            ingest_events_per_sec: events_per_sec(config.events, timings[0]),
+            relative_to_ingest: if timings[1] == 0 {
+                0.0
+            } else {
+                timings[0] as f64 / timings[1] as f64
+            },
+        }
+    });
+
     ThroughputReport {
         workload: config.workload.name().to_owned(),
         threads: config.threads,
@@ -438,6 +577,8 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
         ingest,
         ingest_baseline,
         sink_relative_throughput,
+        analysis,
+        net,
     }
 }
 
@@ -499,6 +640,76 @@ pub fn render_throughput_json(report: &ThroughputReport) -> String {
         Some(row) => render_row(&mut out, row),
     }
     out.push_str(",\n");
+    out.push_str("  \"analysis\": ");
+    match &report.analysis {
+        None => out.push_str("null"),
+        Some(v) => {
+            let opt_usize = |v: &Option<usize>| match v {
+                None => "null".to_owned(),
+                Some(n) => n.to_string(),
+            };
+            let opt_f64 = |v: &Option<f64>| match v {
+                None => "null".to_owned(),
+                Some(x) => json_f64(*x),
+            };
+            out.push('{');
+            out.push_str(&format!(
+                "\"conflict_pairs\": {}, ",
+                opt_usize(&v.conflict_pairs)
+            ));
+            out.push_str(&format!(
+                "\"conflict_groups\": {}, ",
+                opt_usize(&v.conflict_groups)
+            ));
+            out.push_str(&format!(
+                "\"reach_spilled\": {}, ",
+                opt_usize(&v.reach_spilled)
+            ));
+            out.push_str(&format!(
+                "\"competitive_worst_ratio\": {}, ",
+                opt_f64(&v.competitive_worst_ratio)
+            ));
+            out.push_str(&format!(
+                "\"competitive_online_size\": {}, ",
+                opt_usize(&v.competitive_online_size)
+            ));
+            out.push_str(&format!(
+                "\"competitive_offline_optimum\": {}",
+                opt_usize(&v.competitive_offline_optimum)
+            ));
+            out.push('}');
+        }
+    }
+    out.push_str(",\n");
+    out.push_str("  \"net\": ");
+    match &report.net {
+        None => out.push_str("null"),
+        Some(net) => {
+            out.push('{');
+            out.push_str(&format!("\"clients\": {}, ", net.clients));
+            out.push_str(&format!("\"elapsed_ns\": {}, ", net.elapsed_ns));
+            out.push_str(&format!(
+                "\"events_per_sec\": {}, ",
+                json_f64(net.events_per_sec)
+            ));
+            out.push_str(&format!(
+                "\"ingest_events_per_sec\": {}, ",
+                json_f64(net.ingest_events_per_sec)
+            ));
+            // Four decimals: the CI gate compares this against 0.5, and two
+            // would round 0.498 up to the threshold.
+            out.push_str(&format!(
+                "\"relative_to_ingest\": {}",
+                if net.relative_to_ingest.is_finite() {
+                    format!("{:.4}", net.relative_to_ingest)
+                } else {
+                    "null".to_owned()
+                }
+            ));
+            out.push('}');
+        }
+    }
+    out.push_str(",\n");
     out.push_str(&format!(
         "  \"sink_relative_throughput\": {}\n",
         json_f64(report.sink_relative_throughput)
@@ -522,6 +733,7 @@ mod tests {
             seed: 3,
             repeats: 1,
             sink: SinkKind::Mem,
+            net_clients: 0,
         };
         let report = measure_throughput(&config);
         for section in [&report.engines, &report.ingest] {
@@ -560,6 +772,7 @@ mod tests {
                 seed: 9,
                 repeats: 1,
                 sink,
+                net_clients: 0,
             };
             let report = measure_throughput(&config);
             assert_eq!(report.sink, sink.name());
@@ -614,6 +827,7 @@ mod tests {
             seed: 7,
             repeats: 1,
             sink: SinkKind::Conflict,
+            net_clients: 0,
         };
         let sink = SinkKind::Conflict.build_for(config.objects);
         let conflict = sink.as_any().downcast_ref::<ConflictSink>().unwrap();
@@ -636,6 +850,7 @@ mod tests {
             seed: 1,
             repeats: 1,
             sink: SinkKind::Tee,
+            net_clients: 0,
         };
         let json = render_throughput_json(&measure_throughput(&config));
         for key in [

@@ -1,0 +1,823 @@
+//! Wire framing for the mvc-net protocol.
+//!
+//! The protocol is layered on the primitives of [`mvc_trace::codec`]: the
+//! same 7-bit little-endian varints (decoded with
+//! [`codec::peek_varint`](mvc_trace::codec::peek_varint)), the same
+//! operation-kind tags, and the same magic-plus-version stream header
+//! discipline, with the magic `MVN` ("mixed vector clocks, networked")
+//! instead of the batch format's `MVC`.
+//!
+//! Each direction of a connection is an independent byte stream:
+//!
+//! ```text
+//! stream    := header frame*
+//! header    := "MVN" version            (4 bytes, version = 0x01)
+//! frame     := varint(len) body         (len = |body|, body >= 1 byte)
+//! body      := tag payload              (tag selects the Frame variant)
+//! ```
+//!
+//! Frame bodies are only decoded once fully buffered, so a reader never
+//! observes a partial payload: truncation by a dropped connection simply
+//! leaves an incomplete frame in the buffer, which is discarded when the
+//! [`FrameReader`] is replaced on reconnect.  `len` is bounded by
+//! [`MAX_FRAME_LEN`]; anything larger is rejected before buffering.
+//!
+//! See `docs/PROTOCOL.md` for the full wire specification, including the
+//! handshake and credit rules built on these frames.
+
+use mvc_clock::VectorTimestamp;
+use mvc_trace::codec::{peek_varint, DecodeError};
+use mvc_trace::OpKind;
+
+/// Magic bytes opening every mvc-net stream (one per direction).
+pub const NET_MAGIC: [u8; 3] = *b"MVN";
+
+/// Protocol version this build speaks, the fourth header byte.
+pub const NET_VERSION: u8 = 1;
+
+/// Size of the per-direction stream header in bytes.
+pub const HEADER_LEN: usize = 4;
+
+/// Upper bound on a frame body's length (16 MiB).  A peer announcing a
+/// larger frame is corrupt or hostile and is rejected before any buffering.
+pub const MAX_FRAME_LEN: u64 = 1 << 24;
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_EVENTS: u8 = 3;
+const TAG_STAMPS: u8 = 4;
+const TAG_CREDIT: u8 = 5;
+const TAG_STAMPS_ACK: u8 = 6;
+const TAG_GOODBYE: u8 = 7;
+const TAG_ERROR: u8 = 8;
+
+/// One protocol frame, either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: open (token 0) or resume (token from a previous
+    /// [`Frame::HelloAck`]) a session, registering this producer's threads
+    /// and the objects it will touch, by name.
+    Hello {
+        /// Session token; `0` asks for a fresh session.
+        token: u64,
+        /// Whether the server should stream stamped results back.
+        want_stamps: bool,
+        /// How many stamps this client has already received (resume only;
+        /// the server restarts the stamp stream from here).
+        stamps_received: u64,
+        /// Names of the client's threads, defining its local thread ids.
+        threads: Vec<String>,
+        /// Names of the objects the client operates on, defining its local
+        /// object ids.
+        objects: Vec<String>,
+    },
+    /// Server → client: the session is open.
+    HelloAck {
+        /// Token identifying the session on reconnect.
+        token: u64,
+        /// Events of this session the server has already ingested; the
+        /// client resumes sending from this index (replaying its log).
+        watermark: u64,
+        /// Initial send credit, in events.
+        credit: u64,
+        /// Global thread index for each registered local thread, in
+        /// registration order.
+        thread_ids: Vec<u64>,
+        /// Global object index for each registered local object, in
+        /// registration order.
+        object_ids: Vec<u64>,
+    },
+    /// Client → server: a batch of events in program order.  Ids are the
+    /// client's local indices; the server translates via the registrations
+    /// carried by the handshake.
+    Events {
+        /// `(local thread, local object, kind)` per event.
+        events: Vec<(u32, u32, OpKind)>,
+    },
+    /// Server → client: stamped results for this session's events
+    /// `first..first + stamps.len()`, in the client's send order.
+    Stamps {
+        /// Index (in the client's event order) of the first stamp.
+        first: u64,
+        /// The timestamps.
+        stamps: Vec<VectorTimestamp>,
+    },
+    /// Server → client: flow-control grant.  `acked` lets the client prune
+    /// its replay log; `more` extends its send window.
+    Credit {
+        /// Events ingested so far (the replay watermark).
+        acked: u64,
+        /// Additional events the client may now send.
+        more: u64,
+    },
+    /// Client → server: stamps received so far, letting the server prune
+    /// its retransmit log.
+    StampsAck {
+        /// Total stamps the client has received.
+        received: u64,
+    },
+    /// Either direction: orderly end of the session.  The client states how
+    /// many events it sent in total; the server replies with its own
+    /// `Goodbye` once everything is ingested (and, if requested, stamped).
+    Goodbye {
+        /// Total events in the session.
+        events: u64,
+    },
+    /// Either direction: fatal session error; the connection closes after
+    /// this frame.
+    Error {
+        /// Machine-readable error class (see [`error_code`]).
+        code: u8,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Error classes carried by [`Frame::Error`].
+pub mod error_code {
+    /// The peer violated the protocol (bad frame sequence, credit overrun,
+    /// unknown ids…).
+    pub const PROTOCOL: u8 = 1;
+    /// The server's timestamping pipeline failed.
+    pub const PIPELINE: u8 = 2;
+    /// The server is shutting down.
+    pub const SHUTDOWN: u8 = 3;
+}
+
+/// Errors produced while decoding the framed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream does not begin with the `MVN` magic.
+    BadMagic,
+    /// The magic matched but the peer speaks a different protocol version.
+    VersionMismatch(u8),
+    /// A frame body carried an unknown tag.
+    UnknownTag(u8),
+    /// A frame body ended in the middle of a field — corruption, since
+    /// bodies are only decoded once fully buffered.
+    Truncated,
+    /// A frame body had bytes left over after its last field (carries the
+    /// frame's tag).
+    TrailingBytes(u8),
+    /// A frame announced a body longer than [`MAX_FRAME_LEN`].
+    Oversize(u64),
+    /// A length or count varint exceeded the maximum varint width.
+    VarintOverflow,
+    /// An operation-kind tag was not recognised.
+    BadOpKind(u8),
+    /// A name field was not valid UTF-8.
+    BadUtf8,
+    /// A local id field exceeded `u32::MAX`.
+    IdOverflow,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "stream is not an mvc-net protocol stream"),
+            FrameError::VersionMismatch(found) => write!(
+                f,
+                "peer speaks protocol version {found}, this build speaks version {NET_VERSION}"
+            ),
+            FrameError::UnknownTag(tag) => write!(f, "unknown frame tag {tag}"),
+            FrameError::Truncated => write!(f, "frame body ended mid-field"),
+            FrameError::TrailingBytes(tag) => {
+                write!(f, "frame with tag {tag} has trailing bytes")
+            }
+            FrameError::Oversize(len) => write!(
+                f,
+                "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+            ),
+            FrameError::VarintOverflow => write!(f, "varint exceeds maximum width"),
+            FrameError::BadOpKind(tag) => write!(f, "unknown operation kind tag {tag}"),
+            FrameError::BadUtf8 => write!(f, "name field is not valid UTF-8"),
+            FrameError::IdOverflow => write!(f, "local id exceeds u32::MAX"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::VarintOverflow => FrameError::VarintOverflow,
+            DecodeError::BadOpKind(tag) => FrameError::BadOpKind(tag),
+            DecodeError::VersionMismatch(found) => FrameError::VersionMismatch(found),
+            DecodeError::BadMagic => FrameError::BadMagic,
+            DecodeError::UnexpectedEof => FrameError::Truncated,
+        }
+    }
+}
+
+/// Appends the per-direction stream header (`MVN` + version byte).
+pub fn write_stream_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&NET_MAGIC);
+    out.push(NET_VERSION);
+}
+
+/// Appends `value` as the same 7-bit little-endian varint
+/// [`mvc_trace::codec`] uses (asserted equivalent in the tests below).
+fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn op_kind_tag(kind: OpKind) -> u8 {
+    // Same values as mvc_trace::codec's batch format.
+    match kind {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
+        OpKind::Acquire => 2,
+        OpKind::Release => 3,
+        OpKind::Op => 4,
+    }
+}
+
+fn op_kind_from_tag(tag: u8) -> Result<OpKind, FrameError> {
+    Ok(match tag {
+        0 => OpKind::Read,
+        1 => OpKind::Write,
+        2 => OpKind::Acquire,
+        3 => OpKind::Release,
+        4 => OpKind::Op,
+        other => return Err(FrameError::BadOpKind(other)),
+    })
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends `frame` to `out` as `varint(len) body`.
+pub fn write_frame(out: &mut Vec<u8>, frame: &Frame) {
+    let mut body = Vec::with_capacity(32);
+    encode_body(&mut body, frame);
+    debug_assert!((body.len() as u64) <= MAX_FRAME_LEN, "frame body too large");
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(&body);
+}
+
+fn encode_body(body: &mut Vec<u8>, frame: &Frame) {
+    match frame {
+        Frame::Hello {
+            token,
+            want_stamps,
+            stamps_received,
+            threads,
+            objects,
+        } => {
+            body.push(TAG_HELLO);
+            put_varint(body, *token);
+            body.push(u8::from(*want_stamps));
+            put_varint(body, *stamps_received);
+            put_varint(body, threads.len() as u64);
+            for name in threads {
+                put_string(body, name);
+            }
+            put_varint(body, objects.len() as u64);
+            for name in objects {
+                put_string(body, name);
+            }
+        }
+        Frame::HelloAck {
+            token,
+            watermark,
+            credit,
+            thread_ids,
+            object_ids,
+        } => {
+            body.push(TAG_HELLO_ACK);
+            put_varint(body, *token);
+            put_varint(body, *watermark);
+            put_varint(body, *credit);
+            put_varint(body, thread_ids.len() as u64);
+            for id in thread_ids {
+                put_varint(body, *id);
+            }
+            put_varint(body, object_ids.len() as u64);
+            for id in object_ids {
+                put_varint(body, *id);
+            }
+        }
+        Frame::Events { events } => {
+            body.push(TAG_EVENTS);
+            put_varint(body, events.len() as u64);
+            for &(thread, object, kind) in events {
+                put_varint(body, u64::from(thread));
+                put_varint(body, u64::from(object));
+                body.push(op_kind_tag(kind));
+            }
+        }
+        Frame::Stamps { first, stamps } => {
+            body.push(TAG_STAMPS);
+            put_varint(body, *first);
+            put_varint(body, stamps.len() as u64);
+            for stamp in stamps {
+                put_varint(body, stamp.len() as u64);
+                for &component in stamp.as_slice() {
+                    put_varint(body, component);
+                }
+            }
+        }
+        Frame::Credit { acked, more } => {
+            body.push(TAG_CREDIT);
+            put_varint(body, *acked);
+            put_varint(body, *more);
+        }
+        Frame::StampsAck { received } => {
+            body.push(TAG_STAMPS_ACK);
+            put_varint(body, *received);
+        }
+        Frame::Goodbye { events } => {
+            body.push(TAG_GOODBYE);
+            put_varint(body, *events);
+        }
+        Frame::Error { code, message } => {
+            body.push(TAG_ERROR);
+            body.push(*code);
+            put_string(body, message);
+        }
+    }
+}
+
+/// Sequential reader over a fully-buffered frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        let byte = *self.buf.get(self.pos).ok_or(FrameError::Truncated)?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    fn varint(&mut self) -> Result<u64, FrameError> {
+        match peek_varint(&self.buf[self.pos..])? {
+            Some((value, used)) => {
+                self.pos += used;
+                Ok(value)
+            }
+            None => Err(FrameError::Truncated),
+        }
+    }
+
+    fn local_id(&mut self) -> Result<u32, FrameError> {
+        u32::try_from(self.varint()?).map_err(|_| FrameError::IdOverflow)
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.varint()? as usize;
+        let end = self.pos.checked_add(len).ok_or(FrameError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..end]).map_err(|_| FrameError::BadUtf8)?;
+        self.pos = end;
+        Ok(s.to_owned())
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Capacity hint for `count` elements of at least `min_size` bytes
+    /// each, clamped by the bytes actually present so a corrupt count
+    /// cannot trigger a huge allocation.
+    fn capacity_for(&self, count: u64, min_size: usize) -> usize {
+        (count as usize).min(self.remaining() / min_size.max(1) + 1)
+    }
+}
+
+/// Decodes one fully-buffered frame body (`tag payload`).
+fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor::new(body);
+    let tag = c.u8()?;
+    let frame = match tag {
+        TAG_HELLO => {
+            let token = c.varint()?;
+            let want_stamps = c.u8()? != 0;
+            let stamps_received = c.varint()?;
+            let thread_count = c.varint()?;
+            let mut threads = Vec::with_capacity(c.capacity_for(thread_count, 1));
+            for _ in 0..thread_count {
+                threads.push(c.string()?);
+            }
+            let object_count = c.varint()?;
+            let mut objects = Vec::with_capacity(c.capacity_for(object_count, 1));
+            for _ in 0..object_count {
+                objects.push(c.string()?);
+            }
+            Frame::Hello {
+                token,
+                want_stamps,
+                stamps_received,
+                threads,
+                objects,
+            }
+        }
+        TAG_HELLO_ACK => {
+            let token = c.varint()?;
+            let watermark = c.varint()?;
+            let credit = c.varint()?;
+            let thread_count = c.varint()?;
+            let mut thread_ids = Vec::with_capacity(c.capacity_for(thread_count, 1));
+            for _ in 0..thread_count {
+                thread_ids.push(c.varint()?);
+            }
+            let object_count = c.varint()?;
+            let mut object_ids = Vec::with_capacity(c.capacity_for(object_count, 1));
+            for _ in 0..object_count {
+                object_ids.push(c.varint()?);
+            }
+            Frame::HelloAck {
+                token,
+                watermark,
+                credit,
+                thread_ids,
+                object_ids,
+            }
+        }
+        TAG_EVENTS => {
+            let count = c.varint()?;
+            let mut events = Vec::with_capacity(c.capacity_for(count, 3));
+            for _ in 0..count {
+                let thread = c.local_id()?;
+                let object = c.local_id()?;
+                let kind = op_kind_from_tag(c.u8()?)?;
+                events.push((thread, object, kind));
+            }
+            Frame::Events { events }
+        }
+        TAG_STAMPS => {
+            let first = c.varint()?;
+            let count = c.varint()?;
+            let mut stamps = Vec::with_capacity(c.capacity_for(count, 1));
+            for _ in 0..count {
+                let width = c.varint()?;
+                let mut components = Vec::with_capacity(c.capacity_for(width, 1));
+                for _ in 0..width {
+                    components.push(c.varint()?);
+                }
+                stamps.push(VectorTimestamp::from_components(components));
+            }
+            Frame::Stamps { first, stamps }
+        }
+        TAG_CREDIT => Frame::Credit {
+            acked: c.varint()?,
+            more: c.varint()?,
+        },
+        TAG_STAMPS_ACK => Frame::StampsAck {
+            received: c.varint()?,
+        },
+        TAG_GOODBYE => Frame::Goodbye {
+            events: c.varint()?,
+        },
+        TAG_ERROR => Frame::Error {
+            code: c.u8()?,
+            message: c.string()?,
+        },
+        other => return Err(FrameError::UnknownTag(other)),
+    };
+    if c.remaining() != 0 {
+        return Err(FrameError::TrailingBytes(tag));
+    }
+    Ok(frame)
+}
+
+/// Incremental decoder for one direction of a connection: feed raw bytes in
+/// any chunking, take complete frames out.
+///
+/// The reader first consumes the 4-byte stream header (rejecting a wrong
+/// magic as soon as the prefix diverges and a wrong version at the fourth
+/// byte), then yields frames one at a time.  A reader is connection-scoped:
+/// on reconnect, replace it, which discards any half-received frame.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+    header_done: bool,
+}
+
+impl FrameReader {
+    /// A fresh reader expecting a stream header.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] is fatal for the connection: framing has lost
+    /// sync and the stream cannot be resynchronised.
+    pub fn try_next(&mut self) -> Result<Option<Frame>, FrameError> {
+        if !self.header_done {
+            let unread = &self.buf[self.pos..];
+            let probe = unread.len().min(NET_MAGIC.len());
+            if unread[..probe] != NET_MAGIC[..probe] {
+                return Err(FrameError::BadMagic);
+            }
+            if unread.len() < HEADER_LEN {
+                return Ok(None);
+            }
+            if unread[NET_MAGIC.len()] != NET_VERSION {
+                return Err(FrameError::VersionMismatch(unread[NET_MAGIC.len()]));
+            }
+            self.pos += HEADER_LEN;
+            self.header_done = true;
+        }
+        let unread = &self.buf[self.pos..];
+        let (len, used) = match peek_varint(unread)? {
+            Some(pair) => pair,
+            None => return Ok(None),
+        };
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversize(len));
+        }
+        let total = used + len as usize;
+        if unread.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_body(&unread[used..total])?;
+        self.pos += total;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Reclaims consumed prefix bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                token: 0,
+                want_stamps: true,
+                stamps_received: 0,
+                threads: vec!["loader".into(), "worker".into()],
+                objects: vec!["queue".into()],
+            },
+            Frame::HelloAck {
+                token: 7,
+                watermark: 0,
+                credit: 65_536,
+                thread_ids: vec![0, 1],
+                object_ids: vec![0],
+            },
+            Frame::Events {
+                events: vec![
+                    (0, 0, OpKind::Write),
+                    (1, 0, OpKind::Read),
+                    (0, 0, OpKind::Acquire),
+                ],
+            },
+            Frame::Stamps {
+                first: 3,
+                stamps: vec![
+                    VectorTimestamp::from_components(vec![1, 0, 2]),
+                    VectorTimestamp::from_components(vec![1, 1, 300]),
+                ],
+            },
+            Frame::Credit {
+                acked: 3,
+                more: 1024,
+            },
+            Frame::StampsAck { received: 5 },
+            Frame::Goodbye { events: 12 },
+            Frame::Error {
+                code: error_code::PROTOCOL,
+                message: "credit exceeded".into(),
+            },
+        ]
+    }
+
+    fn encode_stream(frames: &[Frame]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_stream_header(&mut out);
+        for frame in frames {
+            write_frame(&mut out, frame);
+        }
+        out
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = sample_frames();
+        let bytes = encode_stream(&frames);
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        for expected in &frames {
+            let got = reader.try_next().expect("decode").expect("complete");
+            assert_eq!(&got, expected);
+        }
+        assert!(reader.try_next().expect("decode").is_none());
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_yields_the_same_frames() {
+        let frames = sample_frames();
+        let bytes = encode_stream(&frames);
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for &byte in &bytes {
+            reader.feed(&[byte]);
+            while let Some(frame) = reader.try_next().expect("decode") {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn varint_writer_matches_the_codec() {
+        use bytes::BytesMut;
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut ours = Vec::new();
+            put_varint(&mut ours, value);
+            let mut theirs = BytesMut::new();
+            mvc_trace::codec::put_varint(&mut theirs, value);
+            assert_eq!(
+                &ours[..],
+                &theirs[..],
+                "varint encodings differ for {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_at_the_first_divergent_byte() {
+        let mut reader = FrameReader::new();
+        reader.feed(b"MX");
+        assert_eq!(reader.try_next(), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_at_the_fourth_byte() {
+        let mut reader = FrameReader::new();
+        reader.feed(b"MVN");
+        assert_eq!(reader.try_next(), Ok(None));
+        reader.feed(&[9]);
+        assert_eq!(reader.try_next(), Err(FrameError::VersionMismatch(9)));
+    }
+
+    #[test]
+    fn batch_codec_magic_is_not_a_net_stream() {
+        // A client accidentally pointed at a codec file (or vice versa)
+        // must fail loudly, not misparse.
+        let mut reader = FrameReader::new();
+        reader.feed(b"MVC\x01");
+        assert_eq!(reader.try_next(), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected_before_buffering() {
+        let mut out = Vec::new();
+        write_stream_header(&mut out);
+        put_varint(&mut out, MAX_FRAME_LEN + 1);
+        let mut reader = FrameReader::new();
+        reader.feed(&out);
+        assert_eq!(
+            reader.try_next(),
+            Err(FrameError::Oversize(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut out = Vec::new();
+        write_stream_header(&mut out);
+        put_varint(&mut out, 1);
+        out.push(200);
+        let mut reader = FrameReader::new();
+        reader.feed(&out);
+        assert_eq!(reader.try_next(), Err(FrameError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn zero_length_bodies_are_corrupt() {
+        let mut out = Vec::new();
+        write_stream_header(&mut out);
+        put_varint(&mut out, 0);
+        let mut reader = FrameReader::new();
+        reader.feed(&out);
+        assert_eq!(reader.try_next(), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_body_are_corrupt() {
+        let mut body = Vec::new();
+        encode_body(&mut body, &Frame::Goodbye { events: 3 });
+        body.push(0xff);
+        let mut out = Vec::new();
+        write_stream_header(&mut out);
+        put_varint(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        let mut reader = FrameReader::new();
+        reader.feed(&out);
+        assert_eq!(
+            reader.try_next(),
+            Err(FrameError::TrailingBytes(TAG_GOODBYE))
+        );
+    }
+
+    #[test]
+    fn truncation_inside_every_frame_type_is_detected_or_pends() {
+        // Chop each sample frame's encoding at every possible byte
+        // boundary.  A truncated suffix within the stream must either
+        // report "need more bytes" (Ok(None)) — never a wrong frame — and
+        // a re-padded body must fail as Truncated when the length header
+        // claims completeness.
+        for frame in sample_frames() {
+            let mut body = Vec::new();
+            encode_body(&mut body, &frame);
+            for cut in 1..body.len() {
+                // The frame claims its full length but the body was cut:
+                // this is the corruption case (bytes lost mid-stream).
+                let mut wire = Vec::new();
+                write_stream_header(&mut wire);
+                put_varint(&mut wire, body.len() as u64);
+                wire.extend_from_slice(&body[..cut]);
+                let mut reader = FrameReader::new();
+                reader.feed(&wire);
+                assert_eq!(
+                    reader.try_next(),
+                    Ok(None),
+                    "cut at {cut} of {frame:?} should pend until the body completes"
+                );
+                // Now pad with garbage to the claimed length: decoding must
+                // fail loudly (some cuts happen to produce a decodable
+                // body of a different value — those are indistinguishable
+                // in any length-delimited format — but none may panic).
+                let mut padded = wire.clone();
+                padded.resize(wire.len() + (body.len() - cut), 0xff);
+                let mut reader = FrameReader::new();
+                reader.feed(&padded);
+                let _ = reader.try_next();
+            }
+        }
+    }
+
+    #[test]
+    fn a_dropped_connection_discards_the_partial_frame_on_reader_replacement() {
+        let frames = sample_frames();
+        let bytes = encode_stream(&frames);
+        // Deliver only part of the stream, as if the peer died mid-frame.
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes[..bytes.len() - 3]);
+        let mut delivered = 0;
+        while reader.try_next().expect("prefix decodes").is_some() {
+            delivered += 1;
+        }
+        assert!(delivered < frames.len());
+        assert!(reader.buffered() > 0, "a partial frame is pending");
+        // Reconnect: the peer starts a fresh stream from the watermark.
+        let reader = FrameReader::new();
+        assert_eq!(reader.buffered(), 0);
+    }
+}

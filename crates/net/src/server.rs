@@ -1,0 +1,986 @@
+//! The timestamping server: N client sessions multiplexed into one
+//! merge → engine → sink pipeline.
+//!
+//! The core, [`NetServer`], is written *sans I/O*: it consumes raw bytes
+//! via [`feed`](NetServer::feed), advances the pipeline via
+//! [`pump`](NetServer::pump), and produces raw bytes via
+//! [`take_outgoing`](NetServer::take_outgoing).  Tests drive it
+//! deterministically over [`InProcTransport`](crate::InProcTransport)
+//! pairs; [`serve_tcp`] wraps the same core in a thread-per-connection
+//! loop behind one mutex.
+//!
+//! ## Session vs. connection
+//!
+//! A *session* is a producer's logical stream of events; a *connection* is
+//! one transport carrying it.  Sessions survive connection loss: the
+//! server keeps the session's ingest watermark, undelivered stamps, and
+//! registrations, and a client that reconnects with its token resumes by
+//! replaying its log from the `HelloAck` watermark.  Because per-object
+//! serialization tickets are assigned once at first ingest and replayed
+//! events are dropped below the watermark, the merged interleaving — and
+//! therefore every stamp — is bit-for-bit identical to an uninterrupted
+//! run.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mvc_clock::{Component, VectorTimestamp};
+use mvc_core::{
+    EventSink, SinkError, StampedEvent, TimestampReport, Timestamper, TimestampingEngine,
+};
+use mvc_runtime::{LiveSession, ThreadHandle, TraceSession};
+use mvc_shard::ShardedEngine;
+use mvc_trace::{ObjectId, OpKind, ThreadId};
+
+use crate::frame::{error_code, write_frame, write_stream_header, Frame, FrameReader};
+use crate::transport::{Recv, Transport, TransportError};
+use crate::NetError;
+
+/// A [`Timestamper`] the server can grow as clients register objects.
+///
+/// The server assigns every registered object its own clock component
+/// (`Component::Object`), which keeps each event coverable no matter which
+/// client's threads touch it — and is the paper-optimal cover for
+/// object-dominated workloads.  Implemented for both engines; implement it
+/// for your own timestamper to plug it into [`NetServer`].
+pub trait ServeEngine: Timestamper + Send {
+    /// Ensures `object` is covered by the engine's component map (must be
+    /// idempotent).
+    fn cover_object(&mut self, object: ObjectId);
+}
+
+impl ServeEngine for TimestampingEngine {
+    fn cover_object(&mut self, object: ObjectId) {
+        self.add_component(Component::Object(object));
+    }
+}
+
+impl ServeEngine for ShardedEngine {
+    fn cover_object(&mut self, object: ObjectId) {
+        self.add_component(Component::Object(object));
+    }
+}
+
+impl ServeEngine for Box<dyn ServeEngine> {
+    fn cover_object(&mut self, object: ObjectId) {
+        (**self).cover_object(object);
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Send-credit window granted to each session, in events.  Bounds the
+    /// server's per-session buffering: a client can never have more than
+    /// this many unstamped events in flight.
+    pub credit_window: u64,
+    /// Maximum stamps packed into one `Stamps` frame.
+    pub stamps_per_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            credit_window: 1 << 16,
+            stamps_per_frame: 4096,
+        }
+    }
+}
+
+/// Handle to one server-side connection slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(usize);
+
+/// The sink the server wraps around the user's sink: it forwards every
+/// stamped batch unchanged and, on success, queues `(thread, stamp)`
+/// pairs for threads whose session asked for stamps back.
+///
+/// On sink error nothing is queued (the queue marker is rolled back), so
+/// the pipeline's retry contract keeps server-side stamp delivery exactly
+/// as reliable as the sink itself.
+struct RouterSink {
+    inner: Box<dyn EventSink>,
+    /// `wants[global thread index]` — route this thread's stamps back.
+    wants: Vec<bool>,
+    queue: Vec<(ThreadId, VectorTimestamp)>,
+    accepted: usize,
+}
+
+impl RouterSink {
+    fn new(inner: Box<dyn EventSink>) -> Self {
+        RouterSink {
+            inner,
+            wants: Vec::new(),
+            queue: Vec::new(),
+            accepted: 0,
+        }
+    }
+
+    fn set_wants(&mut self, thread: usize, want: bool) {
+        if self.wants.len() <= thread {
+            self.wants.resize(thread + 1, false);
+        }
+        self.wants[thread] = want;
+    }
+
+    fn wants(&self, thread: ThreadId) -> bool {
+        self.wants.get(thread.index()).copied().unwrap_or(false)
+    }
+
+    fn drain_queue(&mut self) -> Vec<(ThreadId, VectorTimestamp)> {
+        std::mem::take(&mut self.queue)
+    }
+
+    fn into_inner(self) -> Box<dyn EventSink> {
+        self.inner
+    }
+}
+
+impl EventSink for RouterSink {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+        let mark = self.queue.len();
+        for event in batch {
+            if self.wants(event.thread) {
+                self.queue.push((event.thread, event.timestamp.clone()));
+            }
+        }
+        match self.inner.accept_batch(batch) {
+            Ok(()) => {
+                self.accepted += batch.len();
+                Ok(())
+            }
+            Err(e) => {
+                self.queue.truncate(mark);
+                Err(e)
+            }
+        }
+    }
+
+    fn accept_columns(
+        &mut self,
+        events: &[(ThreadId, ObjectId, OpKind)],
+        stamps: &mut Vec<VectorTimestamp>,
+    ) -> Result<(), SinkError> {
+        let mark = self.queue.len();
+        for (&(thread, _, _), stamp) in events.iter().zip(stamps.iter()) {
+            if self.wants(thread) {
+                self.queue.push((thread, stamp.clone()));
+            }
+        }
+        match self.inner.accept_columns(events, stamps) {
+            Ok(()) => {
+                self.accepted += events.len();
+                Ok(())
+            }
+            Err(e) => {
+                self.queue.truncate(mark);
+                Err(e)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), SinkError> {
+        self.inner.flush()
+    }
+
+    fn events_accepted(&self) -> usize {
+        self.accepted
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self.inner.as_any()
+    }
+}
+
+/// Per-session server state (survives connection loss).
+#[derive(Debug)]
+struct Session {
+    token: u64,
+    threads: Vec<ThreadHandle>,
+    objects: Vec<ObjectId>,
+    want_stamps: bool,
+    /// Events ingested (the reconnect watermark and `Credit.acked` value).
+    ingested: u64,
+    /// Remaining send credit.
+    credit: u64,
+    /// Client's claimed total from its `Goodbye`, once received.
+    goodbye_at: Option<u64>,
+    done: bool,
+    conn: Option<usize>,
+    /// Per local thread: session-order indices of its events still
+    /// awaiting stamps.  Maps merge-order stamps (which arrive per thread
+    /// in ingest order) back to the client's send order.
+    pending_seq: Vec<VecDeque<u64>>,
+    /// Reorder window: stamps for `slot_base..` not yet contiguous.
+    slots: VecDeque<Option<VectorTimestamp>>,
+    slot_base: u64,
+    /// Contiguous stamps awaiting delivery/acknowledgement;
+    /// `stamp_log[0]` is stamp number `stamp_base`.
+    stamp_log: VecDeque<VectorTimestamp>,
+    stamp_base: u64,
+    /// Next stamp index to encode into the connection's outbox.
+    next_send: u64,
+}
+
+impl Session {
+    /// Highest stamp index produced so far (exclusive).
+    fn stamps_ready(&self) -> u64 {
+        self.stamp_base + self.stamp_log.len() as u64
+    }
+}
+
+/// Per-connection server state.
+#[derive(Debug)]
+struct Conn {
+    reader: FrameReader,
+    outbox: Vec<u8>,
+    session: Option<usize>,
+    open: bool,
+}
+
+/// Summary of one session after [`NetServer::finish`].
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    /// The session's token.
+    pub token: u64,
+    /// Events ingested from this session.
+    pub ingested: u64,
+    /// Number of threads the session registered.
+    pub threads: usize,
+    /// Whether the session ended with a completed goodbye handshake.
+    pub completed: bool,
+}
+
+/// Everything the server produced, returned by [`NetServer::finish`].
+pub struct ServerRun {
+    /// The user's sink, with every stamped event fanned into it.
+    pub sink: Box<dyn EventSink>,
+    /// The engine's final report (clock width, component map, event count).
+    pub report: TimestampReport,
+    /// Per-session summaries, in session-creation order.
+    pub sessions: Vec<SessionSummary>,
+}
+
+/// The sans-I/O server core: sessions, framing, backpressure, and the
+/// single shared pipeline.
+///
+/// All methods are synchronous and non-blocking; an I/O layer (the
+/// in-process test harness or [`serve_tcp`]) moves bytes between
+/// transports and this core.
+pub struct NetServer<E: ServeEngine> {
+    live: LiveSession<E, RouterSink>,
+    config: ServerConfig,
+    sessions: Vec<Session>,
+    conns: Vec<Conn>,
+    tokens: HashMap<u64, usize>,
+    object_ids: HashMap<String, ObjectId>,
+    /// Next serialization ticket per global object index.
+    next_ticket: Vec<u64>,
+    /// Global thread index → (session, local thread).
+    thread_owner: Vec<(usize, usize)>,
+    next_token: u64,
+}
+
+impl<E: ServeEngine> NetServer<E> {
+    /// Creates a server draining into `sink` through `engine`.
+    pub fn new(engine: E, sink: Box<dyn EventSink>, config: ServerConfig) -> Self {
+        let session = TraceSession::new();
+        NetServer {
+            live: session.live_with_sink(engine, RouterSink::new(sink)),
+            config,
+            sessions: Vec::new(),
+            conns: Vec::new(),
+            tokens: HashMap::new(),
+            object_ids: HashMap::new(),
+            next_ticket: Vec::new(),
+            thread_owner: Vec::new(),
+            next_token: 1,
+        }
+    }
+
+    /// Registers a new connection and queues the server's stream header.
+    pub fn connect(&mut self) -> ConnId {
+        let id = self.conns.len();
+        let mut outbox = Vec::with_capacity(64);
+        write_stream_header(&mut outbox);
+        self.conns.push(Conn {
+            reader: FrameReader::new(),
+            outbox,
+            session: None,
+            open: true,
+        });
+        ConnId(id)
+    }
+
+    /// Whether the connection is still open (has not errored, closed, or
+    /// finished its session).
+    pub fn is_open(&self, conn: ConnId) -> bool {
+        self.conns[conn.0].open
+    }
+
+    /// Sessions that have completed their goodbye handshake.
+    pub fn sessions_done(&self) -> usize {
+        self.sessions.iter().filter(|s| s.done).count()
+    }
+
+    /// Connections still open.
+    pub fn conns_open(&self) -> usize {
+        self.conns.iter().filter(|c| c.open).count()
+    }
+
+    /// Marks a connection dead (transport closed or failed).  Its
+    /// session, if any, is detached and can be resumed by a reconnect;
+    /// any half-received frame is discarded with the reader.
+    pub fn disconnect(&mut self, conn: ConnId) {
+        let c = &mut self.conns[conn.0];
+        c.open = false;
+        if let Some(sid) = c.session.take() {
+            self.sessions[sid].conn = None;
+        }
+    }
+
+    /// Consumes raw bytes from a connection, decoding and handling every
+    /// complete frame.
+    ///
+    /// Protocol violations do not return an error: they queue an
+    /// [`Frame::Error`] on the offending connection and close it (the
+    /// session stays resumable).  Only pipeline failures — which poison
+    /// the shared run — surface as [`NetError`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Pipeline`] if the shared pipeline fails.
+    pub fn feed(&mut self, conn: ConnId, bytes: &[u8]) -> Result<(), NetError> {
+        if !self.conns[conn.0].open {
+            return Ok(());
+        }
+        self.conns[conn.0].reader.feed(bytes);
+        loop {
+            let next = self.conns[conn.0].reader.try_next();
+            match next {
+                Ok(Some(frame)) => {
+                    if let Err(violation) = self.handle_frame(conn, frame) {
+                        self.fail_conn(conn, error_code::PROTOCOL, &violation);
+                        return Ok(());
+                    }
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    self.fail_conn(conn, error_code::PROTOCOL, &e.to_string());
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Queues an error frame on the connection and closes it, detaching
+    /// (but keeping) its session.
+    fn fail_conn(&mut self, conn: ConnId, code: u8, message: &str) {
+        let c = &mut self.conns[conn.0];
+        if !c.open {
+            return;
+        }
+        write_frame(
+            &mut c.outbox,
+            &Frame::Error {
+                code,
+                message: message.to_owned(),
+            },
+        );
+        c.open = false;
+        if let Some(sid) = c.session.take() {
+            self.sessions[sid].conn = None;
+        }
+    }
+
+    fn handle_frame(&mut self, conn: ConnId, frame: Frame) -> Result<(), String> {
+        match frame {
+            Frame::Hello {
+                token,
+                want_stamps,
+                stamps_received,
+                threads,
+                objects,
+            } => self.handle_hello(conn, token, want_stamps, stamps_received, threads, objects),
+            Frame::Events { events } => self.handle_events(conn, &events),
+            Frame::StampsAck { received } => self.handle_stamps_ack(conn, received),
+            Frame::Goodbye { events } => self.handle_goodbye(conn, events),
+            Frame::Error { .. } => {
+                // Client-side failure: treat as a disconnect.
+                self.disconnect(conn);
+                Ok(())
+            }
+            Frame::HelloAck { .. } | Frame::Stamps { .. } | Frame::Credit { .. } => {
+                Err("server received a server-only frame".to_owned())
+            }
+        }
+    }
+
+    fn session_of(&self, conn: ConnId) -> Result<usize, String> {
+        self.conns[conn.0]
+            .session
+            .ok_or_else(|| "frame before Hello".to_owned())
+    }
+
+    fn handle_hello(
+        &mut self,
+        conn: ConnId,
+        token: u64,
+        want_stamps: bool,
+        stamps_received: u64,
+        threads: Vec<String>,
+        objects: Vec<String>,
+    ) -> Result<(), String> {
+        if self.conns[conn.0].session.is_some() {
+            return Err("second Hello on one connection".to_owned());
+        }
+        let sid = if token == 0 {
+            self.open_session(want_stamps, &threads, &objects)
+        } else {
+            self.resume_session(token, want_stamps, stamps_received, &threads, &objects)?
+        };
+        self.conns[conn.0].session = Some(sid);
+        self.sessions[sid].conn = Some(conn.0);
+        let session = &self.sessions[sid];
+        let ack = Frame::HelloAck {
+            token: session.token,
+            watermark: session.ingested,
+            credit: session.credit,
+            thread_ids: session
+                .threads
+                .iter()
+                .map(|h| h.id().index() as u64)
+                .collect(),
+            object_ids: session.objects.iter().map(|o| o.index() as u64).collect(),
+        };
+        write_frame(&mut self.conns[conn.0].outbox, &ack);
+        Ok(())
+    }
+
+    fn open_session(&mut self, want_stamps: bool, threads: &[String], objects: &[String]) -> usize {
+        let sid = self.sessions.len();
+        let token = self.next_token;
+        self.next_token += 1;
+        self.tokens.insert(token, sid);
+        let mut handles = Vec::with_capacity(threads.len());
+        for (local, name) in threads.iter().enumerate() {
+            let handle = self.live.register_thread(&format!("s{token}/{name}"));
+            let global = handle.id().index();
+            if self.thread_owner.len() <= global {
+                self.thread_owner.resize(global + 1, (usize::MAX, 0));
+            }
+            self.thread_owner[global] = (sid, local);
+            self.live.sink_mut().set_wants(global, want_stamps);
+            handles.push(handle);
+        }
+        let mut object_ids = Vec::with_capacity(objects.len());
+        for name in objects {
+            let id = match self.object_ids.entry(name.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = self.live.register_object(name);
+                    // Objects get dense ids in registration order, so the
+                    // ticket table grows in lock-step.
+                    debug_assert_eq!(id.index(), self.next_ticket.len());
+                    self.next_ticket.push(0);
+                    self.live.timestamper_mut().cover_object(id);
+                    *e.insert(id)
+                }
+            };
+            object_ids.push(id);
+        }
+        self.sessions.push(Session {
+            token,
+            threads: handles,
+            objects: object_ids,
+            want_stamps,
+            ingested: 0,
+            credit: self.config.credit_window,
+            goodbye_at: None,
+            done: false,
+            conn: None,
+            pending_seq: vec![VecDeque::new(); threads.len()],
+            slots: VecDeque::new(),
+            slot_base: 0,
+            stamp_log: VecDeque::new(),
+            stamp_base: 0,
+            next_send: 0,
+        });
+        sid
+    }
+
+    fn resume_session(
+        &mut self,
+        token: u64,
+        want_stamps: bool,
+        stamps_received: u64,
+        threads: &[String],
+        objects: &[String],
+    ) -> Result<usize, String> {
+        let sid = *self
+            .tokens
+            .get(&token)
+            .ok_or_else(|| format!("unknown session token {token}"))?;
+        let session = &mut self.sessions[sid];
+        if session.conn.is_some() {
+            return Err(format!("session {token} is already connected"));
+        }
+        if session.done {
+            return Err(format!("session {token} already completed"));
+        }
+        if session.threads.len() != threads.len()
+            || session.objects.len() != objects.len()
+            || session.want_stamps != want_stamps
+        {
+            return Err(format!(
+                "session {token} resumed with different registrations"
+            ));
+        }
+        if stamps_received > session.stamps_ready() {
+            return Err(format!(
+                "session {token} claims {stamps_received} stamps received, only {} were produced",
+                session.stamps_ready()
+            ));
+        }
+        if stamps_received < session.stamp_base {
+            return Err(format!(
+                "session {token} claims {stamps_received} stamps received, already acknowledged {}",
+                session.stamp_base
+            ));
+        }
+        // The client definitely holds everything below `stamps_received`:
+        // prune, and restart the stamp stream from there.
+        while session.stamp_base < stamps_received {
+            session.stamp_log.pop_front();
+            session.stamp_base += 1;
+        }
+        session.next_send = stamps_received;
+        // Credit in flight on the dead connection is void; grant a fresh
+        // window (the HelloAck carries it).
+        session.credit = self.config.credit_window;
+        Ok(sid)
+    }
+
+    fn handle_events(&mut self, conn: ConnId, events: &[(u32, u32, OpKind)]) -> Result<(), String> {
+        let sid = self.session_of(conn)?;
+        let session = &mut self.sessions[sid];
+        if session.goodbye_at.is_some() {
+            return Err("events after Goodbye".to_owned());
+        }
+        let n = events.len() as u64;
+        if n > session.credit {
+            return Err(format!(
+                "credit exceeded: {n} events sent, {} allowed",
+                session.credit
+            ));
+        }
+        for &(local_thread, local_object, kind) in events {
+            let handle = session
+                .threads
+                .get(local_thread as usize)
+                .ok_or_else(|| format!("unknown local thread {local_thread}"))?;
+            let object = *session
+                .objects
+                .get(local_object as usize)
+                .ok_or_else(|| format!("unknown local object {local_object}"))?;
+            // Serialization ticket drawn at ingress, in arrival order —
+            // the transport preserves each client's send order and the
+            // server mutex serialises clients, so tickets are dense and
+            // published in order (the merge can never stall).
+            let ticket = self.next_ticket[object.index()];
+            self.next_ticket[object.index()] += 1;
+            handle.record_sequenced(object, kind, ticket);
+            if session.want_stamps {
+                session.pending_seq[local_thread as usize].push_back(session.ingested);
+            }
+            session.ingested += 1;
+        }
+        session.credit -= n;
+        Ok(())
+    }
+
+    fn handle_stamps_ack(&mut self, conn: ConnId, received: u64) -> Result<(), String> {
+        let sid = self.session_of(conn)?;
+        let session = &mut self.sessions[sid];
+        if received > session.next_send {
+            return Err(format!(
+                "acknowledged {received} stamps, only {} were sent",
+                session.next_send
+            ));
+        }
+        while session.stamp_base < received {
+            session.stamp_log.pop_front();
+            session.stamp_base += 1;
+        }
+        Ok(())
+    }
+
+    fn handle_goodbye(&mut self, conn: ConnId, events: u64) -> Result<(), String> {
+        let sid = self.session_of(conn)?;
+        let session = &mut self.sessions[sid];
+        if events != session.ingested {
+            return Err(format!(
+                "goodbye claims {events} events, server ingested {}",
+                session.ingested
+            ));
+        }
+        session.goodbye_at = Some(events);
+        Ok(())
+    }
+
+    /// Advances the shared pipeline and refreshes every connected
+    /// session's outbox: newly produced stamps, credit refills, and
+    /// goodbye completions.
+    ///
+    /// Returns the number of events drained through the pipeline by this
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Pipeline`] if the pipeline fails; the error is fatal
+    /// for the whole server (the I/O layer should stop).
+    pub fn pump(&mut self) -> Result<usize, NetError> {
+        let drained = self
+            .live
+            .pump()
+            .map_err(|e| NetError::Pipeline(e.to_string()))?;
+        self.route_stamps()?;
+        self.flush_sessions();
+        Ok(drained)
+    }
+
+    /// Demultiplexes stamps queued by the router back to their sessions,
+    /// reordering from merge order to each client's send order.
+    fn route_stamps(&mut self) -> Result<(), NetError> {
+        let routed = self.live.sink_mut().drain_queue();
+        for (thread, stamp) in routed {
+            let (sid, local_thread) = *self
+                .thread_owner
+                .get(thread.index())
+                .filter(|(sid, _)| *sid != usize::MAX)
+                .ok_or_else(|| {
+                    NetError::Pipeline(format!("stamp for unrouted thread {}", thread.index()))
+                })?;
+            let session = &mut self.sessions[sid];
+            let seq = session.pending_seq[local_thread]
+                .pop_front()
+                .ok_or_else(|| {
+                    NetError::Pipeline(format!("stamp without a pending event on session {sid}"))
+                })?;
+            let idx = (seq - session.slot_base) as usize;
+            if session.slots.len() <= idx {
+                session.slots.resize(idx + 1, None);
+            }
+            session.slots[idx] = Some(stamp);
+            while let Some(Some(_)) = session.slots.front() {
+                let stamp = session.slots.pop_front().flatten().expect("checked Some");
+                session.stamp_log.push_back(stamp);
+                session.slot_base += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes pending stamps, credit refills, and goodbye completions
+    /// into each connected session's outbox.
+    fn flush_sessions(&mut self) {
+        let window = self.config.credit_window;
+        let per_frame = self.config.stamps_per_frame;
+        for session in &mut self.sessions {
+            let Some(conn) = session.conn else { continue };
+            let conn = &mut self.conns[conn];
+            if !conn.open {
+                continue;
+            }
+            // Stream newly produced stamps.
+            while session.next_send < session.stamps_ready() {
+                let start = (session.next_send - session.stamp_base) as usize;
+                let count = (session.stamp_log.len() - start).min(per_frame);
+                let stamps: Vec<VectorTimestamp> = session
+                    .stamp_log
+                    .iter()
+                    .skip(start)
+                    .take(count)
+                    .cloned()
+                    .collect();
+                write_frame(
+                    &mut conn.outbox,
+                    &Frame::Stamps {
+                        first: session.next_send,
+                        stamps,
+                    },
+                );
+                session.next_send += count as u64;
+            }
+            // Refill credit once half the window is consumed.
+            if session.goodbye_at.is_none() && session.credit < window / 2 {
+                let more = window - session.credit;
+                session.credit += more;
+                write_frame(
+                    &mut conn.outbox,
+                    &Frame::Credit {
+                        acked: session.ingested,
+                        more,
+                    },
+                );
+            }
+            // Goodbye completion: everything ingested and (if requested)
+            // every stamp encoded for delivery.
+            if let Some(total) = session.goodbye_at {
+                let stamps_flushed = !session.want_stamps || session.next_send == total;
+                if session.ingested == total && stamps_flushed && !session.done {
+                    write_frame(&mut conn.outbox, &Frame::Goodbye { events: total });
+                    session.done = true;
+                    conn.open = false;
+                    conn.session = None;
+                    session.conn = None;
+                }
+            }
+        }
+    }
+
+    /// Takes the bytes queued for a connection (empties its outbox).
+    pub fn take_outgoing(&mut self, conn: ConnId) -> Vec<u8> {
+        std::mem::take(&mut self.conns[conn.0].outbox)
+    }
+
+    /// One non-blocking I/O round for a connection: drain the transport
+    /// into [`feed`](Self::feed), [`pump`](Self::pump), and write the
+    /// outbox back.  The building block for single-threaded harnesses;
+    /// [`serve_tcp`] uses the same sequence with blocking reads.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Pipeline`] if the pipeline fails, or
+    /// [`NetError::Transport`] if writing the outbox fails for a reason
+    /// other than a close.
+    pub fn service(&mut self, conn: ConnId, transport: &mut dyn Transport) -> Result<(), NetError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match transport.recv(&mut buf, Some(Duration::ZERO)) {
+                Ok(Recv::Bytes(n)) => self.feed(conn, &buf[..n])?,
+                Ok(Recv::Empty) => break,
+                Ok(Recv::Closed) | Err(TransportError::Closed) => {
+                    self.disconnect(conn);
+                    break;
+                }
+                Err(e) => {
+                    self.disconnect(conn);
+                    return Err(NetError::Transport(e));
+                }
+            }
+        }
+        self.pump()?;
+        let out = self.take_outgoing(conn);
+        if !out.is_empty() {
+            match transport.send(&out) {
+                Ok(()) => {}
+                Err(TransportError::Closed) => self.disconnect(conn),
+                Err(e) => {
+                    self.disconnect(conn);
+                    return Err(NetError::Transport(e));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains everything still buffered and returns the sink, the
+    /// engine's report, and per-session summaries.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Pipeline`] if the final drain fails.
+    pub fn finish(mut self) -> Result<ServerRun, NetError> {
+        self.pump()?;
+        let summaries: Vec<SessionSummary> = self
+            .sessions
+            .iter()
+            .map(|s| SessionSummary {
+                token: s.token,
+                ingested: s.ingested,
+                threads: s.threads.len(),
+                completed: s.done,
+            })
+            .collect();
+        let (router, report) = self
+            .live
+            .finish_into_sink()
+            .map_err(|(_, e)| NetError::Pipeline(e.to_string()))?;
+        Ok(ServerRun {
+            sink: router.into_inner(),
+            report,
+            sessions: summaries,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP serving loop
+// ---------------------------------------------------------------------------
+
+struct Shared<E: ServeEngine> {
+    server: parking_lot::Mutex<NetServer<E>>,
+    fail: parking_lot::Mutex<Option<NetError>>,
+    done: AtomicBool,
+}
+
+/// Serves connections accepted on `listener` until `expected_sessions`
+/// sessions have completed their goodbye handshake, then finishes the
+/// pipeline and returns the run.
+///
+/// Thread-per-connection: each accepted socket gets a handler thread that
+/// drives the shared [`NetServer`] core behind one mutex.  Handler reads
+/// use a short timeout *outside* the lock, so one client's stall never
+/// blocks another's stamp or credit flushing.
+///
+/// # Errors
+///
+/// [`NetError::Io`] for listener failures, or the first fatal pipeline
+/// error raised by any handler.
+pub fn serve_tcp<E: ServeEngine + 'static>(
+    listener: TcpListener,
+    server: NetServer<E>,
+    expected_sessions: usize,
+) -> Result<ServerRun, NetError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| NetError::Io(e.to_string()))?;
+    let shared = Arc::new(Shared {
+        server: parking_lot::Mutex::new(server),
+        fail: parking_lot::Mutex::new(None),
+        done: AtomicBool::new(false),
+    });
+    let mut workers = Vec::new();
+    loop {
+        {
+            let server = shared.server.lock();
+            if server.sessions_done() >= expected_sessions && server.conns_open() == 0 {
+                break;
+            }
+        }
+        if shared.fail.lock().is_some() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let shared = Arc::clone(&shared);
+                workers.push(std::thread::spawn(move || {
+                    handle_conn(&shared, crate::TcpTransport::new(stream));
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                *shared.fail.lock() = Some(NetError::Io(e.to_string()));
+                break;
+            }
+        }
+    }
+    shared.done.store(true, Ordering::SeqCst);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all workers joined"));
+    if let Some(err) = shared.fail.into_inner() {
+        return Err(err);
+    }
+    shared.server.into_inner().finish()
+}
+
+fn handle_conn<E: ServeEngine>(shared: &Shared<E>, mut transport: crate::TcpTransport) {
+    let conn = shared.server.lock().connect();
+    let mut buf = vec![0u8; 256 * 1024];
+    let mut staged = Vec::with_capacity(512 * 1024);
+    loop {
+        if shared.done.load(Ordering::SeqCst) {
+            shared.server.lock().disconnect(conn);
+            return;
+        }
+        // Block on the socket *outside* the lock so other handlers can
+        // pump the shared pipeline meanwhile; once bytes arrive, drain
+        // everything already queued without blocking, so one lock + one
+        // pump covers the whole burst instead of one per 64 KiB chunk.
+        staged.clear();
+        let mut closed = false;
+        let mut error = None;
+        match transport.recv(&mut buf, Some(Duration::from_millis(5))) {
+            Ok(Recv::Bytes(n)) => {
+                staged.extend_from_slice(&buf[..n]);
+                while staged.len() < (1 << 20) {
+                    match transport.recv(&mut buf, Some(Duration::ZERO)) {
+                        Ok(Recv::Bytes(n)) => staged.extend_from_slice(&buf[..n]),
+                        Ok(Recv::Empty) => break,
+                        Ok(Recv::Closed) | Err(TransportError::Closed) => {
+                            closed = true;
+                            break;
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(Recv::Empty) => {}
+            Ok(Recv::Closed) | Err(TransportError::Closed) => closed = true,
+            Err(e) => error = Some(e),
+        }
+        let mut server = shared.server.lock();
+        let step = (|| -> Result<(Vec<u8>, bool), NetError> {
+            if !staged.is_empty() {
+                server.feed(conn, &staged)?;
+            }
+            if let Some(e) = error {
+                server.disconnect(conn);
+                return Err(NetError::Transport(e));
+            }
+            if closed {
+                server.disconnect(conn);
+            }
+            server.pump()?;
+            Ok((server.take_outgoing(conn), server.is_open(conn)))
+        })();
+        drop(server);
+        match step {
+            Ok((out, open)) => {
+                if !out.is_empty() && transport.send(&out).is_err() {
+                    shared.server.lock().disconnect(conn);
+                    return;
+                }
+                if !open {
+                    // Graceful close: the session completed and the final
+                    // Goodbye is written.  A trailing client frame (a
+                    // `StampsAck` crossing the Goodbye on the wire) may
+                    // still be unread; closing now would turn it into an
+                    // RST that can destroy the Goodbye before the client
+                    // reads it.  Drain until the client closes its end
+                    // (bounded, in case it never does).
+                    for _ in 0..200 {
+                        match transport.recv(&mut buf, Some(Duration::from_millis(5))) {
+                            Ok(Recv::Bytes(_) | Recv::Empty) => {}
+                            Ok(Recv::Closed) | Err(_) => break,
+                        }
+                    }
+                    return;
+                }
+            }
+            Err(err) => {
+                let mut fail = shared.fail.lock();
+                if fail.is_none() {
+                    *fail = Some(err);
+                }
+                return;
+            }
+        }
+    }
+}

@@ -113,6 +113,13 @@ impl<T: Timestamper, S: EventSink> LiveSession<T, S> {
         SharedObject::new(id, name, value)
     }
 
+    /// Registers an object *by name only* and returns its dense id, for
+    /// ingest paths that draw per-object tickets themselves (see
+    /// [`ThreadHandle::record_sequenced`]).
+    pub fn register_object(&self, name: &str) -> mvc_trace::ObjectId {
+        self.inner.register_object(name)
+    }
+
     /// Drains every event currently published to the ingest buffers through
     /// the timestamper into the sink, returning how many events the sink
     /// accepted.

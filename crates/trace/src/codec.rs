@@ -5,8 +5,13 @@
 //! simple length-prefixed sequence of `(thread, object, kind)` triples using
 //! variable-length integers, built on the [`bytes`] crate.
 //!
-//! The format is versioned with a 4-byte magic so that accidental decoding of
-//! unrelated data fails loudly instead of producing a garbage computation.
+//! The format is versioned: a 3-byte magic (`MVC`) followed by an explicit
+//! protocol-version byte ([`FORMAT_VERSION`]).  Accidental decoding of
+//! unrelated data fails loudly with [`DecodeError::BadMagic`], and a stream
+//! written by a future format fails with [`DecodeError::VersionMismatch`]
+//! instead of misparsing.  The version byte has carried `1` since the first
+//! release (the historical 4-byte magic was the same `MVC\x01`), so every
+//! existing trace still decodes.
 //!
 //! Besides the whole-computation [`encode`]/[`decode`] pair, the module has
 //! a streaming pair for the event-sink pipeline: [`StreamEncoder`] appends
@@ -22,7 +27,18 @@ use crate::computation::Computation;
 use crate::event::OpKind;
 use crate::ids::{ObjectId, ThreadId};
 
-/// Magic bytes identifying a serialized computation ("MVC" + version 1).
+/// The three magic bytes identifying a serialized computation; the byte
+/// after them is the explicit [`FORMAT_VERSION`].
+const MAGIC_PREFIX: &[u8; 3] = b"MVC";
+
+/// The protocol version this build reads and writes, carried as the fourth
+/// header byte.  Streams written by every release so far carry version 1
+/// (the historical magic was the same four bytes `MVC\x01`), so old traces
+/// keep decoding unchanged; a stream from a future format fails with
+/// [`DecodeError::VersionMismatch`] instead of misparsing.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// The full 4-byte header prefix: magic + version.
 const MAGIC: &[u8; 4] = b"MVC\x01";
 
 /// Errors produced when decoding a serialized computation.
@@ -30,6 +46,9 @@ const MAGIC: &[u8; 4] = b"MVC\x01";
 pub enum DecodeError {
     /// The buffer does not start with the expected magic bytes.
     BadMagic,
+    /// The magic matched but the version byte is one this build does not
+    /// speak.  Carries the version found on the wire.
+    VersionMismatch(u8),
     /// The buffer ended in the middle of a record.
     UnexpectedEof,
     /// An operation-kind tag was not recognised.
@@ -42,11 +61,27 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::BadMagic => write!(f, "buffer is not a serialized computation"),
+            DecodeError::VersionMismatch(found) => write!(
+                f,
+                "stream is format version {found}, this build speaks version {FORMAT_VERSION}"
+            ),
             DecodeError::UnexpectedEof => write!(f, "unexpected end of buffer"),
             DecodeError::BadOpKind(k) => write!(f, "unknown operation kind tag {k}"),
             DecodeError::VarintOverflow => write!(f, "variable-length integer overflows u64"),
         }
     }
+}
+
+/// Checks the 4-byte header prefix: wrong magic and wrong version are
+/// distinguished so a future-format stream fails loudly as such.
+fn check_header_prefix(bytes: &[u8; 4]) -> Result<(), DecodeError> {
+    if &bytes[..3] != MAGIC_PREFIX {
+        return Err(DecodeError::BadMagic);
+    }
+    if bytes[3] != FORMAT_VERSION {
+        return Err(DecodeError::VersionMismatch(bytes[3]));
+    }
+    Ok(())
 }
 
 impl std::error::Error for DecodeError {}
@@ -72,7 +107,10 @@ fn op_kind_from_tag(tag: u8) -> Result<OpKind, DecodeError> {
     })
 }
 
-fn put_varint(buf: &mut BytesMut, mut value: u64) {
+/// Appends `value` as a 7-bit little-endian varint (the wire integer format
+/// every layer of the codec — and the `mvc-net` framing built on top of it —
+/// shares).
+pub fn put_varint(buf: &mut BytesMut, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -123,9 +161,11 @@ pub fn encode(computation: &Computation) -> Bytes {
 /// Returns a [`DecodeError`] if the buffer is malformed or truncated.
 pub fn decode(bytes: &[u8]) -> Result<Computation, DecodeError> {
     let mut buf = Bytes::copy_from_slice(bytes);
-    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+    if buf.remaining() < MAGIC.len() {
         return Err(DecodeError::BadMagic);
     }
+    let header: [u8; 4] = buf.copy_to_bytes(MAGIC.len())[..].try_into().unwrap();
+    check_header_prefix(&header)?;
     let count = get_varint(&mut buf)?;
     let mut computation = Computation::new();
     for _ in 0..count {
@@ -221,7 +261,10 @@ impl Default for StreamDecoder {
 
 /// Attempts to read one varint from the front of `buf` without consuming on
 /// failure.  `Ok(None)` means more bytes are needed.
-fn peek_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, DecodeError> {
+///
+/// Public for the layers that frame this codec (notably `mvc-net`), so every
+/// wire varint in the workspace has exactly one decoder.
+pub fn peek_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, DecodeError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     for (i, &byte) in buf.iter().enumerate() {
@@ -293,15 +336,16 @@ impl StreamDecoder {
         }
         let unread = self.unread();
         if unread.len() < MAGIC.len() {
-            // A wrong magic is reported as soon as the prefix diverges.
-            if !MAGIC.starts_with(unread) {
+            // A wrong magic is reported as soon as the prefix diverges.  (A
+            // version byte can only be judged once all three magic bytes
+            // precede it, so divergence before byte 4 is always BadMagic.)
+            if !MAGIC_PREFIX.starts_with(&unread[..unread.len().min(3)]) {
                 return Err(DecodeError::BadMagic);
             }
             return Ok(false);
         }
-        if &unread[..MAGIC.len()] != MAGIC {
-            return Err(DecodeError::BadMagic);
-        }
+        let header: [u8; 4] = unread[..MAGIC.len()].try_into().unwrap();
+        check_header_prefix(&header)?;
         match peek_varint(&unread[MAGIC.len()..])? {
             None => Ok(false),
             Some((count, used)) => {
@@ -404,6 +448,43 @@ mod tests {
     }
 
     #[test]
+    fn version_mismatch_is_distinguished_from_bad_magic() {
+        // Same magic, future version byte: must fail loudly as a version
+        // problem, not misparse and not claim "not a serialized computation".
+        let mut c = Computation::new();
+        c.record(ThreadId(0), ObjectId(0));
+        let mut raw = encode(&c).to_vec();
+        assert_eq!(raw[3], FORMAT_VERSION, "version byte sits after the magic");
+        raw[3] = 2;
+        assert_eq!(decode(&raw), Err(DecodeError::VersionMismatch(2)));
+        // A diverging *magic* byte is still BadMagic even in position 3.
+        let mut bad = encode(&c).to_vec();
+        bad[2] = b'X';
+        assert_eq!(decode(&bad), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn stream_decoder_reports_version_mismatch_at_the_fourth_byte() {
+        // The streaming decoder must flag the wrong version as soon as the
+        // version byte arrives, before any record bytes are seen.
+        let mut decoder = StreamDecoder::new();
+        decoder.feed(b"MVC");
+        assert_eq!(decoder.try_next(), Ok(None), "magic prefix alone is fine");
+        decoder.feed(&[9]);
+        assert_eq!(decoder.try_next(), Err(DecodeError::VersionMismatch(9)));
+    }
+
+    #[test]
+    fn current_version_streams_still_decode() {
+        // The wire bytes are unchanged from the pre-versioned format: the
+        // header is still exactly `MVC\x01`, so old traces decode as-is.
+        let c = WorkloadBuilder::new(4, 4).operations(16).seed(5).build();
+        let encoded = encode(&c);
+        assert_eq!(&encoded[..4], b"MVC\x01");
+        assert_eq!(decode(&encoded).unwrap(), c);
+    }
+
+    #[test]
     fn truncated_buffer_rejected() {
         let c = WorkloadBuilder::new(4, 4).operations(10).seed(1).build();
         let encoded = encode(&c);
@@ -433,6 +514,11 @@ mod tests {
         assert!(DecodeError::VarintOverflow
             .to_string()
             .contains("overflows"));
+        let msg = DecodeError::VersionMismatch(3).to_string();
+        assert!(
+            msg.contains("version 3") && msg.contains("version 1"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   shards with an order-preserving merge, for multi-core recording.
 //! * [`runtime`] — traced shared objects, trace sessions, the live causality
 //!   monitor and the conflict analyzer.
+//! * [`net`] — the pipeline as a networked multi-client service: framed
+//!   protocol, TCP and in-process transports, session server with
+//!   credit-based backpressure and reconnect-and-replay.
 //! * [`eval`] — the harness that regenerates the paper's figures.
 //!
 //! # Example
@@ -42,6 +45,7 @@ pub use mvc_clock as clock;
 pub use mvc_core as core;
 pub use mvc_eval as eval;
 pub use mvc_graph as graph;
+pub use mvc_net as net;
 pub use mvc_online as online;
 pub use mvc_runtime as runtime;
 pub use mvc_shard as shard;
@@ -65,6 +69,9 @@ pub use mvc_trace as trace;
 /// mem / codec / stats / tee backends).
 pub mod prelude {
     pub use mvc_core::prelude::*;
+    pub use mvc_net::{
+        ClientConfig, InProcTransport, NetServer, ProducerClient, ServerConfig, TcpTransport,
+    };
     pub use mvc_online::{
         mechanism_from_name, simulate_components, simulate_final_size, Adaptive, MechanismRegistry,
         MechanismStats, Naive, NaiveSide, OnlineMechanism, OnlineRun, OnlineTimestamper,

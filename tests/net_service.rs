@@ -1,0 +1,526 @@
+//! The networked service driven deterministically over the in-process
+//! transport: multi-client merging, stamp routing, backpressure,
+//! frame-boundary failure (truncation and corruption), version mismatch,
+//! and the mid-stream disconnect + reconnect-and-replay story.
+//!
+//! No sockets: every test runs single-threaded over
+//! [`InProcTransport`] pairs, alternating client
+//! [`step`](ProducerClient::step)s with server
+//! [`service`](NetServer::service) rounds.  (The equality-with-batch
+//! oracle lives in `tests/conformance.rs` as oracle 9; this file covers
+//! the protocol and failure machinery itself.)
+
+use std::time::Duration;
+
+use mvc_core::{MemoryRecorder, TimestampingEngine};
+use mvc_net::frame::{self, Frame, FrameReader};
+use mvc_net::{
+    ClientConfig, ConnId, InProcTransport, NetError, NetServer, ProducerClient, ServerConfig,
+    Transport, TransportError,
+};
+use mvc_trace::OpKind;
+
+const ZERO: Option<Duration> = Some(Duration::ZERO);
+
+type Server = NetServer<TimestampingEngine>;
+type Client = ProducerClient<InProcTransport>;
+
+fn new_server(config: ServerConfig) -> Server {
+    NetServer::new(
+        TimestampingEngine::new(),
+        Box::new(MemoryRecorder::new()),
+        config,
+    )
+}
+
+/// One client/server link: the server-side transport half plus the conn id.
+struct Link {
+    conn: ConnId,
+    far: InProcTransport,
+}
+
+fn connect(server: &mut Server, config: ClientConfig) -> (Client, Link, InProcTransport) {
+    let (near, far) = InProcTransport::pair();
+    let spy = near.clone();
+    let conn = server.connect();
+    let client = ProducerClient::connect(near, config).expect("connect");
+    (client, Link { conn, far }, spy)
+}
+
+/// Alternates client steps and server service rounds until every client
+/// finished (or panics after a generous round cap — the protocol is
+/// supposed to converge without any timing assumptions).
+fn drive(server: &mut Server, links: &mut [Link], clients: &mut [&mut Client]) {
+    for _ in 0..10_000 {
+        for client in clients.iter_mut() {
+            if !client.is_finished() {
+                client.step(ZERO).expect("client step");
+            }
+        }
+        for link in links.iter_mut() {
+            server.service(link.conn, &mut link.far).expect("service");
+        }
+        if clients.iter().all(|c| c.is_finished()) {
+            return;
+        }
+    }
+    panic!("protocol did not converge");
+}
+
+/// Reads every frame currently deliverable on a raw transport half.
+fn read_frames(transport: &mut InProcTransport, reader: &mut FrameReader) -> Vec<Frame> {
+    let mut buf = [0u8; 16 * 1024];
+    let mut frames = Vec::new();
+    while let Ok(mvc_net::Recv::Bytes(n)) = transport.recv(&mut buf, ZERO) {
+        reader.feed(&buf[..n]);
+    }
+    while let Some(frame) = reader.try_next().expect("well-formed server stream") {
+        frames.push(frame);
+    }
+    frames
+}
+
+#[test]
+fn two_clients_share_objects_and_get_their_stamps_back() {
+    let mut server = new_server(ServerConfig::default());
+    let (mut a, mut link_a, _) = connect(
+        &mut server,
+        ClientConfig::new(
+            vec!["a0".into(), "a1".into()],
+            vec!["x".into(), "y".into()],
+            true,
+        ),
+    );
+    let (mut b, mut link_b, _) = connect(
+        &mut server,
+        ClientConfig::new(vec!["b0".into()], vec!["y".into(), "z".into()], true),
+    );
+    for i in 0..40 {
+        a.record(i % 2, i % 2, OpKind::Write);
+        b.record(0, i % 2, OpKind::Read);
+    }
+    a.request_finish();
+    b.request_finish();
+    drive(
+        &mut server,
+        std::slice::from_mut(&mut link_a),
+        &mut [&mut a],
+    );
+    drive(
+        &mut server,
+        std::slice::from_mut(&mut link_b),
+        &mut [&mut b],
+    );
+    let run_a = a.into_run().expect("a finished");
+    let run_b = b.into_run().expect("b finished");
+    assert_eq!(run_a.stamps.len(), 40);
+    assert_eq!(run_b.stamps.len(), 40);
+    // Objects are shared by name: A's "y" and B's "y" are one object.
+    assert_eq!(run_a.object_ids[1], run_b.object_ids[0]);
+    assert_ne!(run_a.object_ids[0], run_b.object_ids[1]);
+
+    let run = server.finish().expect("server finish");
+    assert_eq!(run.report.events, 80);
+    assert_eq!(run.sessions.len(), 2);
+    assert!(run.sessions.iter().all(|s| s.completed));
+    let recorder = run
+        .sink
+        .as_any()
+        .downcast_ref::<MemoryRecorder>()
+        .expect("mem sink");
+    assert_eq!(recorder.computation().len(), 80);
+    // Three distinct objects total: x, y (shared), z.
+    assert_eq!(run.report.components.len(), 3);
+
+    // Routing correctness: for each client thread, the client's stamp
+    // subsequence for that thread equals the server's stamp subsequence
+    // for the same (global) thread — same stamps, same per-thread order.
+    let (computation, timestamps) = (recorder.computation(), recorder.timestamps());
+    for (run, config) in [(&run_a, 2usize), (&run_b, 1usize)] {
+        for local in 0..config {
+            let global = run.thread_ids[local] as usize;
+            let server_side: Vec<_> = computation
+                .events()
+                .zip(timestamps)
+                .filter(|(e, _)| e.thread.index() == global)
+                .map(|(_, ts)| ts.clone())
+                .collect();
+            // Client events alternate threads in record order.
+            let client_side: Vec<_> = run
+                .stamps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % config == local)
+                .map(|(_, ts)| ts.clone())
+                .collect();
+            assert_eq!(client_side, server_side, "thread {local} of {config}");
+        }
+    }
+}
+
+#[test]
+fn tiny_credit_window_backpressures_but_completes() {
+    let mut server = new_server(ServerConfig {
+        credit_window: 8,
+        stamps_per_frame: 3,
+    });
+    let (mut client, mut link, _) = connect(
+        &mut server,
+        ClientConfig::new(vec!["t".into()], vec!["o".into()], true),
+    );
+    for _ in 0..100 {
+        client.record(0, 0, OpKind::Op);
+    }
+    client.request_finish();
+    drive(
+        &mut server,
+        std::slice::from_mut(&mut link),
+        &mut [&mut client],
+    );
+    let run = client.into_run().expect("finished");
+    assert_eq!(run.stamps.len(), 100);
+    // Stamps are the per-object sequence 1..=100 (single object cover).
+    for (i, stamp) in run.stamps.iter().enumerate() {
+        assert_eq!(stamp.as_slice(), &[(i + 1) as u64]);
+    }
+}
+
+#[test]
+fn an_overrun_of_the_credit_window_is_rejected_with_an_error_frame() {
+    let mut server = new_server(ServerConfig {
+        credit_window: 4,
+        stamps_per_frame: 16,
+    });
+    let conn = server.connect();
+    let (mut near, mut far) = InProcTransport::pair();
+
+    let mut hello = Vec::new();
+    frame::write_stream_header(&mut hello);
+    frame::write_frame(
+        &mut hello,
+        &Frame::Hello {
+            token: 0,
+            want_stamps: false,
+            stamps_received: 0,
+            threads: vec!["t".into()],
+            objects: vec!["o".into()],
+        },
+    );
+    near.send(&hello).unwrap();
+    server.service(conn, &mut far).unwrap();
+    let mut reader = FrameReader::new();
+    let frames = read_frames(&mut near, &mut reader);
+    let credit = match &frames[..] {
+        [Frame::HelloAck { credit, .. }] => *credit,
+        other => panic!("expected HelloAck, got {other:?}"),
+    };
+    assert_eq!(credit, 4);
+
+    // A rogue client ignores the window and sends credit + 1 events.
+    let mut overrun = Vec::new();
+    frame::write_frame(
+        &mut overrun,
+        &Frame::Events {
+            events: vec![(0, 0, OpKind::Op); credit as usize + 1],
+        },
+    );
+    near.send(&overrun).unwrap();
+    server.service(conn, &mut far).unwrap();
+    assert!(!server.is_open(conn), "overrun closes the connection");
+    let frames = read_frames(&mut near, &mut reader);
+    match &frames[..] {
+        [Frame::Error { code, message }] => {
+            assert_eq!(*code, frame::error_code::PROTOCOL);
+            assert!(message.contains("credit"), "got: {message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // Nothing from the rejected frame was ingested.
+    let run = server.finish().expect("finish");
+    assert_eq!(run.report.events, 0);
+}
+
+#[test]
+fn a_wrong_protocol_version_fails_loudly_not_silently() {
+    let mut server = new_server(ServerConfig::default());
+    let conn = server.connect();
+    let (mut near, mut far) = InProcTransport::pair();
+    near.send(b"MVN\x09junkjunkjunk").unwrap();
+    server.service(conn, &mut far).unwrap();
+    assert!(!server.is_open(conn));
+    let mut reader = FrameReader::new();
+    let frames = read_frames(&mut near, &mut reader);
+    match &frames[..] {
+        [Frame::Error { message, .. }] => {
+            assert!(message.contains("version 9"), "got: {message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+#[test]
+fn corruption_mid_stream_closes_the_connection_but_not_the_session() {
+    let mut server = new_server(ServerConfig::default());
+    let (mut client, mut link, spy) = connect(
+        &mut server,
+        ClientConfig::new(vec!["t".into()], vec!["o".into()], true),
+    );
+    // Handshake, then a first batch of events.
+    server.service(link.conn, &mut link.far).unwrap();
+    client.step(ZERO).unwrap();
+    for _ in 0..10 {
+        client.record(0, 0, OpKind::Write);
+    }
+    client.step(ZERO).unwrap();
+    server.service(link.conn, &mut link.far).unwrap();
+
+    // Line noise: bytes that cannot be a valid frame.
+    spy.clone().send(&[0xff; 16]).unwrap();
+    server.service(link.conn, &mut link.far).unwrap();
+    assert!(
+        !server.is_open(link.conn),
+        "corruption closes the connection"
+    );
+
+    // The client observes the server's error frame as a remote failure.
+    let err = loop {
+        match client.step(ZERO) {
+            Ok(_) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, NetError::Remote(code, _) if code == frame::error_code::PROTOCOL),
+        "got: {err:?}"
+    );
+
+    // The session survives: reconnect on a fresh pair and finish.
+    let (near2, far2) = InProcTransport::pair();
+    let conn2 = server.connect();
+    client.reconnect(near2).expect("reconnect");
+    let mut link2 = Link {
+        conn: conn2,
+        far: far2,
+    };
+    for _ in 0..10 {
+        client.record(0, 0, OpKind::Read);
+    }
+    client.request_finish();
+    drive(
+        &mut server,
+        std::slice::from_mut(&mut link2),
+        &mut [&mut client],
+    );
+    let run = client.into_run().expect("finished after reconnect");
+    assert_eq!(run.events, 20);
+    assert_eq!(run.stamps.len(), 20);
+    assert_eq!(run.reconnects, 1);
+    let server_run = server.finish().expect("finish");
+    assert_eq!(server_run.report.events, 20);
+}
+
+#[test]
+fn mid_stream_disconnect_replays_the_watermark_suffix_bit_for_bit() {
+    // Reference: the same workload over one uninterrupted connection.
+    let script: Vec<(usize, usize, OpKind)> = (0..60)
+        .map(|i| (i % 2, i % 3, [OpKind::Read, OpKind::Write][i % 2]))
+        .collect();
+    let config = || {
+        let mut c = ClientConfig::new(
+            vec!["t0".into(), "t1".into()],
+            vec!["x".into(), "y".into(), "z".into()],
+            true,
+        );
+        // Small frames so the cut lands between and inside event frames.
+        c.events_per_frame = 4;
+        c
+    };
+
+    let mut reference_server = new_server(ServerConfig::default());
+    let (mut reference, mut ref_link, _) = connect(&mut reference_server, config());
+    for &(t, o, kind) in &script {
+        reference.record(t, o, kind);
+    }
+    reference.request_finish();
+    drive(
+        &mut reference_server,
+        std::slice::from_mut(&mut ref_link),
+        &mut [&mut reference],
+    );
+    let reference_run = reference.into_run().expect("reference finished");
+    let reference_server_run = reference_server.finish().expect("reference finish");
+
+    // Interrupted: sever the link mid-frame after the events are on the
+    // wire, reconnect, and let the replay fill the gap.
+    let mut server = new_server(ServerConfig::default());
+    let (mut client, mut link, spy) = connect(&mut server, config());
+    server.service(link.conn, &mut link.far).unwrap();
+    client.step(ZERO).unwrap(); // consume the ack
+    for &(t, o, kind) in &script {
+        client.record(t, o, kind);
+    }
+    client.step(ZERO).unwrap(); // all event frames hit the wire
+    let pending = spy.pending();
+    assert!(pending > 0);
+    // Keep roughly half the bytes, cutting inside a frame.
+    spy.sever_keeping(pending / 2);
+    server.service(link.conn, &mut link.far).unwrap();
+    assert!(!server.is_open(link.conn));
+    let err = client.step(ZERO).expect_err("link is dead");
+    assert!(matches!(err, NetError::Transport(TransportError::Closed)));
+
+    let (near2, far2) = InProcTransport::pair();
+    let conn2 = server.connect();
+    client.reconnect(near2).expect("reconnect");
+    let mut link2 = Link {
+        conn: conn2,
+        far: far2,
+    };
+    client.request_finish();
+    drive(
+        &mut server,
+        std::slice::from_mut(&mut link2),
+        &mut [&mut client],
+    );
+    let run = client.into_run().expect("finished");
+    let server_run = server.finish().expect("finish");
+
+    // Bit-for-bit: every event gets the stamp it would have gotten in the
+    // uninterrupted run.  The client sees that directly (its stamps are
+    // indexed by its own event order); on the server the merge may emit a
+    // *different linear extension* of the same partial order when pump
+    // boundaries differ, so the interleaving is compared chain-wise and
+    // the stamps through the oracle-7 contract (sequential batch replay
+    // of the merged interleaving).
+    assert_eq!(run.reconnects, 1);
+    assert_eq!(run.stamps, reference_run.stamps);
+    let recorded = |r: &mvc_net::ServerRun| {
+        r.sink
+            .as_any()
+            .downcast_ref::<MemoryRecorder>()
+            .map(|m| (m.computation().clone(), m.timestamps().to_vec()))
+            .expect("mem sink")
+    };
+    let (computation, timestamps) = recorded(&server_run);
+    let (ref_computation, _) = recorded(&reference_server_run);
+    // Same partial order: identical per-thread and per-object chains.
+    for t in 0..2 {
+        let chain = |c: &mvc_trace::Computation| -> Vec<(usize, OpKind)> {
+            c.thread_chain(mvc_trace::ThreadId(t))
+                .iter()
+                .map(|&id| (c.event(id).object.index(), c.event(id).kind))
+                .collect()
+        };
+        assert_eq!(chain(&computation), chain(&ref_computation), "thread {t}");
+    }
+    for o in 0..3 {
+        let chain = |c: &mvc_trace::Computation| -> Vec<(usize, OpKind)> {
+            c.object_chain(mvc_trace::ObjectId(o))
+                .iter()
+                .map(|&id| (c.event(id).thread.index(), c.event(id).kind))
+                .collect()
+        };
+        assert_eq!(chain(&computation), chain(&ref_computation), "object {o}");
+    }
+    // And the interrupted run's stamps equal a sequential batch replay of
+    // its own merged interleaving.
+    let mut engine = TimestampingEngine::with_components(server_run.report.components.clone());
+    let replayed = mvc_core::replay(&mut engine, &computation)
+        .unwrap()
+        .timestamps;
+    assert_eq!(timestamps, replayed);
+}
+
+#[test]
+fn stamps_lost_with_the_connection_are_retransmitted_after_reconnect() {
+    // want_stamps with a cut placed after the server has *sent* stamps the
+    // client never received: the reconnect must rewind the stamp stream to
+    // what the client actually holds.
+    let mut server = new_server(ServerConfig {
+        credit_window: 1 << 16,
+        stamps_per_frame: 4,
+    });
+    let (mut client, mut link, _spy) = connect(
+        &mut server,
+        ClientConfig::new(vec!["t".into()], vec!["o".into()], true),
+    );
+    server.service(link.conn, &mut link.far).unwrap();
+    client.step(ZERO).unwrap();
+    for _ in 0..30 {
+        client.record(0, 0, OpKind::Op);
+    }
+    client.step(ZERO).unwrap();
+    // The server ingests everything and queues stamp frames — which are
+    // lost: severing the server half truncates the stamp bytes still
+    // sitting in the server→client pipe before the client reads them.
+    server.service(link.conn, &mut link.far).unwrap();
+    link.far.sever_keeping(0);
+    server.service(link.conn, &mut link.far).unwrap();
+    let _ = client.step(ZERO).expect_err("link is dead");
+    assert_eq!(client.stamps().len(), 0, "every stamp was lost in flight");
+
+    let (near2, far2) = InProcTransport::pair();
+    let conn2 = server.connect();
+    client.reconnect(near2).expect("reconnect");
+    let mut link2 = Link {
+        conn: conn2,
+        far: far2,
+    };
+    client.request_finish();
+    drive(
+        &mut server,
+        std::slice::from_mut(&mut link2),
+        &mut [&mut client],
+    );
+    let run = client.into_run().expect("finished");
+    assert_eq!(run.stamps.len(), 30);
+    for (i, stamp) in run.stamps.iter().enumerate() {
+        assert_eq!(stamp.as_slice(), &[(i + 1) as u64]);
+    }
+}
+
+#[test]
+fn truncated_streams_pend_and_corrupted_padding_never_panics_the_server() {
+    // Fuzz the server at every frame-type boundary: a valid session
+    // prologue cut at every byte position is fed to a fresh server — each
+    // prefix must either pend quietly or close with an error frame, never
+    // panic, and the pipeline must stay usable.
+    let mut stream = Vec::new();
+    frame::write_stream_header(&mut stream);
+    frame::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            token: 0,
+            want_stamps: true,
+            stamps_received: 0,
+            threads: vec!["t".into()],
+            objects: vec!["o".into()],
+        },
+    );
+    frame::write_frame(
+        &mut stream,
+        &Frame::Events {
+            events: vec![(0, 0, OpKind::Write), (0, 0, OpKind::Read)],
+        },
+    );
+    frame::write_frame(&mut stream, &Frame::StampsAck { received: 0 });
+    frame::write_frame(&mut stream, &Frame::Goodbye { events: 2 });
+
+    for cut in 0..stream.len() {
+        let mut server = new_server(ServerConfig::default());
+        let conn = server.connect();
+        server
+            .feed(conn, &stream[..cut])
+            .expect("no pipeline error");
+        server.pump().expect("no pipeline error");
+        // And with trailing garbage where the lost bytes would be.
+        let mut server = new_server(ServerConfig::default());
+        let conn = server.connect();
+        let mut garbled = stream[..cut].to_vec();
+        garbled.extend(std::iter::repeat_n(0xA5, stream.len() - cut));
+        server.feed(conn, &garbled).expect("no pipeline error");
+        server.pump().expect("no pipeline error");
+        let run = server.finish().expect("pipeline intact");
+        assert!(run.report.events <= 2);
+    }
+}
