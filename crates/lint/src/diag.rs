@@ -1,0 +1,35 @@
+//! Diagnostics: what a rule reports and how it prints.
+
+use std::fmt;
+
+/// One finding, printed as `path:line:col [rule-id] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Sort key: path, then position, then rule — stable output for golden tests.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+}

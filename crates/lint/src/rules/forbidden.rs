@@ -1,0 +1,67 @@
+//! Declarative forbidden-pattern rules from `lint.toml [[forbidden]]`.
+//!
+//! These absorb the old ad-hoc `include_str!` source-scan tests: each rule
+//! names a file, a set of token patterns, and a maximum occurrence count
+//! (default zero). Patterns are lexed with the same lexer as the source and
+//! matched token-wise over non-test code, so a mention inside a string,
+//! comment, or `#[cfg(test)]` block never fires — the exact false positives
+//! the old `str::matches` scans were vulnerable to.
+
+use crate::config::{Config, ForbiddenRule};
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::source::SourceFile;
+
+pub fn check(file: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in cfg.forbidden.iter().filter(|r| r.file == file.path) {
+        check_rule(file, rule, &mut out);
+    }
+    out
+}
+
+fn check_rule(file: &SourceFile, rule: &ForbiddenRule, out: &mut Vec<Diagnostic>) {
+    // Code tokens only: comments out, strings stay as single opaque tokens a
+    // multi-token pattern can never match into.
+    let code: Vec<&Token> = file
+        .tokens
+        .iter()
+        .filter(|t| !t.in_test && t.kind != TokenKind::Comment)
+        .collect();
+    for pattern in &rule.patterns {
+        let needle = lex(pattern);
+        if needle.is_empty() {
+            continue;
+        }
+        let mut hits: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0usize;
+        while i + needle.len() <= code.len() {
+            let matched = needle
+                .iter()
+                .zip(&code[i..])
+                .all(|(n, c)| n.kind == c.kind && n.text == c.text);
+            if matched {
+                hits.push((code[i].line, code[i].col));
+                i += needle.len();
+            } else {
+                i += 1;
+            }
+        }
+        for &(line, col) in hits.iter().skip(rule.max_count) {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line,
+                col,
+                rule: rule.id.clone(),
+                message: if rule.max_count == 0 {
+                    format!("forbidden pattern `{pattern}`: {}", rule.reason)
+                } else {
+                    format!(
+                        "pattern `{pattern}` appears more than {} time(s): {}",
+                        rule.max_count, rule.reason
+                    )
+                },
+            });
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `hot-path-panic`: no `.unwrap()`, `.expect(..)`, or `panic!` in modules
+//! the config declares hot.
+//!
+//! The drain loop's contract (ROADMAP oracle 6: stamps equal batch replay)
+//! only holds if the pipeline keeps running; a panic mid-drain poisons
+//! nothing visible but silently truncates the stamp stream. Hot-path code
+//! must propagate the existing error types instead, or carry a justified
+//! `mvc-lint: allow(hot-path-panic)` for panics that are provably
+//! unreachable.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "hot-path-panic";
+
+pub fn check(file: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if !cfg.hot_path_modules.iter().any(|m| m == &file.path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let finding = match tok.text.as_str() {
+            "unwrap" | "expect" => {
+                let after_dot = i > 0 && toks[i - 1].is_punct(".");
+                let called = toks.get(i + 1).is_some_and(|t| t.is_punct("("));
+                (after_dot && called).then(|| format!(".{}(..) in hot-path module", tok.text))
+            }
+            "panic" => toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct("!"))
+                .then(|| "panic! in hot-path module".to_string()),
+            _ => None,
+        };
+        if let Some(message) = finding {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                rule: RULE.to_string(),
+                message: format!("{message}; propagate an error or justify with an allow"),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,404 @@
+//! `lock-order`: nested lock acquisitions must follow the order declared in
+//! `lint.toml`, and the workspace-wide acquisition graph must be acyclic.
+//!
+//! The net server's thread-per-connection loop and the runtime's session
+//! registry together take twenty-odd `.lock()`s; a deadlock needs only two
+//! of them nested in opposite orders on two threads. This rule extracts
+//! every *syntactic* nesting — an acquisition made while another guard is
+//! still live in the same function — as a directed edge `held -> acquired`,
+//! then checks each edge against the declared chains and the union graph
+//! for cycles. Deny-by-default: an edge no chain declares is an error, so
+//! new nestings must be written down (and thought about) to compile the CI
+//! gate green.
+//!
+//! Scope tracking is syntactic, not borrow-checked: a guard from `let g =
+//! x.lock();` lives until its block closes or `drop(g)`; a temporary like
+//! `x.lock().push(..)` dies at the statement's `;`. Rust's real temporary
+//! lifetimes (match scrutinees, tail expressions) are a superset, so the
+//! analysis can miss exotic nestings but never invents one.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+pub const RULE: &str = "lock-order";
+
+/// Methods that acquire a guard when called with no arguments.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One observed nesting: `held` was live when `acquired` was taken.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub held: String,
+    pub acquired: String,
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// Lock name: the final identifier of the receiver chain.
+    name: String,
+    /// Variable the guard is bound to, if `let`-bound.
+    var: Option<String>,
+    /// Brace depth at the acquisition site.
+    depth: i32,
+    /// Temporaries die at the next `;`; let-bound guards at block close.
+    temporary: bool,
+}
+
+/// Scan one file; returns observed edges plus immediate diagnostics
+/// (self-reacquisition, which no declared order can make safe).
+pub fn check_file(file: &SourceFile) -> (Vec<LockEdge>, Vec<Diagnostic>) {
+    let toks: Vec<&Token> = file
+        .tokens
+        .iter()
+        .filter(|t| !t.in_test && t.kind != TokenKind::Comment)
+        .collect();
+    let mut edges = Vec::new();
+    let mut diags = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut paren_depth = 0i32;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    // Entering a block ends the temporaries of the statement
+                    // head (`if x.lock().ready() {` drops before the body).
+                    guards.retain(|g| !g.temporary);
+                    depth += 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                ";" => {
+                    guards.retain(|g| !(g.temporary && g.depth >= depth));
+                }
+                "(" | "[" => paren_depth += 1,
+                ")" | "]" => paren_depth -= 1,
+                // A comma outside any parens/brackets separates match arms
+                // or struct-literal fields: arm temporaries end there.
+                "," if paren_depth == 0 => {
+                    guards.retain(|g| !(g.temporary && g.depth >= depth));
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+
+        // `drop(var)` releases the named guard early.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            if let Some(var) = toks.get(i + 2).filter(|t| t.kind == TokenKind::Ident) {
+                guards.retain(|g| g.var.as_deref() != Some(var.text.as_str()));
+            }
+        }
+
+        // Acquisition: `recv.lock()` / `recv.read()` / `recv.write()`,
+        // zero-argument, with `recv`'s final path segment as the lock name.
+        if let Some(site) = match_acquisition(&toks, i) {
+            for g in &guards {
+                if g.name == site.name {
+                    diags.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: site.line,
+                        col: site.col,
+                        rule: RULE.to_string(),
+                        message: format!(
+                            "lock `{}` acquired while a guard on it is still live \
+                             (self-deadlock)",
+                            site.name
+                        ),
+                    });
+                } else {
+                    edges.push(LockEdge {
+                        path: file.path.clone(),
+                        line: site.line,
+                        col: site.col,
+                        held: g.name.clone(),
+                        acquired: site.name.clone(),
+                    });
+                }
+            }
+            guards.push(Guard {
+                name: site.name,
+                var: site.var,
+                depth,
+                temporary: site.var_is_none,
+            });
+        }
+        i += 1;
+    }
+    (edges, diags)
+}
+
+struct Acquisition {
+    name: String,
+    line: u32,
+    col: u32,
+    var: Option<String>,
+    var_is_none: bool,
+}
+
+/// If `toks[i]` is the receiver's final segment of a zero-arg acquire call,
+/// return the site. `i` points at the ident before `.lock()`.
+fn match_acquisition(toks: &[&Token], i: usize) -> Option<Acquisition> {
+    let recv = toks[i];
+    if recv.kind != TokenKind::Ident && recv.kind != TokenKind::Number {
+        return None;
+    }
+    if !toks.get(i + 1)?.is_punct(".") {
+        return None;
+    }
+    let method = toks.get(i + 2)?;
+    if method.kind != TokenKind::Ident || !ACQUIRE_METHODS.contains(&method.text.as_str()) {
+        return None;
+    }
+    if !toks.get(i + 3)?.is_punct("(") || !toks.get(i + 4)?.is_punct(")") {
+        return None;
+    }
+    // Name the lock after the final identifier: for `self.0.lock()` walk
+    // back past numeric tuple indices to `self`.
+    let mut name = recv.text.clone();
+    if recv.kind == TokenKind::Number {
+        let mut k = i;
+        while k >= 2 && toks[k].kind == TokenKind::Number && toks[k - 1].is_punct(".") {
+            k -= 2;
+        }
+        if toks[k].kind == TokenKind::Ident {
+            name = toks[k].text.clone();
+        }
+    }
+    let var = if binds_guard(toks, i + 4) {
+        let_binding(toks, i)
+    } else {
+        None
+    };
+    Some(Acquisition {
+        name,
+        line: method.line,
+        col: method.col,
+        var_is_none: var.is_none(),
+        var,
+    })
+}
+
+/// Does the expression keep the guard, or consume it?
+///
+/// `let g = m.lock();` binds the guard; `let n = m.lock().len();` binds a
+/// value and drops the guard at the `;`. Starting from the `)` of the
+/// acquire call at `close`, skip over Result-unwrapping adapters (`.unwrap()`
+/// / `.expect(..)` / `.unwrap_or_else(..)` — std mutexes in the shims return
+/// `LockResult`) and report whether the chain then ends the statement.
+fn binds_guard(toks: &[&Token], mut close: usize) -> bool {
+    const ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+    loop {
+        let Some(next) = toks.get(close + 1) else {
+            return false;
+        };
+        if next.is_punct(";") {
+            return true;
+        }
+        if !next.is_punct(".") {
+            return false;
+        }
+        let Some(m) = toks.get(close + 2) else {
+            return false;
+        };
+        if m.kind != TokenKind::Ident || !ADAPTERS.contains(&m.text.as_str()) {
+            return false;
+        }
+        if !toks.get(close + 3).is_some_and(|t| t.is_punct("(")) {
+            return false;
+        }
+        // Find the matching `)` of the adapter call.
+        let mut depth = 0i32;
+        let mut j = close + 3;
+        loop {
+            let Some(t) = toks.get(j) else { return false };
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        close = j;
+    }
+}
+
+/// Walk back from the receiver to the start of the statement; if the
+/// statement is `let [mut] NAME ... = ...`, return NAME.
+fn let_binding(toks: &[&Token], recv: usize) -> Option<String> {
+    let mut k = recv;
+    while k > 0 {
+        let t = toks[k - 1];
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        k -= 1;
+    }
+    if !toks.get(k)?.is_ident("let") {
+        return None;
+    }
+    let mut n = k + 1;
+    if toks.get(n)?.is_ident("mut") {
+        n += 1;
+    }
+    let name_tok = toks.get(n)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    // Require a `=` between the binding and the receiver, i.e. the lock call
+    // is the initializer of this very `let`.
+    if n + 1 > recv {
+        return None;
+    }
+    let has_eq = toks[n + 1..recv].iter().any(|t| t.is_punct("="));
+    has_eq.then(|| name_tok.text.clone())
+}
+
+/// Workspace-level verdicts once every file's edges are collected: each edge
+/// must be sanctioned by a declared chain, and the union of observed edges
+/// and declared orderings must stay acyclic.
+pub fn finish(edges: &[LockEdge], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for e in edges {
+        if chain_position(cfg, &e.held, &e.acquired) == ChainVerdict::Contradicted {
+            out.push(Diagnostic {
+                path: e.path.clone(),
+                line: e.line,
+                col: e.col,
+                rule: RULE.to_string(),
+                message: format!(
+                    "acquiring `{}` while holding `{}` contradicts the declared lock \
+                     order in lint.toml",
+                    e.acquired, e.held
+                ),
+            });
+        } else if chain_position(cfg, &e.held, &e.acquired) == ChainVerdict::Undeclared {
+            out.push(Diagnostic {
+                path: e.path.clone(),
+                line: e.line,
+                col: e.col,
+                rule: RULE.to_string(),
+                message: format!(
+                    "undeclared lock nesting: `{}` held while acquiring `{}`; add a \
+                     chain to lint.toml [lock_order] or restructure",
+                    e.held, e.acquired
+                ),
+            });
+        }
+    }
+
+    if let Some(cycle) = find_cycle(edges, cfg) {
+        let at = edges
+            .iter()
+            .find(|e| cycle.contains(&e.held) && cycle.contains(&e.acquired));
+        let (path, line, col) = at
+            .map(|e| (e.path.clone(), e.line, e.col))
+            .unwrap_or_else(|| ("lint.toml".to_string(), 1, 1));
+        out.push(Diagnostic {
+            path,
+            line,
+            col,
+            rule: RULE.to_string(),
+            message: format!("lock acquisition graph has a cycle: {}", cycle.join(" -> ")),
+        });
+    }
+    out
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum ChainVerdict {
+    Declared,
+    Contradicted,
+    Undeclared,
+}
+
+fn chain_position(cfg: &Config, held: &str, acquired: &str) -> ChainVerdict {
+    let mut verdict = ChainVerdict::Undeclared;
+    for chain in &cfg.lock_chains {
+        let h = chain.iter().position(|l| l == held);
+        let a = chain.iter().position(|l| l == acquired);
+        match (h, a) {
+            (Some(h), Some(a)) if h < a => return ChainVerdict::Declared,
+            (Some(_), Some(_)) => verdict = ChainVerdict::Contradicted,
+            _ => {}
+        }
+    }
+    verdict
+}
+
+/// Cycle detection over observed edges plus declared-chain orderings.
+/// Returns the node sequence of one cycle if any exists.
+fn find_cycle(edges: &[LockEdge], cfg: &Config) -> Option<Vec<String>> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        graph.entry(&e.held).or_default().insert(&e.acquired);
+    }
+    for chain in &cfg.lock_chains {
+        for pair in chain.windows(2) {
+            graph.entry(&pair[0]).or_default().insert(&pair[1]);
+        }
+    }
+
+    // Iterative DFS with colors; on a back-edge, read the cycle off the stack.
+    let nodes: Vec<&str> = graph.keys().copied().collect();
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 0 new, 1 on-stack, 2 done
+    for &root in &nodes {
+        if state.get(root).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(
+            root,
+            graph
+                .get(root)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default(),
+        )];
+        state.insert(root, 1);
+        while let Some((node, succs)) = stack.last_mut() {
+            if let Some(next) = succs.pop() {
+                match state.get(next).copied().unwrap_or(0) {
+                    0 => {
+                        state.insert(next, 1);
+                        let next_succs = graph
+                            .get(next)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
+                        stack.push((next, next_succs));
+                    }
+                    1 => {
+                        let mut cycle: Vec<String> =
+                            stack.iter().map(|(n, _)| n.to_string()).collect();
+                        if let Some(pos) = cycle.iter().position(|n| n == next) {
+                            cycle.drain(..pos);
+                        }
+                        cycle.push(next.to_string());
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                state.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+    None
+}

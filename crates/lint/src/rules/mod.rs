@@ -1,0 +1,10 @@
+//! The rule set. Each module implements one rule over a lexed
+//! [`crate::source::SourceFile`]; the engine in `lib.rs` runs them and
+//! filters suppressed findings.
+
+pub mod atomics;
+pub mod debug_output;
+pub mod forbidden;
+pub mod hot_path;
+pub mod lock_order;
+pub mod unsafety;

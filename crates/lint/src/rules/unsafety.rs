@@ -1,0 +1,74 @@
+//! `unsafe-safety`: every `unsafe` block, function, or impl must sit under a
+//! `// SAFETY:` comment, and every crate root must carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The workspace is unsafe-free today (every `lib.rs` forbids it) and the
+//! paper's correctness argument never needs raw-pointer tricks. This rule
+//! keeps that provable: the forbid attribute cannot silently disappear, and
+//! if unsafe ever does arrive behind a config change, it arrives documented.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "unsafe-safety";
+
+pub fn check(file: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        // A `// SAFETY: ...` comment must appear directly above (within two
+        // lines) or on the same line, as the nearest preceding comment.
+        let documented = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line + 2 >= tok.line)
+            .any(|t| t.kind == TokenKind::Comment && t.text.contains("SAFETY"));
+        if !documented {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                rule: RULE.to_string(),
+                message: "`unsafe` without a `// SAFETY:` comment explaining the invariant"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Crate roots must forbid unsafe code outright.
+    if cfg.require_forbid_unsafe && file.path.ends_with("src/lib.rs") && !has_forbid_unsafe(file) {
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: 1,
+            col: 1,
+            rule: RULE.to_string(),
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    out
+}
+
+/// Look for the token sequence `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let toks: Vec<_> = file
+        .tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    toks.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    })
+}

@@ -1,0 +1,132 @@
+//! A lexed source file plus its inline suppressions.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, mark_test_code, Token, TokenKind};
+
+/// An inline suppression comment: `// mvc-lint: allow(rule-id) — reason`.
+///
+/// A suppression covers the line it sits on; a standalone suppression comment
+/// (nothing but the comment on its line) covers the next non-comment line
+/// instead. A suppression without a written reason suppresses nothing and is
+/// itself reported under the `suppression` rule.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub reason: String,
+    /// The source line the suppression applies to.
+    pub covers_line: u32,
+    /// Where the comment itself lives (for the missing-reason diagnostic).
+    pub at_line: u32,
+    pub at_col: u32,
+}
+
+/// A file ready for linting: path, raw text, tokens with `in_test` marked,
+/// and extracted suppressions.
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let mut tokens = lex(text);
+        mark_test_code(&mut tokens);
+        let suppressions = extract_suppressions(&tokens);
+        SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+            tokens,
+            suppressions,
+        }
+    }
+
+    /// Is `rule` suppressed (with a reason) on `line`?
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.covers_line == line && s.rule == rule && !s.reason.is_empty())
+    }
+
+    /// Diagnostics for malformed suppressions (missing reasons). Run once per
+    /// file by the engine, not per rule.
+    pub fn suppression_diagnostics(&self) -> Vec<Diagnostic> {
+        self.suppressions
+            .iter()
+            .filter(|s| s.reason.is_empty())
+            .map(|s| Diagnostic {
+                path: self.path.clone(),
+                line: s.at_line,
+                col: s.at_col,
+                rule: "suppression".to_string(),
+                message: format!(
+                    "mvc-lint: allow({}) has no reason; write `// mvc-lint: allow({}) — why`",
+                    s.rule, s.rule
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Pull `mvc-lint: allow(...)` markers out of comment tokens and resolve
+/// which line each one covers.
+fn extract_suppressions(tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some((rule, reason)) = parse_allow(&tok.text) else {
+            continue;
+        };
+        // Standalone if no earlier token shares the comment's line.
+        let standalone = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .count()
+            == 0;
+        let covers_line = if standalone {
+            // Next non-comment token's line; fall back to own line at EOF.
+            tokens[i + 1..]
+                .iter()
+                .find(|t| t.kind != TokenKind::Comment)
+                .map(|t| t.line)
+                .unwrap_or(tok.line)
+        } else {
+            tok.line
+        };
+        out.push(Suppression {
+            rule,
+            reason,
+            covers_line,
+            at_line: tok.line,
+            at_col: tok.col,
+        });
+    }
+    out
+}
+
+/// Parse `mvc-lint: allow(rule-id) — reason` out of a comment's text.
+/// Accepts `—`, `–`, `-`, or `:` as the reason separator.
+fn parse_allow(comment: &str) -> Option<(String, String)> {
+    let idx = comment.find("mvc-lint:")?;
+    let rest = comment[idx + "mvc-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let mut tail = rest[close + 1..].trim_start();
+    for sep in ["—", "–", "-", ":"] {
+        if let Some(stripped) = tail.strip_prefix(sep) {
+            tail = stripped;
+            break;
+        }
+    }
+    let reason = tail.trim().trim_end_matches("*/").trim().to_string();
+    Some((rule, reason))
+}

@@ -1,0 +1,49 @@
+//! Workspace file discovery, dependency-free.
+//!
+//! The lintable surface is every `.rs` file under a `src/` directory of the
+//! root package, `crates/*`, and `shims/*` — library and binary code, not
+//! `tests/`, `benches/`, or `examples/` (integration tests may unwrap at
+//! will). The linter's own test fixtures are skipped: they exist to trip
+//! rules on purpose.
+
+use std::path::{Path, PathBuf};
+
+/// Collect workspace-relative paths of every lintable source file under
+/// `root`, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for base in ["src", "crates", "shims"] {
+        let base_path = root.join(base);
+        if !base_path.is_dir() {
+            continue;
+        }
+        if base == "src" {
+            collect_rs(&base_path, &mut out)?;
+        } else {
+            for entry in std::fs::read_dir(&base_path)? {
+                let src = entry?.path().join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut out)?;
+                }
+            }
+        }
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

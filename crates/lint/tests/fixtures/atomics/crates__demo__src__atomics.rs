@@ -1,0 +1,48 @@
+//! Atomic-ordering fixture (not allowlisted for SeqCst).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn explicit_orderings_ok(flag: &AtomicBool, n: &AtomicUsize) {
+    flag.store(true, Ordering::Release);
+    let _ = flag.load(Ordering::Acquire);
+    let _ = n.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn positive_seqcst(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub fn suppressed_seqcst(flag: &AtomicBool) {
+    // mvc-lint: allow(atomic-ordering) — fixture: migration stepping stone
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub struct Store {
+    items: Vec<u32>,
+}
+
+impl Store {
+    /// Positive: a `store`-named call with arguments but no ordering. The
+    /// rule is name-based on purpose — if a non-atomic type grows a method
+    /// from the atomic vocabulary, passing the ordering spelled out (or
+    /// renaming the method) keeps the call unambiguous to readers.
+    pub fn positive_missing_ordering(&mut self, value: u32, flag: &AtomicBool) {
+        flag.store(value != 0);
+        self.items.push(value);
+    }
+}
+
+pub fn false_positives_do_not_fire() {
+    // Ordering::SeqCst in a comment must not fire.
+    let _s = "Ordering::SeqCst in a string must not fire";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_seqcst(flag: &AtomicBool) {
+        flag.store(true, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,34 @@
+//! no-debug-output fixture: library code must not print.
+
+#![forbid(unsafe_code)]
+
+pub fn positive_println(x: u32) {
+    println!("x = {x}");
+}
+
+pub fn positive_dbg(x: u32) -> u32 {
+    dbg!(x)
+}
+
+pub fn positive_todo() {
+    todo!()
+}
+
+pub fn suppressed() {
+    // mvc-lint: allow(no-debug-output) — fixture: startup banner demanded by the CLI contract
+    println!("banner");
+}
+
+pub fn false_positives_do_not_fire() {
+    // println! in a comment must not fire
+    let _s = "println!(\"in a string\") must not fire";
+    let _f = "a bare println ident without a bang";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test diagnostics are fine");
+    }
+}

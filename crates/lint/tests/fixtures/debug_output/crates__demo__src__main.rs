@@ -1,0 +1,5 @@
+//! Binaries print as their interface: exempt.
+
+fn main() {
+    println!("hello from a binary");
+}

@@ -1,0 +1,12 @@
+//! max_count fixture: the first `solve_once(` is within budget, the second
+//! is a finding.
+
+use planner::solve_once;
+
+pub fn first_call_is_budgeted(input: &[u32]) -> u32 {
+    solve_once(input)
+}
+
+pub fn second_call_fires(input: &[u32]) -> u32 {
+    solve_once(input)
+}

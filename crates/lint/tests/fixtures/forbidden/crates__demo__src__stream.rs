@@ -1,0 +1,29 @@
+//! Forbidden-pattern fixture: mentions of OfflinePlanner in comments,
+//! strings, and tests must NOT fire; real code occurrences must.
+
+pub struct OfflinePlanner;
+
+pub fn positive_clone(v: &Vec<u32>) -> Vec<u32> {
+    v.clone()
+}
+
+pub fn suppressed_use() {
+    // mvc-lint: allow(demo-no-planner) — fixture: cold-start fallback, not the hot path
+    let _p = OfflinePlanner;
+}
+
+pub fn false_positives_do_not_fire() {
+    // OfflinePlanner in a comment is fine, as is .clone() here
+    let _s = "OfflinePlanner and .clone() in a string are fine";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_use_the_planner() {
+        let _p = OfflinePlanner;
+        let _v = vec![1u32].clone();
+    }
+}

@@ -1,0 +1,5 @@
+//! Not on the hot-path module list: panicking calls are allowed here.
+
+pub fn cold_code_may_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

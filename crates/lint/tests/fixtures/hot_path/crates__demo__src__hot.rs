@@ -1,0 +1,43 @@
+//! Hot-path fixture: panicking calls must be flagged, except in tests,
+//! strings, comments, and under a reasoned allow.
+
+pub fn positive_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn positive_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn positive_panic() {
+    panic!("boom");
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // mvc-lint: allow(hot-path-panic) — fixture: provably Some by construction
+    x.unwrap()
+}
+
+// mvc-lint: allow(hot-path-panic)
+pub fn suppression_without_reason_still_fires(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn not_a_call() {
+    // a comment mentioning .unwrap() must not fire
+    let _s = "strings with .unwrap() and panic! must not fire";
+    let _r = r#"raw panic!("x") too"#;
+}
+
+pub fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1u32).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,69 @@
+//! Lock-order fixture. Declared chain: first -> second.
+
+use std::sync::Mutex;
+
+pub struct S {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+    third: Mutex<u32>,
+}
+
+impl S {
+    /// Negative: nesting in the declared order is fine.
+    pub fn declared_order_ok(&self) {
+        let a = self.first.lock();
+        let _b = self.second.lock();
+        drop(a);
+    }
+
+    /// Positive: the reverse nesting contradicts the chain (and, combined
+    /// with `declared_order_ok`, closes a cycle).
+    pub fn contradicts_declared_order(&self) {
+        let b = self.second.lock();
+        let _a = self.first.lock();
+        drop(b);
+    }
+
+    /// Positive: nesting nobody declared.
+    pub fn undeclared_nesting(&self) {
+        let a = self.first.lock();
+        let _c = self.third.lock();
+        drop(a);
+    }
+
+    /// Positive: re-acquiring a lock while its guard is live.
+    pub fn self_deadlock(&self) {
+        let a = self.first.lock();
+        let _again = self.first.lock();
+        drop(a);
+    }
+
+    /// Negative: `drop` releases the guard before the next acquisition.
+    pub fn sequential_after_drop(&self) {
+        let b = self.second.lock();
+        drop(b);
+        let _a = self.first.lock();
+    }
+
+    /// Negative: a scoped guard is released at its block's end.
+    pub fn scoped_guard(&self) {
+        {
+            let _b = self.second.lock();
+        }
+        let _a = self.first.lock();
+    }
+
+    /// Negative: statement temporaries die at the semicolon.
+    pub fn temporaries_do_not_nest(&self) {
+        let _x = *self.second.lock() + 1;
+        let _y = *self.first.lock() + 1;
+    }
+
+    /// Suppressed: an undeclared nesting with a reasoned allow.
+    pub fn suppressed_nesting(&self) {
+        let c = self.third.lock();
+        // mvc-lint: allow(lock-order) — fixture: justified one-off nesting
+        let _a = self.first.lock();
+        drop(c);
+    }
+}

@@ -1,0 +1,5 @@
+//! Crate root WITH the forbid attribute: nothing to report.
+
+#![forbid(unsafe_code)]
+
+pub fn fine() {}

@@ -1,0 +1,20 @@
+//! Crate root WITHOUT `#![forbid(unsafe_code)]`: flagged at 1:1.
+
+pub fn positive_undocumented_unsafe(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented_unsafe_ok(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid and aligned for reads.
+    unsafe { *p }
+}
+
+pub fn suppressed_unsafe(p: *const u32) -> u32 {
+    // mvc-lint: allow(unsafe-safety) — fixture: documented in the module header instead
+    unsafe { *p }
+}
+
+pub fn mentions_in_prose_do_not_fire() {
+    // the word unsafe in a comment must not fire
+    let _s = "unsafe in a string must not fire";
+}

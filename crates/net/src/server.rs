@@ -680,8 +680,8 @@ impl<E: ServeEngine> NetServer<E> {
                 session.slots.resize(idx + 1, None);
             }
             session.slots[idx] = Some(stamp);
-            while let Some(Some(_)) = session.slots.front() {
-                let stamp = session.slots.pop_front().flatten().expect("checked Some");
+            while let Some(stamp) = session.slots.front_mut().and_then(Option::take) {
+                session.slots.pop_front();
                 session.stamp_log.push_back(stamp);
                 session.slot_base += 1;
             }
@@ -886,7 +886,9 @@ pub fn serve_tcp<E: ServeEngine + 'static>(
             }
         }
     }
-    shared.done.store(true, Ordering::SeqCst);
+    // Release pairs with the Acquire load in `handle_conn`: a handler that
+    // observes `done` also observes every write the accept loop made first.
+    shared.done.store(true, Ordering::Release);
     for worker in workers {
         let _ = worker.join();
     }
@@ -902,7 +904,7 @@ fn handle_conn<E: ServeEngine>(shared: &Shared<E>, mut transport: crate::TcpTran
     let mut buf = vec![0u8; 256 * 1024];
     let mut staged = Vec::with_capacity(512 * 1024);
     loop {
-        if shared.done.load(Ordering::SeqCst) {
+        if shared.done.load(Ordering::Acquire) {
             shared.server.lock().disconnect(conn);
             return;
         }

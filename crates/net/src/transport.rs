@@ -282,8 +282,8 @@ impl Transport for InProcTransport {
         loop {
             if !state.buf.is_empty() {
                 let n = buf.len().min(state.buf.len());
-                for slot in buf.iter_mut().take(n) {
-                    *slot = state.buf.pop_front().expect("length checked");
+                for (slot, byte) in buf.iter_mut().zip(state.buf.drain(..n)) {
+                    *slot = byte;
                 }
                 return Ok(Recv::Bytes(n));
             }

@@ -225,26 +225,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn reveal_path_neither_clones_the_graph_nor_replans() {
-        // Guard for the hot-path guarantee: `reveal` must not clone the
-        // revealed graph or invoke the from-scratch offline planner per
-        // edge.  Scans this module's non-test source so a regression fails
-        // loudly instead of silently reintroducing O(E·E√V) tracking.
-        let source = include_str!("competitive.rs");
-        let hot = source
-            .split("#[cfg(test)]")
-            .next()
-            .expect("split always yields a first chunk");
-        assert!(
-            !hot.contains("plan_for_graph") && !hot.contains("OfflineOptimizer"),
-            "reveal path must use the incremental optimum, not the planner"
-        );
-        assert!(
-            !hot.contains(".clone()"),
-            "reveal path must not clone per reveal"
-        );
-    }
+    // The reveal-path-neither-clones-nor-replans guard is enforced by
+    // mvc-lint's `competitive-no-replan` rule (see lint.toml and
+    // docs/LINTS.md), which replaced the source-scan test that lived here.
 
     #[test]
     fn ratios_are_finite_and_at_least_one() {

@@ -1113,25 +1113,10 @@ mod tests {
         assert!(comp.ratio() >= 1.0);
     }
 
-    #[test]
-    fn streaming_hot_path_never_invokes_the_offline_planner() {
-        // The whole point of analysis-as-sink is that no per-batch offline
-        // plan is computed; scan the non-test source so a regression fails
-        // loudly.
-        let source = include_str!("analysis.rs");
-        let hot = source
-            .split("#[cfg(test)]")
-            .next()
-            .expect("split always yields a first chunk");
-        assert!(
-            !hot.contains("OfflineOptimizer") && !hot.contains("plan_for_computation"),
-            "analysis sinks must use live stamps, not a post-hoc plan"
-        );
-        assert!(
-            !hot.contains("causality_oracle()") && !hot.contains("CausalityOracle::build"),
-            "analysis sinks must not fall back to the bitset oracle"
-        );
-    }
+    // The guarantee that the streaming hot path never invokes the offline
+    // planner is enforced by mvc-lint's `analysis-no-offline-planner` rule
+    // (see lint.toml and docs/LINTS.md), which replaced the source-scan
+    // test that used to live here.
 }
 
 /// Ignored-by-default profiling probe for the conflict sink's hot path.

@@ -264,27 +264,9 @@ mod tests {
         assert_eq!(first, analyzer.analyze(&c), "runs are identical");
     }
 
-    #[test]
-    fn one_offline_solve_serves_all_groups() {
-        // Guard: `analyze` must compute the offline plan exactly once, not
-        // per group.  Scans this module's non-test source so a regression
-        // fails loudly.
-        let source = include_str!("conflict.rs");
-        let hot = source
-            .split("#[cfg(test)]")
-            .next()
-            .expect("split always yields a first chunk");
-        assert_eq!(
-            hot.matches("plan_for_computation").count(),
-            1,
-            "analyze must plan exactly once, outside the group loop"
-        );
-        assert_eq!(
-            hot.matches(".assign(").count(),
-            1,
-            "stamps are assigned once for all groups"
-        );
-    }
+    // The one-offline-solve-serves-all-groups guard is enforced by
+    // mvc-lint's `conflict-single-solve` rule (see lint.toml and
+    // docs/LINTS.md), which replaced the source-scan test that lived here.
 
     #[test]
     fn multiple_groups_are_reported_independently() {

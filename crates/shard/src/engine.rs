@@ -210,6 +210,7 @@ impl ShardedEngine {
     /// existing slice data moves (see the `slicing` module).
     pub fn add_component(&mut self, component: Component) -> usize {
         let index = self.components.push(component);
+        // mvc-lint: allow(hot-path-panic) — a clock wider than u32::MAX components would exhaust memory long before this fires
         let index_u32 = u32::try_from(index).expect("clock width fits in u32");
         match component {
             Component::Thread(t) => set_dense(&mut self.thread_comp, t.index(), index_u32),
@@ -308,12 +309,14 @@ impl ShardedEngine {
                                     start: s,
                                     end: e,
                                 })
+                                // mvc-lint: allow(hot-path-panic) — workers only exit after their input channel is dropped, which happens in our Drop
                                 .expect("shard worker is alive");
                         }
                         sent += 1;
                     }
                     bufs.clear();
                     for reply in replies.iter() {
+                        // mvc-lint: allow(hot-path-panic) — a worker replies once per chunk or the process is already panicking; see worker.rs
                         bufs.push(reply.recv().expect("shard worker reply"));
                     }
                     merge_into(width, self.shards, &lns, &bufs, end - start, out);
@@ -339,6 +342,7 @@ impl Timestamper for ShardedEngine {
     ) -> Result<VectorTimestamp, TimestampError> {
         let mut out = Vec::with_capacity(1);
         self.process_batch(&[(thread, object)], &mut out)?;
+        // mvc-lint: allow(hot-path-panic) — process_batch's contract is one stamp per input event; one event in, one stamp out
         Ok(out.pop().expect("one stamp for one event"))
     }
 

@@ -57,6 +57,7 @@ pub(crate) fn spawn(
                 }
             }
         })
+        // mvc-lint: allow(hot-path-panic) — spawn fails only on OS thread exhaustion at engine construction, before any event flows
         .expect("spawning a shard worker thread")
 }
 

@@ -7,6 +7,8 @@
 //! so empty expansions are sufficient for a correct build; swapping in the
 //! real crates later is a pure `Cargo.toml` change.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.

@@ -1,0 +1,32 @@
+//! Tier-1 gate: the workspace lints clean under mvc-lint.
+//!
+//! This is the in-process twin of the CI step `cargo run -p mvc-lint --
+//! --deny`: every invariant in `lint.toml` (hot-path panic freedom, the
+//! declared lock order, atomic-ordering discipline, unsafe-freedom, the
+//! migrated forbidden-pattern rules, and no debug output) holds over the
+//! current source tree. A failure message lists the exact findings.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = mvc_lint::Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let files = mvc_lint::workspace_files(root).expect("workspace walk succeeds");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks broken: only {} files found",
+        files.len()
+    );
+    let diags = mvc_lint::lint_paths(root, &files, &cfg).expect("all sources readable");
+    assert!(
+        diags.is_empty(),
+        "mvc-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
