@@ -350,9 +350,49 @@ pub struct SinkStats {
 
 /// The monitoring backend: constant-memory counters over the stamped
 /// stream, for services that want visibility without storage.
-#[derive(Debug, Clone, Default)]
+///
+/// The counts live in [`mvc_obs`] counter cells — *detached* ones, so each
+/// sink's figures stay exact per instance and keep counting whether or not
+/// process-wide metrics are enabled. Call
+/// [`bind_metrics`](StatsSink::bind_metrics) to publish the cells into a
+/// registry, after which its snapshots report this sink's figures under
+/// the `sink.stats.*` names instead of a parallel hand-rolled count.
+///
+/// Cloning shares the counter cells (clones are views of one sink's
+/// counts, matching `mvc_obs` handle semantics); the index bounds and the
+/// clock-width high-water mark are plain per-instance fields.
+#[derive(Debug, Clone)]
 pub struct StatsSink {
-    stats: SinkStats,
+    events: mvc_obs::Counter,
+    /// Indexed like [`SinkStats::per_kind`]: `[read, write, acquire,
+    /// release, op]`.
+    per_kind: [mvc_obs::Counter; 5],
+    thread_index_bound: usize,
+    object_index_bound: usize,
+    max_clock_width: usize,
+}
+
+/// Registry names for [`StatsSink::bind_metrics`], index-aligned with
+/// [`SinkStats::per_kind`] after the leading `events` entry.
+const STATS_METRIC_NAMES: [&str; 6] = [
+    "sink.stats.events",
+    "sink.stats.reads",
+    "sink.stats.writes",
+    "sink.stats.acquires",
+    "sink.stats.releases",
+    "sink.stats.ops",
+];
+
+impl Default for StatsSink {
+    fn default() -> Self {
+        Self {
+            events: mvc_obs::Counter::detached(),
+            per_kind: std::array::from_fn(|_| mvc_obs::Counter::detached()),
+            thread_index_bound: 0,
+            object_index_bound: 0,
+            max_clock_width: 0,
+        }
+    }
 }
 
 fn kind_slot(kind: OpKind) -> usize {
@@ -371,9 +411,27 @@ impl StatsSink {
         Self::default()
     }
 
-    /// The counters accumulated so far.
-    pub fn stats(&self) -> &SinkStats {
-        &self.stats
+    /// The counters accumulated so far, read out of the shared cells.
+    pub fn stats(&self) -> SinkStats {
+        SinkStats {
+            events: self.events.value() as usize,
+            per_kind: std::array::from_fn(|i| self.per_kind[i].value() as usize),
+            thread_index_bound: self.thread_index_bound,
+            object_index_bound: self.object_index_bound,
+            max_clock_width: self.max_clock_width,
+        }
+    }
+
+    /// Publishes this sink's counter cells into `registry` under the
+    /// `sink.stats.*` names (`events`, `reads`, `writes`, `acquires`,
+    /// `releases`, `ops`), so registry snapshots report the sink's figures
+    /// directly. Re-binding (another sink, same registry) replaces the
+    /// previous cells.
+    pub fn bind_metrics(&self, registry: &mvc_obs::Registry) {
+        registry.adopt_counter(STATS_METRIC_NAMES[0], &self.events);
+        for (name, counter) in STATS_METRIC_NAMES[1..].iter().zip(self.per_kind.iter()) {
+            registry.adopt_counter(name, counter);
+        }
     }
 }
 
@@ -383,12 +441,19 @@ impl EventSink for StatsSink {
     }
 
     fn accept_batch(&mut self, batch: &[StampedEvent]) -> Result<(), SinkError> {
+        // Tally into locals, hit the shared cells once per batch.
+        let mut kinds = [0u64; 5];
         for e in batch {
-            self.stats.events += 1;
-            self.stats.per_kind[kind_slot(e.kind)] += 1;
-            self.stats.thread_index_bound = self.stats.thread_index_bound.max(e.thread.index() + 1);
-            self.stats.object_index_bound = self.stats.object_index_bound.max(e.object.index() + 1);
-            self.stats.max_clock_width = self.stats.max_clock_width.max(e.timestamp.len());
+            kinds[kind_slot(e.kind)] += 1;
+            self.thread_index_bound = self.thread_index_bound.max(e.thread.index() + 1);
+            self.object_index_bound = self.object_index_bound.max(e.object.index() + 1);
+            self.max_clock_width = self.max_clock_width.max(e.timestamp.len());
+        }
+        self.events.add(batch.len() as u64);
+        for (slot, n) in kinds.into_iter().enumerate() {
+            if n > 0 {
+                self.per_kind[slot].add(n);
+            }
         }
         Ok(())
     }
@@ -399,21 +464,27 @@ impl EventSink for StatsSink {
         stamps: &mut Vec<VectorTimestamp>,
     ) -> Result<(), SinkError> {
         debug_assert_eq!(events.len(), stamps.len());
+        let mut kinds = [0u64; 5];
         for &(thread, object, kind) in events {
-            self.stats.events += 1;
-            self.stats.per_kind[kind_slot(kind)] += 1;
-            self.stats.thread_index_bound = self.stats.thread_index_bound.max(thread.index() + 1);
-            self.stats.object_index_bound = self.stats.object_index_bound.max(object.index() + 1);
+            kinds[kind_slot(kind)] += 1;
+            self.thread_index_bound = self.thread_index_bound.max(thread.index() + 1);
+            self.object_index_bound = self.object_index_bound.max(object.index() + 1);
         }
         for stamp in stamps.iter() {
-            self.stats.max_clock_width = self.stats.max_clock_width.max(stamp.len());
+            self.max_clock_width = self.max_clock_width.max(stamp.len());
+        }
+        self.events.add(events.len() as u64);
+        for (slot, n) in kinds.into_iter().enumerate() {
+            if n > 0 {
+                self.per_kind[slot].add(n);
+            }
         }
         stamps.clear();
         Ok(())
     }
 
     fn events_accepted(&self) -> usize {
-        self.stats.events
+        self.events.value() as usize
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -7,7 +7,7 @@
 //! mvc-eval throughput [--events N] [--threads N] [--objects N] [--shards 1,2,4,8]
 //!                     [--workload KIND] [--sink mem|codec|stats|conflict|reach|competitive|tee]
 //!                     [--net-clients N] [--csv DIR] [--out FILE]
-//! mvc-eval serve [--addr HOST:PORT] [--clients N] [--out FILE]
+//! mvc-eval serve [--addr HOST:PORT] [--clients N] [--out FILE] [--metrics-out FILE]
 //! mvc-eval produce --addr HOST:PORT [--threads N] [--objects N] [--events N] [--seed N]
 //! ```
 //!
@@ -42,8 +42,8 @@ use std::process::ExitCode;
 use mvc_eval::{
     adaptive_ablation, competitive_trajectory, fig4, fig5, fig6, fig7, measure_throughput, produce,
     registry_sweep, render_csv, render_produce_json, render_serve_json, render_table,
-    render_throughput_json, serve, star_sweep, FigureData, ProduceConfig, SinkKind, SweepConfig,
-    ThroughputConfig,
+    render_throughput_json, serve_with_metrics, star_sweep, FigureData, ProduceConfig, SinkKind,
+    SweepConfig, ThroughputConfig,
 };
 use mvc_graph::GraphScenario;
 use mvc_online::MechanismRegistry;
@@ -81,6 +81,9 @@ struct Options {
     clients: Option<usize>,
     /// `--seed`, used by `produce` (workload seed).
     seed: Option<u64>,
+    /// `--metrics-out`, used by `serve`: write the registry snapshot to
+    /// this file (Prometheus text format) periodically and on shutdown.
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
@@ -126,6 +129,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut addr = None;
     let mut clients = None;
     let mut seed = None;
+    let mut metrics_out = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -268,6 +272,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| format!("invalid seed: {value}"))?;
                 seed = Some(parsed);
             }
+            "--metrics-out" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--metrics-out requires a file path".to_string())?;
+                metrics_out = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: mvc-eval [fig4|fig5|fig6|fig7|adaptive|star|trajectory|all] \
@@ -277,7 +287,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                      [--shards 1,2,4,8] [--workload KIND] \
                      [--sink mem|codec|stats|conflict|reach|competitive|tee] \
                      [--net-clients N] [--csv DIR] [--out FILE]\n       \
-                     mvc-eval serve [--addr HOST:PORT] [--clients N] [--out FILE]\n       \
+                     mvc-eval serve [--addr HOST:PORT] [--clients N] [--out FILE] \
+                     [--metrics-out FILE]\n       \
                      mvc-eval produce --addr HOST:PORT [--threads N] [--objects N] \
                      [--events N] [--seed N] [--workload KIND]"
                         .into(),
@@ -305,6 +316,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         addr,
         clients,
         seed,
+        metrics_out,
     })
 }
 
@@ -349,7 +361,8 @@ fn run_serve(options: &Options) -> Result<String, String> {
         // discover an ephemeral port when `--addr` ends in `:0`.
         eprintln!("mvc-eval serve: listening on {bound}, expecting {expected} client(s)");
     }
-    serve(listener, expected).map(|summary| render_serve_json(&summary))
+    serve_with_metrics(listener, expected, options.metrics_out.as_deref())
+        .map(|summary| render_serve_json(&summary))
 }
 
 /// `mvc-eval produce`: stream one seeded synthetic workload to a running
@@ -557,6 +570,7 @@ mod tests {
             addr: None,
             clients: None,
             seed: None,
+            metrics_out: None,
         }
     }
 
@@ -692,10 +706,24 @@ mod tests {
 
     #[test]
     fn serve_and_produce_options_parse() {
-        let o = parse_args(&args(&["serve", "--addr", "127.0.0.1:0", "--clients", "2"])).unwrap();
+        let o = parse_args(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--clients",
+            "2",
+            "--metrics-out",
+            "/tmp/metrics.prom",
+        ]))
+        .unwrap();
         assert_eq!(o.figures, vec!["serve"]);
         assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(o.clients, Some(2));
+        assert_eq!(
+            o.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/metrics.prom"))
+        );
+        assert!(parse_args(&args(&["serve", "--metrics-out"])).is_err());
 
         let o = parse_args(&args(&["produce", "--addr", "127.0.0.1:9", "--seed", "11"])).unwrap();
         assert_eq!(o.figures, vec!["produce"]);

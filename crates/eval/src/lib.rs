@@ -51,10 +51,10 @@ pub use experiments::{
 pub use report::{render_csv, render_table};
 pub use runner::{average_size, single_run, AlgorithmKind, DataPoint, SweepConfig};
 pub use serve::{
-    produce, render_produce_json, render_serve_json, serve, ProduceConfig, ProduceSummary,
-    ServeSummary,
+    produce, render_produce_json, render_serve_json, serve, serve_with_metrics, ProduceConfig,
+    ProduceSummary, ServeSummary,
 };
 pub use throughput::{
     measure_throughput, render_throughput_json, AnalysisVerdicts, EngineThroughput, NetThroughput,
-    SinkKind, ThroughputConfig, ThroughputReport,
+    ObsOverhead, SinkKind, ThroughputConfig, ThroughputReport,
 };

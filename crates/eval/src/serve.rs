@@ -20,7 +20,10 @@
 
 use std::any::Any;
 use std::net::TcpListener;
-use std::time::Instant;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mvc_core::{replay, MemoryRecorder, TimestampingEngine};
 use mvc_net::{serve_tcp, ClientConfig, NetServer, ProducerClient, ServerConfig, TcpTransport};
@@ -42,25 +45,83 @@ pub struct ServeSummary {
     /// The networked-equals-batch oracle: the merged interleaving replayed
     /// sequentially produces the identical stamp stream.
     pub batch_equal: bool,
+    /// Registry snapshot delta covering the serve run — the `metrics`
+    /// section of the JSON summary (see docs/OBSERVABILITY.md).
+    pub metrics: mvc_obs::Snapshot,
 }
 
 /// Runs the session server on `listener` until `expected_clients` sessions
 /// complete, then replays the recorded trace sequentially and compares.
 ///
+/// The run executes with the global [`mvc_obs`] registry enabled; the
+/// summary carries the snapshot delta it produced.
+///
 /// # Errors
 ///
 /// Returns a rendered message when the server loop or the replay fails.
 pub fn serve(listener: TcpListener, expected_clients: usize) -> Result<ServeSummary, String> {
+    serve_with_metrics(listener, expected_clients, None)
+}
+
+/// [`serve`], additionally writing the registry snapshot to `metrics_out`
+/// in the Prometheus text exposition format — every 500 ms while the
+/// server runs, and once more on shutdown.
+///
+/// # Errors
+///
+/// Returns a rendered message when the server loop or the replay fails
+/// (a failed metrics write is reported on stderr, never fatal: the
+/// metrics file is advisory, the session data is not).
+pub fn serve_with_metrics(
+    listener: TcpListener,
+    expected_clients: usize,
+    metrics_out: Option<&Path>,
+) -> Result<ServeSummary, String> {
     let addr = listener
         .local_addr()
         .map_err(|e| format!("cannot read listener address: {e}"))?
         .to_string();
+    let registry = mvc_obs::global();
+    registry.set_enabled(true);
+    let before = registry.snapshot();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = metrics_out.map(|path| {
+        let path = path.to_owned();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            loop {
+                // Sleep first so a short-lived server still gets exactly
+                // one final write below rather than a half-warm scrape.
+                for _ in 0..5 {
+                    if stop.load(Ordering::Acquire) {
+                        return path;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                let text = mvc_obs::global().snapshot().to_prometheus();
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("mvc-eval serve: cannot write {}: {e}", path.display());
+                }
+            }
+        })
+    });
     let server = NetServer::new(
         TimestampingEngine::new(),
         Box::new(MemoryRecorder::new()),
         ServerConfig::default(),
     );
-    let run = serve_tcp(listener, server, expected_clients).map_err(|e| e.to_string())?;
+    let run = serve_tcp(listener, server, expected_clients);
+    stop.store(true, Ordering::Release);
+    if let Some(handle) = writer {
+        if let Ok(path) = handle.join() {
+            let text = mvc_obs::global().snapshot().to_prometheus();
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("mvc-eval serve: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+    let metrics = registry.snapshot().delta(&before);
+    let run = run.map_err(|e| e.to_string())?;
     let recorder = run
         .sink
         .as_any()
@@ -78,6 +139,7 @@ pub fn serve(listener: TcpListener, expected_clients: usize) -> Result<ServeSumm
         clock_width: run.report.components.len(),
         completed: run.sessions.iter().all(|s| s.completed),
         batch_equal: batch.as_slice() == recorder.timestamps(),
+        metrics,
     })
 }
 
@@ -86,13 +148,15 @@ pub fn serve(listener: TcpListener, expected_clients: usize) -> Result<ServeSumm
 pub fn render_serve_json(summary: &ServeSummary) -> String {
     format!(
         "{{\n  \"addr\": \"{}\",\n  \"sessions\": {},\n  \"events\": {},\n  \
-         \"clock_width\": {},\n  \"completed\": {},\n  \"batch_equal\": {}\n}}",
+         \"clock_width\": {},\n  \"completed\": {},\n  \"batch_equal\": {},\n  \
+         \"metrics\": {}\n}}",
         summary.addr,
         summary.sessions,
         summary.events,
         summary.clock_width,
         summary.completed,
-        summary.batch_equal
+        summary.batch_equal,
+        summary.metrics.to_json()
     )
 }
 
@@ -137,6 +201,16 @@ pub struct ProduceSummary {
     pub stamps: usize,
     /// Reconnects performed (always 0 for this one-shot client).
     pub reconnects: usize,
+    /// `Events`-frame send → completing-stamp arrival round trips measured
+    /// (0 when stamps were not requested).
+    pub rtt_count: u64,
+    /// Median stamp round-trip latency, nanoseconds (bucketed: the value
+    /// is the upper power-of-two edge of the quantile's bucket).
+    pub rtt_p50_ns: u64,
+    /// 95th-percentile stamp round-trip latency, nanoseconds.
+    pub rtt_p95_ns: u64,
+    /// 99th-percentile stamp round-trip latency, nanoseconds.
+    pub rtt_p99_ns: u64,
 }
 
 /// Streams one seeded synthetic workload to the server at `addr` and blocks
@@ -169,6 +243,10 @@ pub fn produce(addr: &str, config: &ProduceConfig) -> Result<ProduceSummary, Str
         events: run.events as usize,
         stamps: run.stamps.len(),
         reconnects: run.reconnects as usize,
+        rtt_count: run.stamp_rtt.count,
+        rtt_p50_ns: run.stamp_rtt.quantile(0.50),
+        rtt_p95_ns: run.stamp_rtt.quantile(0.95),
+        rtt_p99_ns: run.stamp_rtt.quantile(0.99),
     })
 }
 
@@ -176,8 +254,17 @@ pub fn produce(addr: &str, config: &ProduceConfig) -> Result<ProduceSummary, Str
 /// prints.
 pub fn render_produce_json(summary: &ProduceSummary) -> String {
     format!(
-        "{{\n  \"token\": {},\n  \"events\": {},\n  \"stamps\": {},\n  \"reconnects\": {}\n}}",
-        summary.token, summary.events, summary.stamps, summary.reconnects
+        "{{\n  \"token\": {},\n  \"events\": {},\n  \"stamps\": {},\n  \"reconnects\": {},\n  \
+         \"rtt_count\": {},\n  \"rtt_p50_ns\": {},\n  \"rtt_p95_ns\": {},\n  \
+         \"rtt_p99_ns\": {}\n}}",
+        summary.token,
+        summary.events,
+        summary.stamps,
+        summary.reconnects,
+        summary.rtt_count,
+        summary.rtt_p50_ns,
+        summary.rtt_p95_ns,
+        summary.rtt_p99_ns
     )
 }
 
@@ -292,6 +379,9 @@ mod tests {
             assert_eq!(summary.events, 500);
             assert_eq!(summary.stamps, 500);
             assert_eq!(summary.reconnects, 0);
+            assert!(summary.rtt_count > 0, "stamped session measures RTT");
+            assert!(summary.rtt_p50_ns > 0);
+            assert!(summary.rtt_p99_ns >= summary.rtt_p50_ns);
             streamed += summary.events;
         }
         let summary = server.join().unwrap().unwrap();
@@ -299,9 +389,13 @@ mod tests {
         assert_eq!(summary.events, streamed);
         assert!(summary.completed);
         assert!(summary.batch_equal, "networked-equals-batch oracle");
+        let opened = summary.metrics.counter("net.server.sessions_opened");
+        assert!(opened >= Some(2), "serve run captures server metrics");
         let json = render_serve_json(&summary);
         assert!(json.contains("\"batch_equal\": true"));
         assert!(json.contains("\"sessions\": 2"));
+        assert!(json.contains("\"metrics\": {"));
+        assert!(json.contains("\"net.server.events_ingested\":"));
     }
 
     #[test]
@@ -332,10 +426,47 @@ mod tests {
             events: 10,
             stamps: 10,
             reconnects: 0,
+            rtt_count: 2,
+            rtt_p50_ns: 1023,
+            rtt_p95_ns: 2047,
+            rtt_p99_ns: 2047,
         });
         assert_eq!(
             json,
-            "{\n  \"token\": 3,\n  \"events\": 10,\n  \"stamps\": 10,\n  \"reconnects\": 0\n}"
+            "{\n  \"token\": 3,\n  \"events\": 10,\n  \"stamps\": 10,\n  \"reconnects\": 0,\n  \
+             \"rtt_count\": 2,\n  \"rtt_p50_ns\": 1023,\n  \"rtt_p95_ns\": 2047,\n  \
+             \"rtt_p99_ns\": 2047\n}"
         );
+    }
+
+    #[test]
+    fn serve_with_metrics_writes_a_prometheus_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "mvc-eval-metrics-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let metrics_path = path.clone();
+        let server = thread::spawn(move || serve_with_metrics(listener, 1, Some(&metrics_path)));
+        let summary = produce(
+            &addr,
+            &ProduceConfig {
+                events: 200,
+                ..ProduceConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.events, 200);
+        server.join().unwrap().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("# TYPE net_server_events_ingested counter"),
+            "{text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

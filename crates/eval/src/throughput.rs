@@ -112,16 +112,24 @@ impl SinkKind {
                     .map(|i| vec![mvc_trace::ObjectId(2 * i), mvc_trace::ObjectId(2 * i + 1)]),
             )
         };
+        // Publish the stats sink's cells into the global registry so its
+        // figures ride along in every `metrics` snapshot (latest-built
+        // sink wins the names).
+        let stats = || {
+            let sink = StatsSink::new();
+            sink.bind_metrics(mvc_obs::global());
+            sink
+        };
         match self {
             SinkKind::Mem => Box::new(MemoryRecorder::new()),
             SinkKind::Codec => Box::new(CodecSink::new()),
-            SinkKind::Stats => Box::new(StatsSink::new()),
+            SinkKind::Stats => Box::new(stats()),
             SinkKind::Conflict => Box::new(conflict()),
             SinkKind::Reach => Box::new(ReachabilityIndexSink::with_capacity(REACH_WINDOW)),
             SinkKind::Competitive => Box::new(CompetitiveSink::new()),
             SinkKind::Tee => Box::new(TeeSink::new(vec![
                 Box::new(MemoryRecorder::new()),
-                Box::new(StatsSink::new()),
+                Box::new(stats()),
                 Box::new(CodecSink::new()),
                 Box::new(conflict()),
                 Box::new(ReachabilityIndexSink::with_capacity(REACH_WINDOW)),
@@ -209,6 +217,21 @@ pub struct NetThroughput {
     pub relative_to_ingest: f64,
 }
 
+/// The observability overhead gate: the same sequential + mem-sink ingest
+/// measured twice in one interleaved run — once with the global
+/// [`mvc_obs`] registry disabled (the process default) and once with every
+/// instrument live.  CI fails the enabled rate below 0.95× the disabled
+/// one, which is what keeps the instrumentation batch-granular.
+#[derive(Debug, Clone)]
+pub struct ObsOverhead {
+    /// Events per second with the registry disabled.
+    pub disabled_events_per_sec: f64,
+    /// Events per second with every instrument recording.
+    pub enabled_events_per_sec: f64,
+    /// `enabled / disabled` — the overhead gate value.
+    pub relative: f64,
+}
+
 /// The verdicts the streaming analysis sinks reached while riding the
 /// ingest pipeline — surfaced in the JSON so a bench run doubles as a
 /// monitoring smoke test.  Every field is `None` unless a sink of that
@@ -290,6 +313,11 @@ pub struct ThroughputReport {
     pub analysis: Option<AnalysisVerdicts>,
     /// The loopback-TCP networked-service slot, when `net_clients > 0`.
     pub net: Option<NetThroughput>,
+    /// The observability overhead slot pair (disabled vs. enabled registry).
+    pub obs: ObsOverhead,
+    /// Registry snapshot delta captured around the instrumented overhead
+    /// slots: every counter and latency histogram the pipeline recorded.
+    pub metrics: mvc_obs::Snapshot,
 }
 
 /// Times one replay of `computation` through a fresh engine.
@@ -566,6 +594,39 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
         }
     });
 
+    // The observability overhead pair: the identical sequential + mem-sink
+    // ingest, slot 0 with the global registry disabled and slot 1 with it
+    // enabled, interleaved so machine noise hits both alike.  Each slot
+    // sets the switch itself (and drops back to disabled on exit) so the
+    // main sections above always measure the uninstrumented rate.  The
+    // registry delta around the run becomes the report's `metrics` section.
+    let registry = mvc_obs::global();
+    let was_enabled = registry.enabled();
+    let before = registry.snapshot();
+    let obs_timings = time_interleaved(2, config.repeats, |slot| {
+        registry.set_enabled(slot == 1);
+        let result = time_one_ingest(
+            Box::new(TimestampingEngine::with_components(map.clone())),
+            &computation,
+            SinkKind::Mem.build_for(config.objects),
+            config.threads,
+            config.objects,
+        );
+        registry.set_enabled(false);
+        result
+    });
+    registry.set_enabled(was_enabled);
+    let metrics = registry.snapshot().delta(&before);
+    let obs = ObsOverhead {
+        disabled_events_per_sec: events_per_sec(config.events, obs_timings[0]),
+        enabled_events_per_sec: events_per_sec(config.events, obs_timings[1]),
+        relative: if obs_timings[1] == 0 {
+            0.0
+        } else {
+            obs_timings[0] as f64 / obs_timings[1] as f64
+        },
+    };
+
     ThroughputReport {
         workload: config.workload.name().to_owned(),
         threads: config.threads,
@@ -579,6 +640,8 @@ pub fn measure_throughput(config: &ThroughputConfig) -> ThroughputReport {
         sink_relative_throughput,
         analysis,
         net,
+        obs,
+        metrics,
     }
 }
 
@@ -710,6 +773,27 @@ pub fn render_throughput_json(report: &ThroughputReport) -> String {
         }
     }
     out.push_str(",\n");
+    out.push_str("  \"obs\": {");
+    out.push_str(&format!(
+        "\"disabled_events_per_sec\": {}, ",
+        json_f64(report.obs.disabled_events_per_sec)
+    ));
+    out.push_str(&format!(
+        "\"enabled_events_per_sec\": {}, ",
+        json_f64(report.obs.enabled_events_per_sec)
+    ));
+    // Four decimals: the CI overhead gate compares this against 0.95, and
+    // two would round 0.9489 up to the threshold.
+    out.push_str(&format!(
+        "\"relative\": {}",
+        if report.obs.relative.is_finite() {
+            format!("{:.4}", report.obs.relative)
+        } else {
+            "null".to_owned()
+        }
+    ));
+    out.push_str("},\n");
+    out.push_str(&format!("  \"metrics\": {},\n", report.metrics.to_json()));
     out.push_str(&format!(
         "  \"sink_relative_throughput\": {}\n",
         json_f64(report.sink_relative_throughput)
@@ -750,6 +834,23 @@ mod tests {
         assert_eq!(report.sink, "mem");
         assert!(report.ingest_baseline.is_none(), "mem is its own baseline");
         assert_eq!(report.sink_relative_throughput, 1.0);
+        assert!(report.obs.disabled_events_per_sec > 0.0);
+        assert!(report.obs.enabled_events_per_sec > 0.0);
+        assert!(report.obs.relative > 0.0);
+        // The instrumented slot drove the full pipeline: the delta
+        // snapshot carries its counters.  Lower bound only — sibling tests
+        // in this process share the global registry, and the enabled slot
+        // runs once per round (warm-up included).
+        let accepted = report
+            .metrics
+            .counter("pipeline.events_accepted")
+            .expect("the enabled slot registered pipeline counters");
+        assert!(accepted >= 2_000, "at least one enabled pass: {accepted}");
+        let stamp = report
+            .metrics
+            .histogram("pipeline.stamp_ns")
+            .expect("stamp latency histogram");
+        assert!(stamp.count > 0);
     }
 
     #[test]
@@ -867,6 +968,13 @@ mod tests {
             "\"speedup\":",
             "\"ingest_baseline\": {",
             "\"sink_relative_throughput\":",
+            "\"obs\": {",
+            "\"disabled_events_per_sec\":",
+            "\"enabled_events_per_sec\":",
+            "\"relative\":",
+            "\"metrics\": {",
+            "\"pipeline.events_accepted\":",
+            "\"pipeline.stamp_ns\":",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

@@ -22,7 +22,7 @@
 //! would have produced.
 
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mvc_clock::VectorTimestamp;
 use mvc_trace::OpKind;
@@ -61,6 +61,27 @@ impl ClientConfig {
     }
 }
 
+/// Registry handles for the client's metrics, resolved once at connect
+/// (see docs/OBSERVABILITY.md for the catalogue).
+#[derive(Debug)]
+struct ClientMetrics {
+    /// `net.client.reconnects`: reconnect-and-replay handshakes started.
+    reconnects: mvc_obs::Counter,
+    /// `net.client.stamp_rtt_ns` (ns): send of an `Events` frame to the
+    /// arrival of the stamp that completes it.
+    stamp_rtt: mvc_obs::Histogram,
+}
+
+impl Default for ClientMetrics {
+    fn default() -> Self {
+        let registry = mvc_obs::global();
+        ClientMetrics {
+            reconnects: registry.counter("net.client.reconnects"),
+            stamp_rtt: registry.histogram("net.client.stamp_rtt_ns"),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Hello sent, waiting for the ack.
@@ -88,6 +109,10 @@ pub struct ClientRun {
     pub object_ids: Vec<u64>,
     /// Times the session reconnected.
     pub reconnects: u32,
+    /// Client-side stamp round-trip latency — send of an `Events` frame
+    /// to the arrival of the stamp that completes it — in nanoseconds.
+    /// Empty unless `want_stamps`.
+    pub stamp_rtt: mvc_obs::HistogramSummary,
 }
 
 /// A producer streaming events to a [`NetServer`](crate::NetServer).
@@ -115,6 +140,15 @@ pub struct ProducerClient<T: Transport> {
     goodbye_sent: bool,
     reconnects: u32,
     scratch: Vec<u8>,
+    metrics: ClientMetrics,
+    /// Always-on per-client RTT histogram (detached from the registry so
+    /// each client's summary is exact even with many clients sharing the
+    /// global `net.client.stamp_rtt_ns`).
+    rtt: mvc_obs::Histogram,
+    /// `(stamp index that completes the frame, send time)` per in-flight
+    /// `Events` frame, oldest first.  Cleared on reconnect — an RTT
+    /// spanning a reconnect measures the outage, not the pipeline.
+    rtt_pending: VecDeque<(u64, Instant)>,
 }
 
 impl<T: Transport> ProducerClient<T> {
@@ -159,6 +193,9 @@ impl<T: Transport> ProducerClient<T> {
             goodbye_sent: false,
             reconnects: 0,
             scratch,
+            metrics: ClientMetrics::default(),
+            rtt: mvc_obs::Histogram::detached(),
+            rtt_pending: VecDeque::new(),
         })
     }
 
@@ -183,6 +220,8 @@ impl<T: Transport> ProducerClient<T> {
         self.credit = 0;
         self.goodbye_sent = false;
         self.reconnects += 1;
+        self.metrics.reconnects.inc();
+        self.rtt_pending.clear();
         self.scratch.clear();
         write_stream_header(&mut self.scratch);
         write_frame(
@@ -280,6 +319,9 @@ impl<T: Transport> ProducerClient<T> {
             self.transport.send(&self.scratch)?;
             self.sent += count as u64;
             self.credit -= count as u64;
+            if self.config.want_stamps {
+                self.rtt_pending.push_back((self.sent, Instant::now()));
+            }
             progress = true;
         }
         if self.finishing && self.sent == self.total && !self.goodbye_sent {
@@ -372,6 +414,16 @@ impl<T: Transport> ProducerClient<T> {
                     )));
                 }
                 self.stamps.extend(stamps);
+                let received = self.stamps.len() as u64;
+                while let Some(&(end, sent_at)) = self.rtt_pending.front() {
+                    if end > received {
+                        break;
+                    }
+                    self.rtt_pending.pop_front();
+                    let ns = u64::try_from(sent_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.rtt.record(ns);
+                    self.metrics.stamp_rtt.record(ns);
+                }
                 if self.stamps.len() as u64 - self.last_ack >= self.config.ack_every {
                     self.last_ack = self.stamps.len() as u64;
                     self.scratch.clear();
@@ -459,6 +511,7 @@ impl<T: Transport> ProducerClient<T> {
             thread_ids: self.thread_ids,
             object_ids: self.object_ids,
             reconnects: self.reconnects,
+            stamp_rtt: self.rtt.summary(),
         })
     }
 }

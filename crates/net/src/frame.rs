@@ -25,9 +25,39 @@
 //! See `docs/PROTOCOL.md` for the full wire specification, including the
 //! handshake and credit rules built on these frames.
 
+use std::sync::OnceLock;
+
 use mvc_clock::VectorTimestamp;
 use mvc_trace::codec::{peek_varint, DecodeError};
 use mvc_trace::OpKind;
+
+/// Wire-level counters, shared by every connection in the process.
+///
+/// Instrumented here — at the single encode/decode choke point both roles
+/// go through — so that in one process `net.frames_sent` equals
+/// `net.frames_received` at quiescence: every frame written by one side
+/// is decoded by the other.  Byte counters cover framed bytes only
+/// (length prefix + body), not the 4-byte stream headers, so the same
+/// parity holds for them.
+struct WireMetrics {
+    frames_sent: mvc_obs::Counter,
+    frames_received: mvc_obs::Counter,
+    bytes_sent: mvc_obs::Counter,
+    bytes_received: mvc_obs::Counter,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: OnceLock<WireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = mvc_obs::global();
+        WireMetrics {
+            frames_sent: registry.counter("net.frames_sent"),
+            frames_received: registry.counter("net.frames_received"),
+            bytes_sent: registry.counter("net.bytes_sent"),
+            bytes_received: registry.counter("net.bytes_received"),
+        }
+    })
+}
 
 /// Magic bytes opening every mvc-net stream (one per direction).
 pub const NET_MAGIC: [u8; 3] = *b"MVN";
@@ -259,11 +289,15 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
 
 /// Appends `frame` to `out` as `varint(len) body`.
 pub fn write_frame(out: &mut Vec<u8>, frame: &Frame) {
+    let before = out.len();
     let mut body = Vec::with_capacity(32);
     encode_body(&mut body, frame);
     debug_assert!((body.len() as u64) <= MAX_FRAME_LEN, "frame body too large");
     put_varint(out, body.len() as u64);
     out.extend_from_slice(&body);
+    let metrics = wire_metrics();
+    metrics.frames_sent.inc();
+    metrics.bytes_sent.add((out.len() - before) as u64);
 }
 
 fn encode_body(body: &mut Vec<u8>, frame: &Frame) {
@@ -567,6 +601,9 @@ impl FrameReader {
         let frame = decode_body(&unread[used..total])?;
         self.pos += total;
         self.compact();
+        let metrics = wire_metrics();
+        metrics.frames_received.inc();
+        metrics.bytes_received.add(total as u64);
         Ok(Some(frame))
     }
 

@@ -237,6 +237,35 @@ impl Session {
     }
 }
 
+/// Registry handles for the server's session-layer metrics, resolved once
+/// at construction so the frame handlers never touch the registry (see
+/// docs/OBSERVABILITY.md for the catalogue).
+#[derive(Debug)]
+struct ServerMetrics {
+    /// `net.server.sessions_opened`: fresh sessions created by a Hello.
+    sessions_opened: mvc_obs::Counter,
+    /// `net.server.sessions_resumed`: successful reconnect-and-replay
+    /// handshakes.
+    sessions_resumed: mvc_obs::Counter,
+    /// `net.server.events_ingested`: events accepted across all sessions.
+    events_ingested: mvc_obs::Counter,
+    /// `net.server.credit_occupancy` (events): how much of a session's
+    /// credit window was in flight when a refill fired.
+    credit_occupancy: mvc_obs::Histogram,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        let registry = mvc_obs::global();
+        ServerMetrics {
+            sessions_opened: registry.counter("net.server.sessions_opened"),
+            sessions_resumed: registry.counter("net.server.sessions_resumed"),
+            events_ingested: registry.counter("net.server.events_ingested"),
+            credit_occupancy: registry.histogram("net.server.credit_occupancy"),
+        }
+    }
+}
+
 /// Per-connection server state.
 #[derive(Debug)]
 struct Conn {
@@ -287,6 +316,7 @@ pub struct NetServer<E: ServeEngine> {
     /// Global thread index → (session, local thread).
     thread_owner: Vec<(usize, usize)>,
     next_token: u64,
+    metrics: ServerMetrics,
 }
 
 impl<E: ServeEngine> NetServer<E> {
@@ -303,6 +333,7 @@ impl<E: ServeEngine> NetServer<E> {
             next_ticket: Vec::new(),
             thread_owner: Vec::new(),
             next_token: 1,
+            metrics: ServerMetrics::default(),
         }
     }
 
@@ -466,6 +497,7 @@ impl<E: ServeEngine> NetServer<E> {
     }
 
     fn open_session(&mut self, want_stamps: bool, threads: &[String], objects: &[String]) -> usize {
+        self.metrics.sessions_opened.inc();
         let sid = self.sessions.len();
         let token = self.next_token;
         self.next_token += 1;
@@ -566,6 +598,7 @@ impl<E: ServeEngine> NetServer<E> {
         // Credit in flight on the dead connection is void; grant a fresh
         // window (the HelloAck carries it).
         session.credit = self.config.credit_window;
+        self.metrics.sessions_resumed.inc();
         Ok(sid)
     }
 
@@ -604,6 +637,7 @@ impl<E: ServeEngine> NetServer<E> {
             session.ingested += 1;
         }
         session.credit -= n;
+        self.metrics.events_ingested.add(n);
         Ok(())
     }
 
@@ -723,6 +757,9 @@ impl<E: ServeEngine> NetServer<E> {
             // Refill credit once half the window is consumed.
             if session.goodbye_at.is_none() && session.credit < window / 2 {
                 let more = window - session.credit;
+                // `more` is exactly the occupancy (events in flight) at
+                // the moment the refill fires.
+                self.metrics.credit_occupancy.record(more);
                 session.credit += more;
                 write_frame(
                     &mut conn.outbox,

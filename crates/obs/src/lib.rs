@@ -1,0 +1,84 @@
+//! `mvc-obs`: a zero-dependency observability layer for the whole pipeline.
+//!
+//! Every stage of the system — ingest buffers, the k-way merge, the
+//! sharded engine, the analysis sinks, the networked service — records
+//! into this crate's metric cells, and the eval harness reads them back
+//! out as structured snapshots. Three design rules keep it cheap enough
+//! to leave on permanently:
+//!
+//! 1. **Recording never takes a lock.** Counters and histograms stripe
+//!    across cache-line-padded per-thread shards updated with `Relaxed`
+//!    atomics; shards are merged on snapshot, not on record (see the
+//!    [`Counter`] and [`Histogram`] docs).
+//! 2. **Names resolve once.** A [`Registry`] maps stable dotted names to
+//!    cells under a mutex, but handles are resolved at construction time;
+//!    the hot path holds only `Arc`s.
+//! 3. **Disabled means free.** The process-global registry ([`global`])
+//!    starts disabled; a disabled handle's record path is one `Relaxed`
+//!    load and a predictable branch, and span timers skip the clock reads
+//!    entirely. Harnesses opt in with
+//!    `obs::global().set_enabled(true)`.
+//!
+//! ```
+//! use mvc_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let batches = registry.counter("pipeline.batches");
+//! let stamp_ns = registry.histogram("pipeline.stamp_ns");
+//!
+//! batches.inc();
+//! {
+//!     let _span = stamp_ns.span(); // records elapsed ns on drop
+//! }
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("pipeline.batches"), Some(1));
+//! assert_eq!(snap.histogram("pipeline.stamp_ns").unwrap().count, 1);
+//! println!("{}", snap.to_json());       // {"pipeline.batches": 1, ...}
+//! println!("{}", snap.to_prometheus()); // # TYPE pipeline_batches counter ...
+//! ```
+//!
+//! The metric catalogue — every name the workspace records, with type,
+//! unit, and recording site — lives in `docs/OBSERVABILITY.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod registry;
+mod snapshot;
+
+pub use cell::{bucket_upper_edge, Counter, Gauge, Histogram, SpanTimer, BUCKETS, SHARDS};
+pub use registry::Registry;
+pub use snapshot::{HistogramSummary, Snapshot, SnapshotEntry, SnapshotValue};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every instrumented crate records into.
+///
+/// Starts **disabled** — instrumentation stays in the hot path at the cost
+/// of one `Relaxed` load per record — until a harness (`mvc-eval`, a test)
+/// calls `global().set_enabled(true)`.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::disabled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_one_instance_and_starts_disabled() {
+        let a = global();
+        let b = global();
+        assert!(!a.enabled(), "global registry must start disabled");
+        a.counter("lib.test.hits").add(3);
+        assert_eq!(
+            b.snapshot().counter("lib.test.hits"),
+            Some(0),
+            "disabled recording is a no-op, but the name registers"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Point-in-time metric snapshots, deltas, and text exports.
+//!
+//! A [`Snapshot`] is a sorted list of `(name, value)` pairs taken from a
+//! [`Registry`](crate::Registry). Snapshots are plain data: subtract one
+//! from an earlier one with [`Snapshot::delta`] to isolate a measurement
+//! window, then render with [`Snapshot::to_json`] (machine-readable, the
+//! `metrics` section of `mvc-eval` reports) or [`Snapshot::to_prometheus`]
+//! (the text exposition format scrapers ingest).
+
+use crate::cell::{bucket_upper_edge, BUCKETS};
+
+/// Merged totals of one histogram at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Per-bucket observation counts; bucket `b` spans
+    /// `(upper_edge(b-1), upper_edge(b)]` — see
+    /// [`bucket_upper_edge`](crate::bucket_upper_edge).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSummary {
+    /// A summary with nothing recorded.
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// The value at quantile `q` (clamped to `0.0..=1.0`), as the upper
+    /// edge of the bucket containing that rank — an upper bound with at
+    /// most 2× resolution. Returns 0 when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), computed in f64: count is a metric volume, far
+        // below the 2^52 range where the rounding would matter.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*n);
+            if seen >= rank {
+                return bucket_upper_edge(bucket);
+            }
+        }
+        bucket_upper_edge(BUCKETS - 1)
+    }
+
+    /// Bucket-wise difference from an `earlier` summary of the same
+    /// histogram (saturating, so a restarted cell never underflows).
+    pub fn delta(&self, earlier: &Self) -> Self {
+        let mut out = Self {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: [0; BUCKETS],
+        };
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out
+    }
+}
+
+/// The value of one named metric at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// A monotonic count.
+    Counter(u64),
+    /// An instantaneous level.
+    Gauge(i64),
+    /// A merged histogram (boxed: a summary is ~0.5 KiB of buckets).
+    Histogram(Box<HistogramSummary>),
+}
+
+/// One named metric in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The registry name (dotted, e.g. `pipeline.stamp_ns`).
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time view of every metric in a registry, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The metrics, sorted by name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Looks up a counter's value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match &e.value {
+                SnapshotValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Looks up a gauge's level by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match &e.value {
+                SnapshotValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Looks up a histogram's summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match &e.value {
+                SnapshotValue::Histogram(h) => Some(h.as_ref()),
+                _ => None,
+            })
+    }
+
+    /// The change since an `earlier` snapshot of the same registry:
+    /// counters and histograms subtract (saturating), gauges keep their
+    /// current level (a gauge is a reading, not an accumulation). Metrics
+    /// registered after `earlier` was taken pass through unchanged.
+    pub fn delta(&self, earlier: &Self) -> Self {
+        let entries = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let before = earlier.entries.iter().find(|e| e.name == entry.name);
+                let value = match (&entry.value, before.map(|e| &e.value)) {
+                    (SnapshotValue::Counter(now), Some(SnapshotValue::Counter(then))) => {
+                        SnapshotValue::Counter(now.saturating_sub(*then))
+                    }
+                    (SnapshotValue::Histogram(now), Some(SnapshotValue::Histogram(then))) => {
+                        SnapshotValue::Histogram(Box::new(now.delta(then)))
+                    }
+                    (value, _) => value.clone(),
+                };
+                SnapshotEntry {
+                    name: entry.name.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Renders the snapshot as one JSON object: counters and gauges as
+    /// integers, histograms as `{"count", "sum", "p50", "p95", "p99"}`
+    /// objects. Keys are the registry names, in sorted order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(&entry.name);
+            out.push_str("\": ");
+            match &entry.value {
+                SnapshotValue::Counter(v) => out.push_str(&v.to_string()),
+                SnapshotValue::Gauge(v) => out.push_str(&v.to_string()),
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                        h.count,
+                        h.sum,
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `# TYPE` headers, names sanitised (`.`, `-`, `/` → `_`), histograms
+    /// as cumulative `_bucket{le="..."}` series over the power-of-two
+    /// edges plus `_sum` / `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let name = sanitize_metric_name(&entry.name);
+            match &entry.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let top = h
+                        .buckets
+                        .iter()
+                        .rposition(|&n| n > 0)
+                        .map_or(0, |b| (b + 1).min(BUCKETS - 1));
+                    let mut cumulative = 0u64;
+                    for (bucket, n) in h.buckets.iter().enumerate().take(top + 1) {
+                        cumulative = cumulative.saturating_add(*n);
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            bucket_upper_edge(bucket)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        h.count, h.sum, h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a dotted registry name onto the Prometheus metric-name alphabet.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn hist(values: &[u64]) -> HistogramSummary {
+        let h = crate::Histogram::detached();
+        for &v in values {
+            h.record(v);
+        }
+        h.summary()
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_edges() {
+        let h = hist(&[1, 2, 3, 4, 100]);
+        assert_eq!(h.quantile(0.0), 1, "rank clamps to the first recording");
+        assert_eq!(h.quantile(0.5), 3, "3rd of 5 lands in bucket [2,3]");
+        assert_eq!(h.quantile(0.99), 127, "100 rounds up to its bucket edge");
+        assert_eq!(HistogramSummary::empty().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn delta_isolates_a_window() {
+        let registry = Registry::new();
+        let c = registry.counter("work.items");
+        let h = registry.histogram("work.ns");
+        c.add(5);
+        h.record(10);
+        let before = registry.snapshot();
+        c.add(3);
+        h.record(20);
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.counter("work.items"), Some(3));
+        let d = delta.histogram("work.ns").unwrap();
+        assert_eq!((d.count, d.sum), (1, 20));
+    }
+
+    #[test]
+    fn gauges_pass_through_delta_unchanged() {
+        let registry = Registry::new();
+        let g = registry.gauge("queue.depth");
+        g.set(4);
+        let before = registry.snapshot();
+        g.set(9);
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.gauge("queue.depth"), Some(9));
+    }
+
+    #[test]
+    fn json_renders_all_three_kinds() {
+        let registry = Registry::new();
+        registry.counter("a.count").add(2);
+        registry.gauge("b.level").set(-1);
+        registry.histogram("c.ns").record(5);
+        let json = registry.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"a.count\": 2, \"b.level\": -1, \
+             \"c.ns\": {\"count\": 1, \"sum\": 5, \"p50\": 7, \"p95\": 7, \"p99\": 7}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_renders_types_buckets_and_sanitised_names() {
+        let registry = Registry::new();
+        registry.counter("net.frames-in").add(3);
+        registry.histogram("rtt.ns").record(5);
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE net_frames_in counter\nnet_frames_in 3\n"));
+        assert!(text.contains("# TYPE rtt_ns histogram\n"));
+        assert!(text.contains("rtt_ns_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("rtt_ns_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("rtt_ns_sum 5\n"));
+        assert!(text.contains("rtt_ns_count 1\n"));
+    }
+}

@@ -106,6 +106,24 @@ pub struct ReachabilityIndexSink {
     accepted: usize,
     thread_frontier: Vec<Option<VectorTimestamp>>,
     object_frontier: Vec<Option<VectorTimestamp>>,
+    metrics: ReachMetrics,
+}
+
+/// Process-global metric handles for the reachability index (resolved once
+/// per sink; see `docs/OBSERVABILITY.md`).
+#[derive(Debug, Clone)]
+struct ReachMetrics {
+    /// `analysis.reach_spills` (counter, events): evicted from the bounded
+    /// window — queries about them now answer `None`.
+    spills: mvc_obs::Counter,
+}
+
+impl Default for ReachMetrics {
+    fn default() -> Self {
+        Self {
+            spills: mvc_obs::global().counter("analysis.reach_spills"),
+        }
+    }
 }
 
 impl ReachabilityIndexSink {
@@ -122,6 +140,7 @@ impl ReachabilityIndexSink {
             accepted: 0,
             thread_frontier: Vec::new(),
             object_frontier: Vec::new(),
+            metrics: ReachMetrics::default(),
         }
     }
 
@@ -204,6 +223,7 @@ impl ReachabilityIndexSink {
         });
         if self.window.len() > self.capacity {
             self.window.pop_front();
+            self.metrics.spills.inc();
         }
         self.accepted += 1;
     }
@@ -339,6 +359,24 @@ pub struct ConflictSink {
     conflicts: Vec<ConflictPair>,
     /// Reusable watermark buffer so pruning allocates nothing.
     watermark_scratch: Vec<u64>,
+    metrics: ConflictMetrics,
+}
+
+/// Process-global metric handles for the conflict sink (resolved once per
+/// sink; see `docs/OBSERVABILITY.md`).
+#[derive(Debug, Clone)]
+struct ConflictMetrics {
+    /// `analysis.conflict_pairs` (counter, pairs): concurrent cross-thread
+    /// conflicting pairs flagged within declared groups.
+    pairs: mvc_obs::Counter,
+}
+
+impl Default for ConflictMetrics {
+    fn default() -> Self {
+        Self {
+            pairs: mvc_obs::global().counter("analysis.conflict_pairs"),
+        }
+    }
 }
 
 impl ConflictSink {
@@ -483,6 +521,7 @@ impl ConflictSink {
                             first: m.id,
                             second: id,
                         });
+                        self.metrics.pairs.inc();
                     }
                 }
             }

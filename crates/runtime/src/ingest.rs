@@ -122,6 +122,52 @@ impl Stash {
     }
 }
 
+/// Every how many drains the queue-depth gauge is sampled. Sampling reads
+/// every producer's buffer length — 64 producer-written cache lines on the
+/// acceptance workload — so doing it each drain would make the pump's spin
+/// loop interfere with the producers it is draining.
+const DEPTH_SAMPLE_PERIOD: u32 = 64;
+
+/// Handles into the process-global metrics registry, resolved once per
+/// merge. Names are catalogued in `docs/OBSERVABILITY.md`; every update is
+/// batch-granular, so an enabled registry costs a handful of `Relaxed`
+/// read-modify-writes per *drain*, never per event.
+#[derive(Debug)]
+struct MergeMetrics {
+    /// `ingest.queue_depth` (gauge, events): backlog sitting in the shared
+    /// thread buffers, sampled every [`DEPTH_SAMPLE_PERIOD`]th drain.
+    queue_depth: mvc_obs::Gauge,
+    /// Drain counter driving the depth sampling period.
+    depth_tick: u32,
+    /// `ingest.merge.emitted` (counter, events): merged into the faithful
+    /// interleaving.
+    emitted: mvc_obs::Counter,
+    /// `ingest.merge.parked` (counter, parks): threads parked behind an
+    /// out-of-order object ticket during a merge pass.
+    parked: mvc_obs::Counter,
+    /// `ingest.merge.stalls` (counter, passes): merge passes that emitted
+    /// nothing while events were stashed — every front event waits on a
+    /// ticket a still-running producer has drawn but not yet published.
+    stalls: mvc_obs::Counter,
+    /// `ingest.drain.budget_exhausted` (counter, drains): drains that used
+    /// their whole emission budget, i.e. more work was immediately ready.
+    budget_exhausted: mvc_obs::Counter,
+}
+
+impl Default for MergeMetrics {
+    fn default() -> Self {
+        let registry = mvc_obs::global();
+        Self {
+            queue_depth: registry.gauge("ingest.queue_depth"),
+            depth_tick: 0,
+            emitted: registry.counter("ingest.merge.emitted"),
+            parked: registry.counter("ingest.merge.parked"),
+            stalls: registry.counter("ingest.merge.stalls"),
+            budget_exhausted: registry.counter("ingest.drain.budget_exhausted"),
+        }
+    }
+}
+
 /// Drain-side state of the k-way merge: per-thread stashes of events popped
 /// from the shared buffers but not yet emittable, and each object's next
 /// expected ticket.
@@ -132,6 +178,8 @@ impl Stash {
 /// [`drain`]: OrderedMerge::drain
 #[derive(Debug, Default)]
 pub(crate) struct OrderedMerge {
+    /// Process-global metric handles (resolved once, recorded per drain).
+    metrics: MergeMetrics,
     /// Popped-but-unemitted events, per thread, in program order.
     stash: Vec<Stash>,
     /// `next_expected[o]` is the ticket the merge will emit next for object
@@ -169,10 +217,27 @@ impl OrderedMerge {
         if self.stash.len() < buffers.len() {
             self.stash.resize_with(buffers.len(), Default::default);
         }
+        if mvc_obs::global().enabled() {
+            // Sampled, and only every DEPTH_SAMPLE_PERIODth drain: `len`
+            // walks each producer's segment ring, and a live pump spins on
+            // drain while producers run — touching 64 producer-written
+            // cache lines per spin measurably slows the producers down.
+            self.metrics.depth_tick = self.metrics.depth_tick.wrapping_add(1);
+            if self.metrics.depth_tick.is_multiple_of(DEPTH_SAMPLE_PERIOD) {
+                let depth: usize = buffers.iter().map(|b| b.len()).sum();
+                self.metrics
+                    .queue_depth
+                    .set(i64::try_from(depth).unwrap_or(i64::MAX));
+            }
+        }
         for (thread, buffer) in buffers.iter().enumerate() {
             self.stash[thread].refill(buffer);
         }
-        self.merge(out, max_events)
+        let emitted = self.merge(out, max_events);
+        if emitted == max_events && max_events > 0 {
+            self.metrics.budget_exhausted.inc();
+        }
+        emitted
     }
 
     /// Number of events popped from the buffers but not yet emitted
@@ -191,6 +256,7 @@ impl OrderedMerge {
     fn merge(&mut self, out: &mut Vec<RawEvent>, max_events: usize) -> usize {
         let emitted_before = out.len();
         let out_cap = emitted_before.saturating_add(max_events);
+        let mut parked: u64 = 0;
         for w in &mut self.waiting {
             w.clear();
         }
@@ -215,6 +281,7 @@ impl OrderedMerge {
                         self.waiting.resize_with(object + 1, Vec::new);
                     }
                     self.waiting[object].push(thread);
+                    parked += 1;
                     break;
                 }
                 self.next_expected[object] += 1;
@@ -226,7 +293,16 @@ impl OrderedMerge {
                 }
             }
         }
-        out.len() - emitted_before
+        let emitted = out.len() - emitted_before;
+        if emitted > 0 {
+            self.metrics.emitted.add(emitted as u64);
+        } else if self.stash.iter().any(|s| !s.is_empty()) {
+            self.metrics.stalls.inc();
+        }
+        if parked > 0 {
+            self.metrics.parked.add(parked);
+        }
+        emitted
     }
 }
 

@@ -80,9 +80,52 @@ impl PipelineError {
     }
 }
 
+/// Handles into the process-global metrics registry, resolved once per
+/// pipeline. Names are catalogued in `docs/OBSERVABILITY.md`; everything
+/// records at stamped-window granularity, so a disabled registry costs one
+/// `Relaxed` load per window and an enabled one a few atomics plus two
+/// clock reads per window.
+#[derive(Debug)]
+struct PipelineMetrics {
+    /// `pipeline.batch_events` (histogram, events): size of each stamped
+    /// window handed to the sink.
+    batch_events: mvc_obs::Histogram,
+    /// `pipeline.stamp_ns` (histogram, ns): latency of one
+    /// `observe_batch` call.
+    stamp_ns: mvc_obs::Histogram,
+    /// `pipeline.sink_ns` (histogram, ns): latency of one
+    /// `accept_columns` call.
+    sink_ns: mvc_obs::Histogram,
+    /// `pipeline.events_accepted` (counter, events): delivered to and
+    /// accepted by the sink.
+    events_accepted: mvc_obs::Counter,
+    /// `pipeline.events_refused` (counter, events): offered to the sink
+    /// and refused (held back for the next pump's retry).
+    events_refused: mvc_obs::Counter,
+    /// `pipeline.backlog_retries` (counter, pumps): pumps that began by
+    /// re-offering a previously refused batch.
+    backlog_retries: mvc_obs::Counter,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        let registry = mvc_obs::global();
+        Self {
+            batch_events: registry.histogram("pipeline.batch_events"),
+            stamp_ns: registry.histogram("pipeline.stamp_ns"),
+            sink_ns: registry.histogram("pipeline.sink_ns"),
+            events_accepted: registry.counter("pipeline.events_accepted"),
+            events_refused: registry.counter("pipeline.events_refused"),
+            backlog_retries: registry.counter("pipeline.backlog_retries"),
+        }
+    }
+}
+
 /// Drain-side state of one session pipeline.
 #[derive(Debug, Default)]
 pub(crate) struct PipelineState {
+    /// Process-global metric handles (resolved once, recorded per window).
+    metrics: PipelineMetrics,
     merge: OrderedMerge,
     /// Merged interleaving not yet stamped (the failing event and its
     /// suffix after a [`TimestampError`]).  `cursor` marks the consumed
@@ -141,7 +184,19 @@ impl PipelineState {
         // Re-offer a batch the sink previously refused before stamping
         // anything new, so sink-side ordering is preserved.
         if !self.held_events.is_empty() {
-            sink.accept_columns(&self.held_events, &mut self.held_stamps)?;
+            self.metrics.backlog_retries.inc();
+            let span = self.metrics.sink_ns.span();
+            let result = sink.accept_columns(&self.held_events, &mut self.held_stamps);
+            span.stop();
+            if let Err(e) = result {
+                self.metrics
+                    .events_refused
+                    .add(self.held_events.len() as u64);
+                return Err(e.into());
+            }
+            self.metrics
+                .events_accepted
+                .add(self.held_events.len() as u64);
             delivered += self.held_events.len();
             self.held_events.clear();
         }
@@ -164,23 +219,31 @@ impl PipelineState {
                     .map(|&(thread, object, _)| (thread, object)),
             );
             self.stamps.clear();
+            let stamp_span = self.metrics.stamp_ns.span();
             let outcome = timestamper.observe_batch(&self.ops, &mut self.stamps);
+            stamp_span.stop();
             // Per the observe_batch contract exactly the stampable prefix
             // was appended; hand it on in column layout (the sink consumes
             // the stamps; hot backends never see a per-event struct).
             let done = self.stamps.len();
             if done > 0 {
+                self.metrics.batch_events.record(done as u64);
                 let events = &self.pending[self.cursor..self.cursor + done];
-                if let Err(e) = sink.accept_columns(events, &mut self.stamps) {
+                let sink_span = self.metrics.sink_ns.span();
+                let sink_result = sink.accept_columns(events, &mut self.stamps);
+                sink_span.stop();
+                if let Err(e) = sink_result {
                     // Hold the stamped-but-refused batch (its stamps were
                     // restored per the accept_columns contract) so the next
                     // pump re-offers it first; the timestamper must not see
                     // these events again.
+                    self.metrics.events_refused.add(done as u64);
                     self.held_events.extend_from_slice(events);
                     std::mem::swap(&mut self.held_stamps, &mut self.stamps);
                     self.cursor += done;
                     return Err(e.into());
                 }
+                self.metrics.events_accepted.add(done as u64);
                 delivered += done;
                 self.cursor += done;
             }

@@ -60,6 +60,32 @@ impl ShardExecutor {
     }
 }
 
+/// Handles into the process-global metrics registry, resolved once per
+/// engine. All recording is chunk-granular (a chunk is up to
+/// [`CHUNK_EVENTS`] events), so the threaded executor pays a few `Relaxed`
+/// atomics per chunk round-trip and nothing per event. Names are
+/// catalogued in `docs/OBSERVABILITY.md`.
+#[derive(Debug)]
+struct EngineMetrics {
+    /// `shard.chunk_ns` (histogram, ns): router-side latency of collecting
+    /// one chunk's replies from every shard.
+    chunk_ns: mvc_obs::Histogram,
+    /// `shard.inflight_chunks` (gauge, chunks): chunks broadcast to the
+    /// workers but not yet merged, sampled per merge step (bounded by
+    /// [`PIPELINE_CHUNKS`]).
+    inflight_chunks: mvc_obs::Gauge,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        let registry = mvc_obs::global();
+        Self {
+            chunk_ns: registry.histogram("shard.chunk_ns"),
+            inflight_chunks: registry.gauge("shard.inflight_chunks"),
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Backend {
     Inline {
@@ -110,6 +136,8 @@ enum Backend {
 /// ```
 #[derive(Debug)]
 pub struct ShardedEngine {
+    /// Process-global metric handles (resolved once, recorded per chunk).
+    metrics: EngineMetrics,
     components: ComponentMap,
     /// Dense thread → component-index table (`NO_COMPONENT` = none); the
     /// router's replacement for the `ComponentMap`'s hash lookups on the
@@ -166,6 +194,7 @@ impl ShardedEngine {
             }
         };
         let mut engine = ShardedEngine {
+            metrics: EngineMetrics::default(),
             components: ComponentMap::new(),
             thread_comp: Vec::new(),
             object_comp: Vec::new(),
@@ -314,11 +343,14 @@ impl ShardedEngine {
                         }
                         sent += 1;
                     }
+                    self.metrics.inflight_chunks.set((sent - merged) as i64);
                     bufs.clear();
+                    let chunk_span = self.metrics.chunk_ns.span();
                     for reply in replies.iter() {
                         // mvc-lint: allow(hot-path-panic) — a worker replies once per chunk or the process is already panicking; see worker.rs
                         bufs.push(reply.recv().expect("shard worker reply"));
                     }
+                    chunk_span.stop();
                     merge_into(width, self.shards, &lns, &bufs, end - start, out);
                 }
             }

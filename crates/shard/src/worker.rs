@@ -45,13 +45,19 @@ pub(crate) fn spawn(
     input: Receiver<Chunk>,
     output: Sender<Vec<u64>>,
 ) -> JoinHandle<()> {
+    // `shard.apply_ns` (histogram, ns): one worker's slice application for
+    // one chunk — resolved here, before the loop, so recording in the loop
+    // never touches the registry (see docs/OBSERVABILITY.md).
+    let apply_ns = mvc_obs::global().histogram("shard.apply_ns");
     std::thread::Builder::new()
         .name(format!("mvc-shard-{shard}"))
         .spawn(move || {
             let mut state = ShardState::new(shard, shards);
             while let Ok(chunk) = input.recv() {
                 let mut out = Vec::new();
+                let span = apply_ns.span();
                 state.apply(chunk.width, &chunk.events[chunk.start..chunk.end], &mut out);
+                span.stop();
                 if output.send(out).is_err() {
                     break;
                 }

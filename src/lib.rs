@@ -20,6 +20,9 @@
 //! * [`net`] — the pipeline as a networked multi-client service: framed
 //!   protocol, TCP and in-process transports, session server with
 //!   credit-based backpressure and reconnect-and-replay.
+//! * [`obs`] — the zero-dependency observability layer: sharded atomic
+//!   counters / gauges / log₂ histograms, the process-global registry every
+//!   stage records into, and JSON + Prometheus snapshots.
 //! * [`eval`] — the harness that regenerates the paper's figures.
 //!
 //! # Example
@@ -46,6 +49,7 @@ pub use mvc_core as core;
 pub use mvc_eval as eval;
 pub use mvc_graph as graph;
 pub use mvc_net as net;
+pub use mvc_obs as obs;
 pub use mvc_online as online;
 pub use mvc_runtime as runtime;
 pub use mvc_shard as shard;
