@@ -1,0 +1,121 @@
+//! Wide-clock hot path: dense vs. chunked stamp rows, modulo vs.
+//! partitioned shard assignment.
+//!
+//! The clustered workload family gives every thread a small community of
+//! objects, so at wide widths each row's live entries sit in a few 64-entry
+//! chunks.  Two comparisons:
+//!
+//! * `wide-stamps-{width}` — the sequential engine with
+//!   [`StampFormat::Dense`] vs. [`StampFormat::Chunked`] rows over the
+//!   identical event stream.  Width 64 (every chunk live) is the chunked
+//!   representation's worst case; width 4096 (occupancy ≈ 1/64) is where
+//!   it wins.  `mvc-eval throughput --clock-width W` measures the same
+//!   pair with interleaved keepalive-correct slots; this bench is the
+//!   quick per-target view.
+//! * `wide-assignment` — the fused sharded engine under modulo striping
+//!   vs. the locality-aware partitioned assignment, same clustered stream.
+//!
+//! Stamps are drained through a recycled window buffer (as the ingest
+//! pipeline does) so the measured footprint is the engine's rows, not an
+//! events × width stamp arena.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mvc_clock::{Component, ComponentMap};
+use mvc_core::{StampFormat, Timestamper, TimestampingEngine};
+use mvc_shard::{ShardAssignment, ShardExecutor, ShardedEngine};
+use mvc_trace::{ObjectId, ThreadId, WorkloadBuilder, WorkloadKind};
+
+const EVENTS: usize = 20_000;
+const WINDOW: usize = 512;
+
+/// A clustered event stream plus the all-threads-then-all-objects map that
+/// keeps each community's components in contiguous chunk ranges.
+fn clustered_case(width: usize) -> (ComponentMap, Vec<(ThreadId, ObjectId)>) {
+    let threads = (width / 2).max(1);
+    let objects = (width - threads).max(1);
+    let clusters = (width / 64).max(1);
+    let computation = WorkloadBuilder::new(threads, objects)
+        .operations(EVENTS)
+        .kind(WorkloadKind::Clustered { clusters })
+        .seed(42)
+        .build();
+    let pairs = computation.events().map(|e| (e.thread, e.object)).collect();
+    let mut map = ComponentMap::new();
+    for t in 0..threads {
+        map.push(Component::Thread(ThreadId(t)));
+    }
+    for o in 0..objects {
+        map.push(Component::Object(ObjectId(o)));
+    }
+    (map, pairs)
+}
+
+fn drain<T: Timestamper>(engine: &mut T, pairs: &[(ThreadId, ObjectId)]) -> usize {
+    let mut out = Vec::new();
+    let mut stamped = 0;
+    for window in pairs.chunks(WINDOW) {
+        out.clear();
+        engine.observe_batch(window, &mut out).expect("covered");
+        stamped += out.len();
+    }
+    stamped
+}
+
+fn bench_stamp_formats(c: &mut Criterion) {
+    for width in [64, 4096] {
+        let (map, pairs) = clustered_case(width);
+        let mut group = c.benchmark_group(format!("wide-stamps-{width}"));
+        group.throughput(Throughput::Elements(EVENTS as u64));
+        group.sample_size(10);
+        for (name, format) in [
+            ("dense", StampFormat::Dense),
+            ("chunked", StampFormat::Chunked),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, EVENTS), &pairs, |b, pairs| {
+                // As in `sharded.rs`: keep each iteration's engine alive until
+                // the next has allocated, so the allocator doesn't trim the
+                // arena between iterations and tax the follow-up with page
+                // faults.
+                let mut keep = None;
+                b.iter(|| {
+                    let mut engine = TimestampingEngine::with_format(map.clone(), format);
+                    let stamped = drain(&mut engine, pairs);
+                    keep = Some(engine);
+                    stamped
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_assignments(c: &mut Criterion) {
+    let (map, pairs) = clustered_case(1024);
+    let mut group = c.benchmark_group("wide-assignment");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+    for (name, assignment) in [
+        ("modulo", ShardAssignment::Modulo),
+        ("partitioned", ShardAssignment::Partitioned),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, EVENTS), &pairs, |b, pairs| {
+            let mut keep = None;
+            b.iter(|| {
+                let mut engine = ShardedEngine::with_assignment(
+                    map.clone(),
+                    4,
+                    ShardExecutor::Inline,
+                    assignment,
+                );
+                let stamped = drain(&mut engine, pairs);
+                keep = Some(engine);
+                stamped
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stamp_formats, bench_assignments);
+criterion_main!(benches);

@@ -1,0 +1,449 @@
+//! Chunked sparse stamp rows: the engines' wide-clock working format.
+//!
+//! The paper makes timestamps *small* (a minimum vertex cover instead of one
+//! entry per thread plus one per object), but a dense `Vec<u64>` row still
+//! pays O(width) per event even when almost every entry is zero — which is
+//! exactly the wide-clock regime (thousands of components, a handful touched
+//! per event) the Singhal–Kshemkalyani observation in the paper's Section VI
+//! predicts.  This module keeps each per-thread / per-object row in fixed
+//! [`CHUNK`]-entry chunks with a one-bit-per-chunk nonzero bitmap, so the
+//! protocol's `max`-merge, increment, and comparison skip all-zero chunks
+//! entirely and run tight 64-iteration inner loops over the rest.
+//!
+//! The representation is *internal*: engines emit ordinary dense
+//! [`VectorTimestamp`](crate::VectorTimestamp) stamps, so `Timestamper`
+//! impls, sinks, and the codec are untouched.  [`step`] is the shared
+//! write-back kernel — one protocol step mutating the two rows in place and
+//! emitting the event's dense stamp, with no full-width row clone anywhere.
+//!
+//! Invariant maintained by every method: a clear mask bit implies the whole
+//! chunk is zero (a set bit implies at least one nonzero entry, so occupancy
+//! numbers are exact, not conservative).
+
+/// Entries per chunk.  64 keeps a chunk one cache-line pair (512 bytes of
+/// `u64`s) and makes the bitmap arithmetic plain shifts.
+pub const CHUNK: usize = 64;
+
+/// One mixed-vector row (a thread's or an object's clock) in chunked form.
+///
+/// `values` is zero-padded to a whole number of chunks; bit `c % 64` of
+/// `mask[c / 64]` is set iff chunk `c` contains a nonzero entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkedRow {
+    values: Vec<u64>,
+    mask: Vec<u64>,
+}
+
+/// Number of chunks needed to hold `width` entries.
+#[inline]
+fn chunks_for(width: usize) -> usize {
+    width.div_ceil(CHUNK)
+}
+
+impl ChunkedRow {
+    /// Creates an empty (zero-width) row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an all-zero row covering at least `width` entries.
+    pub fn with_width(width: usize) -> Self {
+        let mut row = Self::default();
+        row.ensure_width(width);
+        row
+    }
+
+    /// Grows the row (with zeros) so it covers at least `width` entries.
+    /// Never shrinks: the clock only grows.
+    pub fn ensure_width(&mut self, width: usize) {
+        let chunks = chunks_for(width);
+        if self.values.len() < chunks * CHUNK {
+            self.values.resize(chunks * CHUNK, 0);
+            self.mask.resize(chunks.div_ceil(64), 0);
+        }
+    }
+
+    /// Entries the row currently covers (a multiple of [`CHUNK`]; entries
+    /// beyond the logical clock width are zero padding).
+    pub fn padded_width(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of chunks the row currently holds.
+    pub fn chunk_count(&self) -> usize {
+        self.values.len() / CHUNK
+    }
+
+    /// Number of chunks containing at least one nonzero entry.
+    pub fn nonzero_chunks(&self) -> usize {
+        self.mask.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of chunks that are nonzero (0.0 for an empty row): the
+    /// per-row sparsity number the wide-clock bench reports.
+    pub fn occupancy(&self) -> f64 {
+        let chunks = self.chunk_count();
+        if chunks == 0 {
+            0.0
+        } else {
+            self.nonzero_chunks() as f64 / chunks as f64
+        }
+    }
+
+    #[cfg(test)]
+    fn mask_bit(&self, chunk: usize) -> bool {
+        (self.mask[chunk / 64] >> (chunk % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn set_mask_bit(&mut self, chunk: usize) {
+        self.mask[chunk / 64] |= 1u64 << (chunk % 64);
+    }
+
+    /// Entry `k` (zero beyond the padded width).
+    pub fn get(&self, k: usize) -> u64 {
+        self.values.get(k).copied().unwrap_or(0)
+    }
+
+    /// Increments entry `k`, growing the row if needed.
+    pub fn increment(&mut self, k: usize) {
+        self.ensure_width(k + 1);
+        self.values[k] += 1;
+        self.set_mask_bit(k / CHUNK);
+    }
+
+    /// Elementwise `max` of `other` into `self`, visiting only `other`'s
+    /// nonzero chunks (an all-zero chunk cannot raise anything).
+    pub fn merge_max(&mut self, other: &ChunkedRow) {
+        self.ensure_width(other.values.len());
+        for (word, &obits) in other.mask.iter().enumerate() {
+            let mut bits = obits;
+            while bits != 0 {
+                let chunk = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = chunk * CHUNK;
+                let dst = &mut self.values[base..base + CHUNK];
+                let src = &other.values[base..base + CHUNK];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = (*d).max(s);
+                }
+            }
+            self.mask[word] |= obits;
+        }
+    }
+
+    /// `self < other` in the vector-clock order: every entry `<=` and at
+    /// least one `<`.  Chunks zero on both sides are skipped; a chunk
+    /// nonzero only in `self` refutes `<=` without touching its entries.
+    pub fn strictly_less_than(&self, other: &ChunkedRow) -> bool {
+        let words = self.mask.len().max(other.mask.len());
+        let mut strict = false;
+        for word in 0..words {
+            let sbits = self.mask.get(word).copied().unwrap_or(0);
+            let obits = other.mask.get(word).copied().unwrap_or(0);
+            // A chunk nonzero in self but all-zero in other has some entry
+            // greater than other's zero.
+            if sbits & !obits != 0 {
+                return false;
+            }
+            // Chunks nonzero only in other make the comparison strict.
+            if obits & !sbits != 0 {
+                strict = true;
+            }
+            let mut bits = sbits & obits;
+            while bits != 0 {
+                let chunk = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = chunk * CHUNK;
+                for (s, o) in self.values[base..base + CHUNK]
+                    .iter()
+                    .zip(&other.values[base..base + CHUNK])
+                {
+                    if s > o {
+                        return false;
+                    }
+                    if s < o {
+                        strict = true;
+                    }
+                }
+            }
+        }
+        strict
+    }
+
+    /// Makes `self` bit-identical to `src`, copying only chunks that are
+    /// nonzero on either side (both rows' zero chunks already agree).
+    pub fn copy_from(&mut self, src: &ChunkedRow) {
+        self.ensure_width(src.values.len());
+        for word in 0..self.mask.len() {
+            let sbits = src.mask.get(word).copied().unwrap_or(0);
+            let mut bits = sbits | self.mask[word];
+            while bits != 0 {
+                let chunk = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = chunk * CHUNK;
+                if (sbits >> (chunk % 64)) & 1 != 0 {
+                    let (dst, s) = (&mut self.values[base..base + CHUNK], &src.values);
+                    dst.copy_from_slice(&s[base..base + CHUNK]);
+                } else {
+                    self.values[base..base + CHUNK].fill(0);
+                }
+            }
+            self.mask[word] = sbits;
+        }
+    }
+
+    /// The row as a dense vector truncated/padded to exactly `width`
+    /// entries.  Two strategies, picked by occupancy: a mostly-zero row
+    /// zero-fills once and scatters its few nonzero chunks (one big
+    /// `calloc`-backed memset beats many segmented ones); a mostly-live row
+    /// is built chunk by chunk so every output byte is written exactly once
+    /// (zero-filling first would write the live chunks twice, a measurable
+    /// tax at full occupancy).
+    pub fn to_dense(&self, width: usize) -> Vec<u64> {
+        if 2 * self.nonzero_chunks() < chunks_for(width) {
+            let mut out = vec![0u64; width];
+            for (word, &bits) in self.mask.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let chunk = word * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let base = chunk * CHUNK;
+                    if base >= width {
+                        continue;
+                    }
+                    let len = CHUNK.min(width - base);
+                    out[base..base + len].copy_from_slice(&self.values[base..base + len]);
+                }
+            }
+            return out;
+        }
+        let mut out = Vec::with_capacity(width);
+        let covered = self.chunk_count();
+        for chunk in 0..chunks_for(width) {
+            let base = chunk * CHUNK;
+            let len = CHUNK.min(width - base);
+            let nonzero = chunk < covered && (self.mask[chunk / 64] >> (chunk % 64)) & 1 != 0;
+            if nonzero {
+                out.extend_from_slice(&self.values[base..base + len]);
+            } else {
+                out.resize(out.len() + len, 0);
+            }
+        }
+        out
+    }
+
+    /// Builds a row from a dense slice.
+    pub fn from_dense(dense: &[u64]) -> Self {
+        let mut row = Self::with_width(dense.len());
+        for (chunk, window) in dense.chunks(CHUNK).enumerate() {
+            if window.iter().any(|&v| v != 0) {
+                let base = chunk * CHUNK;
+                row.values[base..base + window.len()].copy_from_slice(window);
+                row.set_mask_bit(chunk);
+            }
+        }
+        row
+    }
+}
+
+/// One write-back protocol step (the paper's Section III-C update) over
+/// chunked rows: merge the object's row into the thread's, increment the
+/// event's component, copy the result back to the object, and return the
+/// event's dense stamp.  The only full-width work is zero-filling the
+/// emitted stamp; everything else is proportional to the rows' nonzero
+/// chunks, and neither row is ever cloned.
+///
+/// `thread` and `object` must be distinct rows (they live in distinct
+/// per-thread / per-object tables).
+pub fn step(
+    thread: &mut ChunkedRow,
+    object: &mut ChunkedRow,
+    component: usize,
+    width: usize,
+) -> Vec<u64> {
+    thread.ensure_width(width);
+    thread.merge_max(object);
+    thread.increment(component);
+    object.copy_from(thread);
+    thread.to_dense(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dense_strictly_less(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len().max(b.len());
+        let at = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        (0..n).all(|i| at(a, i) <= at(b, i)) && (0..n).any(|i| at(a, i) < at(b, i))
+    }
+
+    fn assert_mask_exact(row: &ChunkedRow) {
+        for chunk in 0..row.chunk_count() {
+            let nonzero = row.values[chunk * CHUNK..(chunk + 1) * CHUNK]
+                .iter()
+                .any(|&v| v != 0);
+            assert_eq!(row.mask_bit(chunk), nonzero, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_padding() {
+        let dense = vec![0, 3, 0, 0, 1];
+        let row = ChunkedRow::from_dense(&dense);
+        assert_eq!(row.padded_width(), CHUNK);
+        assert_eq!(row.to_dense(5), dense);
+        assert_eq!(row.to_dense(3), vec![0, 3, 0], "truncation");
+        assert_eq!(row.to_dense(70)[5..], vec![0u64; 65][..], "zero padding");
+        assert_mask_exact(&row);
+    }
+
+    #[test]
+    fn empty_row_is_all_zero_chunks() {
+        let row = ChunkedRow::with_width(200);
+        assert_eq!(row.chunk_count(), 4);
+        assert_eq!(row.nonzero_chunks(), 0);
+        assert_eq!(row.occupancy(), 0.0);
+        assert_eq!(ChunkedRow::new().occupancy(), 0.0);
+        assert_eq!(row.get(199), 0);
+        assert_eq!(row.get(10_000), 0, "reads beyond the padding are zero");
+    }
+
+    #[test]
+    fn increment_grows_and_sets_exactly_one_chunk() {
+        let mut row = ChunkedRow::new();
+        row.increment(130);
+        assert_eq!(row.get(130), 1);
+        assert_eq!(row.chunk_count(), 3);
+        assert_eq!(row.nonzero_chunks(), 1);
+        assert!((row.occupancy() - 1.0 / 3.0).abs() < 1e-12);
+        assert_mask_exact(&row);
+    }
+
+    #[test]
+    fn merge_skips_zero_chunks_but_matches_dense_max() {
+        let mut a = ChunkedRow::from_dense(&[1, 0, 0, 7]);
+        let mut wide = vec![0u64; 300];
+        wide[290] = 5;
+        wide[2] = 9;
+        let b = ChunkedRow::from_dense(&wide);
+        a.merge_max(&b);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(2), 9);
+        assert_eq!(a.get(3), 7);
+        assert_eq!(a.get(290), 5);
+        assert_eq!(a.nonzero_chunks(), 2, "chunk 0 and chunk 4 only");
+        assert_mask_exact(&a);
+    }
+
+    #[test]
+    fn strict_order_matches_dense_semantics() {
+        let zero = ChunkedRow::with_width(64);
+        let one = ChunkedRow::from_dense(&[0, 1]);
+        assert!(zero.strictly_less_than(&one));
+        assert!(!one.strictly_less_than(&zero));
+        assert!(!one.strictly_less_than(&one), "irreflexive");
+        // Incomparable: nonzero in disjoint chunks.
+        let mut far = vec![0u64; 200];
+        far[190] = 1;
+        let far = ChunkedRow::from_dense(&far);
+        assert!(!one.strictly_less_than(&far) || !far.strictly_less_than(&one));
+        assert!(one.strictly_less_than(&{
+            let mut m = one.clone();
+            m.merge_max(&far);
+            m
+        }));
+    }
+
+    #[test]
+    fn step_matches_the_dense_protocol_by_hand() {
+        // Same arithmetic as slicing's single-shard test: three events over
+        // a width-2 clock.
+        let mut threads = vec![ChunkedRow::new(), ChunkedRow::new()];
+        let mut objects = vec![ChunkedRow::new(), ChunkedRow::new()];
+        let (t, o) = (&mut threads, &mut objects);
+        assert_eq!(step(&mut t[0], &mut o[0], 0, 2), vec![1, 0]);
+        assert_eq!(step(&mut t[1], &mut o[0], 0, 2), vec![2, 0]);
+        assert_eq!(step(&mut t[0], &mut o[1], 1, 2), vec![1, 1]);
+        assert_eq!(t[0].to_dense(2), vec![1, 1], "write-back reached the row");
+        assert_eq!(o[0].to_dense(2), vec![2, 0]);
+        for row in threads.iter().chain(objects.iter()) {
+            assert_mask_exact(row);
+        }
+    }
+
+    #[test]
+    fn copy_from_clears_stale_chunks() {
+        // After a merge the destination can only gain chunks, but copy_from
+        // is written for arbitrary rows: chunks nonzero in the destination
+        // and zero in the source must be wiped.
+        let mut dst = ChunkedRow::from_dense(&[9, 9, 9]);
+        let mut src_dense = vec![0u64; 128];
+        src_dense[100] = 4;
+        let src = ChunkedRow::from_dense(&src_dense);
+        dst.copy_from(&src);
+        assert_eq!(dst.to_dense(128), src.to_dense(128));
+        assert_mask_exact(&dst);
+    }
+
+    proptest! {
+        /// Chunked ops are bit-for-bit the dense ops, including across chunk
+        /// boundaries and width growth.
+        #[test]
+        fn prop_chunked_ops_match_dense(
+            a in proptest::collection::vec(0u64..5, 0..200),
+            b in proptest::collection::vec(0u64..5, 0..200),
+            c in 0usize..200,
+        ) {
+            let (ra, rb) = (ChunkedRow::from_dense(&a), ChunkedRow::from_dense(&b));
+            prop_assert_eq!(ra.to_dense(a.len()), a.clone());
+
+            let mut merged = ra.clone();
+            merged.merge_max(&rb);
+            let n = a.len().max(b.len());
+            let expect: Vec<u64> = (0..n)
+                .map(|i| a.get(i).copied().unwrap_or(0).max(b.get(i).copied().unwrap_or(0)))
+                .collect();
+            prop_assert_eq!(merged.to_dense(n), expect);
+            assert_mask_exact(&merged);
+
+            prop_assert_eq!(ra.strictly_less_than(&rb), dense_strictly_less(&a, &b));
+
+            let mut inc = ra.clone();
+            inc.increment(c);
+            let mut expect = a.clone();
+            expect.resize(expect.len().max(c + 1), 0);
+            expect[c] += 1;
+            prop_assert_eq!(inc.to_dense(expect.len()), expect);
+            assert_mask_exact(&inc);
+        }
+
+        /// A random event sequence stepped through the chunked kernel equals
+        /// the naive dense protocol, stamp by stamp and row by row.
+        #[test]
+        fn prop_step_matches_naive_dense_protocol(
+            events in proptest::collection::vec((0usize..6, 0usize..6, 0usize..150), 1..60),
+        ) {
+            let width = 150;
+            let mut threads = vec![ChunkedRow::new(); 6];
+            let mut objects = vec![ChunkedRow::new(); 6];
+            let mut dt = vec![vec![0u64; width]; 6];
+            let mut dobj = vec![vec![0u64; width]; 6];
+            for &(t, o, c) in &events {
+                let stamp = step(&mut threads[t], &mut objects[o], c, width);
+                let merged: Vec<u64> = (0..width)
+                    .map(|k| dt[t][k].max(dobj[o][k]) + u64::from(k == c))
+                    .collect();
+                dt[t] = merged.clone();
+                dobj[o] = merged.clone();
+                prop_assert_eq!(&stamp, &merged);
+            }
+            for (row, dense) in threads.iter().zip(&dt).chain(objects.iter().zip(&dobj)) {
+                prop_assert_eq!(row.to_dense(width), dense.clone());
+                assert_mask_exact(row);
+            }
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   components.
 //! * [`mixed`] — the paper's mixed-vector-clock timestamping protocol
 //!   (Section III-C), parameterised by a [`ComponentMap`].
+//! * [`chunked`] — [`ChunkedRow`]: the wide-clock working format (fixed
+//!   64-entry chunks with a nonzero-chunk bitmap) and the write-back
+//!   protocol-step kernel shared by the timestamping engines.
 //! * [`chain`] — a dynamic chain-clock baseline in the spirit of
 //!   Agarwal & Garg (PODC 2005), the closest related work (Section VI).
 //! * [`validate`] — checking the vector clock condition
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod chunked;
 pub mod compare;
 pub mod component;
 pub mod compress;
@@ -46,6 +50,7 @@ pub mod mixed;
 pub mod validate;
 pub mod vector;
 
+pub use chunked::ChunkedRow;
 pub use compare::{ClockOrd, VectorTimestamp};
 pub use component::{Component, ComponentMap};
 pub use mixed::MixedVectorClockAssigner;

@@ -25,6 +25,7 @@ use std::fmt;
 
 use mvc_trace::{Computation, EventId};
 
+use crate::chunked::{self, ChunkedRow};
 use crate::compare::VectorTimestamp;
 use crate::component::ComponentMap;
 use crate::TimestampAssigner;
@@ -83,10 +84,8 @@ impl MixedVectorClockAssigner {
         computation: &Computation,
     ) -> Result<Vec<VectorTimestamp>, UncoveredEventError> {
         let width = self.width();
-        let mut thread_clock =
-            vec![VectorTimestamp::zeros(width); computation.thread_index_bound()];
-        let mut object_clock =
-            vec![VectorTimestamp::zeros(width); computation.object_index_bound()];
+        let mut thread_clock = vec![ChunkedRow::new(); computation.thread_index_bound()];
+        let mut object_clock = vec![ChunkedRow::new(); computation.object_index_bound()];
         let mut stamps = Vec::with_capacity(computation.len());
         for e in computation.events() {
             let component = self
@@ -95,12 +94,10 @@ impl MixedVectorClockAssigner {
                 .ok_or(UncoveredEventError { event: e.id })?;
             let t = e.thread.index();
             let o = e.object.index();
-            let mut v = thread_clock[t].clone();
-            v.merge_max(&object_clock[o]);
-            v.increment(component);
-            thread_clock[t] = v.clone();
-            object_clock[o] = v.clone();
-            stamps.push(v);
+            // The shared write-back kernel: both rows mutate in place and
+            // only the emitted stamp is owned — no full-width row clones.
+            let v = chunked::step(&mut thread_clock[t], &mut object_clock[o], component, width);
+            stamps.push(VectorTimestamp::from_components(v));
         }
         Ok(stamps)
     }

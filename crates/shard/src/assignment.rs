@@ -1,0 +1,311 @@
+//! Pluggable component-to-shard assignment: modulo striping (the parity
+//! default) and a locality-aware greedy partitioner over the observed
+//! component-interaction graph.
+//!
+//! The protocol is componentwise independent (see the `slicing` module), so
+//! *which* shard owns a component can never change a stamp value — it only
+//! changes which worker computes it and how much cross-shard merge traffic
+//! the router pays.  That freedom is the whole contract: an assignment may
+//! permute ownership arbitrarily (and re-permute it mid-run, with state
+//! migration), but it must always be a bijection `component -> (shard,
+//! local index)` covering `0..width`, and it must never touch values.
+//! Conformance oracle 10 pins the consequence: partitioned sharding equals
+//! modulo sharding bit-for-bit on the same interleaving.
+//!
+//! The partitioner is a two-stage greedy multilevel scheme in the spirit of
+//! the classic edge-coarsening partitioners: (1) coarsen — walk interaction
+//! edges in descending weight order, merging the endpoints' groups when the
+//! union stays under the per-shard capacity, so components that co-occur in
+//! events coalesce; (2) pack — place groups heaviest-first onto the
+//! currently lightest shard.  Both stages are deterministic (ties break on
+//! the smaller component index / shard index), so a repartition is
+//! reproducible from the same observed graph.
+
+use std::collections::HashMap;
+
+/// How the sharded engine maps clock components onto shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShardAssignment {
+    /// Component `k` lives on shard `k % N` at local index `k / N` — the
+    /// historical striping; balanced by construction and closed-form, so
+    /// components added mid-run never move existing slice data.
+    #[default]
+    Modulo,
+    /// Locality-aware placement: the engine records which components
+    /// co-occur in events and `ShardedEngine::repartition` regroups
+    /// components so interacting ones land on the same shard.  New
+    /// components join the lightest shard until the next repartition.
+    Partitioned,
+}
+
+/// The materialised bijection `component -> (shard, local index)` plus its
+/// inverse, shared by the router's event records, the reply merge, and
+/// state migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AssignmentTable {
+    mode: ShardAssignment,
+    shards: usize,
+    /// Component `k` lives on shard `shard_of[k]` ...
+    shard_of: Vec<u32>,
+    /// ... at local index `local_of[k]`.
+    local_of: Vec<u32>,
+    /// Inverse: `globals[s][j]` is the global component at local index `j`
+    /// of shard `s`.
+    globals: Vec<Vec<u32>>,
+}
+
+impl AssignmentTable {
+    /// The modulo table over `width` components.
+    pub(crate) fn modulo(width: usize, shards: usize, mode: ShardAssignment) -> Self {
+        let mut table = AssignmentTable {
+            mode,
+            shards,
+            shard_of: Vec::new(),
+            local_of: Vec::new(),
+            globals: vec![Vec::new(); shards],
+        };
+        for _ in 0..width {
+            table.push_component();
+        }
+        table
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Components shard `s` currently owns.
+    pub(crate) fn ln(&self, shard: usize) -> usize {
+        self.globals[shard].len()
+    }
+
+    pub(crate) fn shard_of(&self, component: u32) -> u32 {
+        self.shard_of[component as usize]
+    }
+
+    pub(crate) fn local_of(&self, component: u32) -> u32 {
+        self.local_of[component as usize]
+    }
+
+    pub(crate) fn globals(&self, shard: usize) -> &[u32] {
+        &self.globals[shard]
+    }
+
+    /// Registers the next component (global index `width()`): modulo keeps
+    /// the closed-form stripe; partitioned placement appends to the
+    /// currently lightest shard (ties to the lowest shard index).
+    pub(crate) fn push_component(&mut self) {
+        let k = self.shard_of.len() as u32;
+        let shard = match self.mode {
+            ShardAssignment::Modulo => k as usize % self.shards,
+            ShardAssignment::Partitioned => (0..self.shards)
+                .min_by_key(|&s| self.globals[s].len())
+                .unwrap_or(0),
+        };
+        self.shard_of.push(shard as u32);
+        self.local_of.push(self.globals[shard].len() as u32);
+        self.globals[shard].push(k);
+    }
+
+    /// Rebuilds the table from a greedy partition of the interaction graph,
+    /// keeping the width.  Returns `false` (leaving the table untouched)
+    /// when the partition reproduces the current placement.
+    pub(crate) fn repartition(&mut self, graph: &InteractionGraph) -> bool {
+        let width = self.width();
+        let groups = graph.partition(width, self.shards);
+        let mut globals: Vec<Vec<u32>> = vec![Vec::new(); self.shards];
+        // Pack heaviest-first onto the lightest shard; within a shard keep
+        // ascending global order so the layout is canonical.
+        for group in &groups {
+            let lightest = (0..self.shards)
+                .min_by_key(|&s| globals[s].len())
+                .unwrap_or(0);
+            globals[lightest].extend_from_slice(group);
+        }
+        for shard in &mut globals {
+            shard.sort_unstable();
+        }
+        if globals == self.globals {
+            return false;
+        }
+        let mut shard_of = vec![0u32; width];
+        let mut local_of = vec![0u32; width];
+        for (s, shard) in globals.iter().enumerate() {
+            for (j, &k) in shard.iter().enumerate() {
+                shard_of[k as usize] = s as u32;
+                local_of[k as usize] = j as u32;
+            }
+        }
+        self.shard_of = shard_of;
+        self.local_of = local_of;
+        self.globals = globals;
+        true
+    }
+}
+
+/// The observed component-interaction graph: an undirected multigraph where
+/// the weight of edge `{a, b}` counts events whose thread component and
+/// object component were `a` and `b`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InteractionGraph {
+    edges: HashMap<(u32, u32), u64>,
+}
+
+impl InteractionGraph {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one co-occurrence of two components in an event.
+    pub(crate) fn record(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        let key = (a.min(b), a.max(b));
+        *self.edges.entry(key).or_insert(0) += 1;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Greedy coarsening into groups of interacting components, each no
+    /// larger than one shard's capacity `ceil(width / shards)`.  Singleton
+    /// components (never observed interacting) come out as their own
+    /// groups.  Deterministic; groups are returned heaviest-first.
+    fn partition(&self, width: usize, shards: usize) -> Vec<Vec<u32>> {
+        let cap = width.div_ceil(shards).max(1);
+        let mut parent: Vec<u32> = (0..width as u32).collect();
+        let mut size = vec![1u32; width];
+        fn root(parent: &mut [u32], mut k: u32) -> u32 {
+            while parent[k as usize] != k {
+                let up = parent[parent[k as usize] as usize];
+                parent[k as usize] = up;
+                k = up;
+            }
+            k
+        }
+        let mut edges: Vec<(&(u32, u32), &u64)> = self
+            .edges
+            .iter()
+            .filter(|((a, b), _)| (*a as usize) < width && (*b as usize) < width)
+            .collect();
+        edges.sort_unstable_by(|(ka, wa), (kb, wb)| wb.cmp(wa).then(ka.cmp(kb)));
+        for ((a, b), _) in edges {
+            let (ra, rb) = (root(&mut parent, *a), root(&mut parent, *b));
+            if ra == rb || size[ra as usize] + size[rb as usize] > cap as u32 {
+                continue;
+            }
+            // Union by canonical root (the smaller index) so the grouping
+            // is independent of edge processing details.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi as usize] = lo;
+            size[lo as usize] += size[hi as usize];
+        }
+        let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
+        for k in 0..width as u32 {
+            let r = root(&mut parent, k);
+            members.entry(r).or_default().push(k);
+        }
+        let mut groups: Vec<Vec<u32>> = members.into_values().collect();
+        groups.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijection(table: &AssignmentTable, width: usize, shards: usize) {
+        let mut seen = vec![false; width];
+        for s in 0..shards {
+            for (j, &k) in table.globals(s).iter().enumerate() {
+                assert_eq!(table.shard_of(k), s as u32);
+                assert_eq!(table.local_of(k), j as u32);
+                assert!(!seen[k as usize], "component {k} owned twice");
+                seen[k as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every component owned");
+    }
+
+    #[test]
+    fn modulo_table_reproduces_the_historical_stripe() {
+        for (width, shards) in [(0, 1), (1, 1), (7, 3), (8, 3), (64, 8)] {
+            let t = AssignmentTable::modulo(width, shards, ShardAssignment::Modulo);
+            assert_bijection(&t, width, shards);
+            for k in 0..width as u32 {
+                assert_eq!(t.shard_of(k), k % shards as u32);
+                assert_eq!(t.local_of(k), k / shards as u32);
+            }
+            let total: usize = (0..shards).map(|s| t.ln(s)).sum();
+            assert_eq!(total, width);
+        }
+    }
+
+    #[test]
+    fn partitioned_growth_appends_to_the_lightest_shard() {
+        let mut t = AssignmentTable::modulo(0, 3, ShardAssignment::Partitioned);
+        for _ in 0..7 {
+            t.push_component();
+        }
+        assert_bijection(&t, 7, 3);
+        let sizes: Vec<usize> = (0..3).map(|s| t.ln(s)).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn repartition_groups_interacting_components_together() {
+        // Components {0,5} and {1,4} interact heavily; {2,3} lightly.
+        let mut g = InteractionGraph::new();
+        for _ in 0..10 {
+            g.record(0, 5);
+            g.record(1, 4);
+        }
+        g.record(2, 3);
+        g.record(5, 0 /* order-insensitive */);
+        let mut t = AssignmentTable::modulo(6, 3, ShardAssignment::Partitioned);
+        assert!(t.repartition(&g));
+        assert_bijection(&t, 6, 3);
+        assert_eq!(t.shard_of(0), t.shard_of(5), "heavy pair colocated");
+        assert_eq!(t.shard_of(1), t.shard_of(4));
+        assert_eq!(t.shard_of(2), t.shard_of(3));
+        // Capacity respected: ceil(6/3) = 2 per shard.
+        for s in 0..3 {
+            assert_eq!(t.ln(s), 2);
+        }
+        // Same graph again: the canonical layout is stable.
+        assert!(!t.repartition(&g), "second repartition is a no-op");
+    }
+
+    #[test]
+    fn capacity_caps_group_size_and_singletons_survive() {
+        // A clique over 0..4 with width 4 over 2 shards: cap 2 forbids one
+        // giant group; every shard ends with exactly 2 components.
+        let mut g = InteractionGraph::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                g.record(a, b);
+            }
+        }
+        let mut t = AssignmentTable::modulo(4, 2, ShardAssignment::Partitioned);
+        t.repartition(&g);
+        assert_bijection(&t, 4, 2);
+        assert_eq!(t.ln(0), 2);
+        assert_eq!(t.ln(1), 2);
+        // Edges referencing components beyond the width are ignored.
+        g.record(100, 101);
+        assert!(g.edge_count() >= 7);
+        t.repartition(&g);
+        assert_bijection(&t, 4, 2);
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = InteractionGraph::new();
+        g.record(3, 3);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -9,9 +9,10 @@ use mvc_clock::{Component, ComponentMap, VectorTimestamp};
 use mvc_core::{TimestampError, TimestampReport, Timestamper};
 use mvc_trace::{ObjectId, ThreadId};
 
+use crate::assignment::{AssignmentTable, InteractionGraph, ShardAssignment};
 use crate::fused::FusedState;
-use crate::slicing::{local_width, EventRec};
-use crate::worker::{spawn, Chunk};
+use crate::slicing::EventRec;
+use crate::worker::{spawn, Chunk, Reply, WorkerMsg};
 
 /// Events per chunk: the granularity at which batches are broadcast to the
 /// shards and merged back.  Large enough to amortise one channel round-trip
@@ -97,17 +98,21 @@ enum Backend {
         state: FusedState,
     },
     Threads {
-        inputs: Vec<Sender<Chunk>>,
-        replies: Vec<Receiver<Vec<u64>>>,
+        inputs: Vec<Sender<WorkerMsg>>,
+        replies: Vec<Receiver<Reply>>,
         handles: Vec<JoinHandle<()>>,
     },
 }
 
 /// The sharded counterpart of
 /// [`TimestampingEngine`](mvc_core::TimestampingEngine): the same incremental
-/// mixed-vector-clock protocol, with the clock's components striped across
+/// mixed-vector-clock protocol, with the clock's components divided across
 /// `N` shards that each own their slice of every per-thread / per-object
-/// vector (see the `slicing` module).
+/// vector (see the `slicing` module).  Which shard owns which component is
+/// a pluggable [`ShardAssignment`]: modulo striping by default, or a
+/// locality-aware partition of the observed component-interaction graph
+/// ([`ShardedEngine::repartition`]) — stamps are bit-identical either way,
+/// because the protocol is componentwise independent.
 ///
 /// The engine implements [`Timestamper`], so every existing driver —
 /// [`replay`](mvc_core::replay), `TraceSession::live`, the benches, the
@@ -146,6 +151,15 @@ pub struct ShardedEngine {
     /// Dense object → component-index table.
     object_comp: Vec<u32>,
     shards: usize,
+    /// The requested assignment policy (recorded for reports; the live
+    /// mapping is `table`).
+    assignment: ShardAssignment,
+    /// The live component → (shard, local index) bijection.
+    table: AssignmentTable,
+    /// The observed component-interaction graph [`ShardedEngine::repartition`]
+    /// partitions; `Some` iff the assignment is
+    /// [`ShardAssignment::Partitioned`].
+    interactions: Option<InteractionGraph>,
     backend: Backend,
     events_observed: usize,
 }
@@ -170,6 +184,21 @@ impl ShardedEngine {
     /// either way (conformance oracle 6 checks all executors against the
     /// sequential engine).
     pub fn with_executor(components: ComponentMap, shards: usize, executor: ShardExecutor) -> Self {
+        Self::with_assignment(components, shards, executor, ShardAssignment::default())
+    }
+
+    /// Creates an engine with an explicit executor and shard-assignment
+    /// policy.
+    ///
+    /// Like the executor, the assignment affects placement only — the
+    /// protocol is componentwise independent, so the stamp stream is
+    /// bit-identical under any assignment (conformance oracle 10).
+    pub fn with_assignment(
+        components: ComponentMap,
+        shards: usize,
+        executor: ShardExecutor,
+        assignment: ShardAssignment,
+    ) -> Self {
         let shards = shards.max(1);
         let backend = match executor {
             ShardExecutor::Inline => Backend::Inline {
@@ -182,7 +211,7 @@ impl ShardedEngine {
                 for s in 0..shards {
                     let (to_shard, input) = unbounded();
                     let (output, reply) = unbounded();
-                    handles.push(spawn(s, shards, input, output));
+                    handles.push(spawn(s, input, output));
                     inputs.push(to_shard);
                     replies.push(reply);
                 }
@@ -199,6 +228,9 @@ impl ShardedEngine {
             thread_comp: Vec::new(),
             object_comp: Vec::new(),
             shards,
+            assignment,
+            table: AssignmentTable::modulo(0, shards, assignment),
+            interactions: (assignment == ShardAssignment::Partitioned).then(InteractionGraph::new),
             backend,
             events_observed: 0,
         };
@@ -217,10 +249,72 @@ impl ShardedEngine {
     }
 
     /// The logical shard count: how many slices the threaded executor
-    /// stripes the components across.  The inline executor fuses all shards
+    /// divides the components across.  The inline executor fuses all shards
     /// into one pass, so there this only records what was requested.
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// The shard-assignment policy this engine places components with.
+    pub fn assignment(&self) -> ShardAssignment {
+        self.assignment
+    }
+
+    /// Recomputes the component placement from the interactions observed so
+    /// far, migrating worker slice state to the new layout.  Returns `true`
+    /// if the placement changed.
+    ///
+    /// Only meaningful under [`ShardAssignment::Partitioned`] (a modulo
+    /// engine observes no interactions and returns `false`).  Safe at any
+    /// batch boundary: the stamp stream is unaffected — the protocol is
+    /// componentwise independent, so moving a component only changes which
+    /// worker computes its values (conformance oracle 10 checks a mid-run
+    /// repartition against the modulo engine bit-for-bit).
+    pub fn repartition(&mut self) -> bool {
+        let mut new_table = self.table.clone();
+        match &self.interactions {
+            Some(graph) if new_table.repartition(graph) => {}
+            _ => return false,
+        }
+        if let Backend::Threads {
+            inputs, replies, ..
+        } = &self.backend
+        {
+            // Export every shard's slice rows (the reply channels are FIFO
+            // and no chunks are in flight between batches, so the next
+            // reply on each channel is the exported state).
+            let width = self.table.width();
+            let mut full_threads: Vec<Vec<u64>> = Vec::new();
+            let mut full_objects: Vec<Vec<u64>> = Vec::new();
+            for (s, (input, reply)) in inputs.iter().zip(replies).enumerate() {
+                input
+                    .send(WorkerMsg::Export)
+                    // mvc-lint: allow(hot-path-panic) — workers only exit after their input channel is dropped, which happens in our Drop
+                    .expect("shard worker is alive");
+                // mvc-lint: allow(hot-path-panic) — a worker replies once per export or the process is already panicking; see worker.rs
+                match reply.recv().expect("shard worker reply") {
+                    Reply::State { threads, objects } => {
+                        widen_rows(&mut full_threads, &threads, self.table.globals(s), width);
+                        widen_rows(&mut full_objects, &objects, self.table.globals(s), width);
+                    }
+                    Reply::Slices(_) => unreachable!("export is answered with state"),
+                }
+            }
+            // Re-slice under the new placement and load it back.
+            for (s, input) in inputs.iter().enumerate() {
+                input
+                    .send(WorkerMsg::Load {
+                        threads: slice_rows(&full_threads, new_table.globals(s)),
+                        objects: slice_rows(&full_objects, new_table.globals(s)),
+                    })
+                    // mvc-lint: allow(hot-path-panic) — workers only exit after their input channel is dropped, which happens in our Drop
+                    .expect("shard worker is alive");
+            }
+        }
+        // The inline executor's fused state is full-width and
+        // assignment-agnostic: swapping the table is the whole migration.
+        self.table = new_table;
+        true
     }
 
     /// The current component map.
@@ -235,12 +329,17 @@ impl ShardedEngine {
 
     /// Adds a component (if not already present), returning its index.
     ///
-    /// The new component is owned by shard `index % shard_count`; no
-    /// existing slice data moves (see the `slicing` module).
+    /// The new component is placed by the engine's [`ShardAssignment`]
+    /// (shard `index % shard_count` under modulo, the lightest shard under
+    /// partitioned); no existing slice data moves (see the `slicing`
+    /// module).
     pub fn add_component(&mut self, component: Component) -> usize {
         let index = self.components.push(component);
         // mvc-lint: allow(hot-path-panic) — a clock wider than u32::MAX components would exhaust memory long before this fires
         let index_u32 = u32::try_from(index).expect("clock width fits in u32");
+        while self.table.width() <= index {
+            self.table.push_component();
+        }
         match component {
             Component::Thread(t) => set_dense(&mut self.thread_comp, t.index(), index_u32),
             Component::Object(o) => set_dense(&mut self.object_comp, o.index(), index_u32),
@@ -276,6 +375,18 @@ impl ShardedEngine {
         out: &mut Vec<VectorTimestamp>,
     ) -> Result<(), TimestampError> {
         let width = self.components.len();
+        // Under the partitioned assignment, record which components
+        // co-occur in events — one cheap pre-pass per batch feeding the
+        // graph `repartition` coarsens.  Modulo engines skip this entirely.
+        if let Some(graph) = self.interactions.as_mut() {
+            for &(thread, object) in events {
+                let tc = dense_get(&self.thread_comp, thread.index());
+                let oc = dense_get(&self.object_comp, object.index());
+                if tc != NO_COMPONENT && oc != NO_COMPONENT {
+                    graph.record(tc, oc);
+                }
+            }
+        }
         if let Backend::Inline { state } = &mut self.backend {
             let before = out.len();
             let failure =
@@ -297,6 +408,8 @@ impl ShardedEngine {
                     t: thread.index() as u32,
                     o: object.index() as u32,
                     c,
+                    c_shard: self.table.shard_of(c),
+                    c_local: self.table.local_of(c),
                 }),
                 None => {
                     failure = Some(TimestampError::Uncovered { thread, object });
@@ -322,22 +435,19 @@ impl ShardedEngine {
                 // bound, shards that outrun the merge would transiently hold
                 // the whole batch's slices (O(events × width)) in memory.
                 let shared = Arc::new(recs);
-                let lns: Vec<usize> = (0..self.shards)
-                    .map(|s| local_width(width, s, self.shards))
-                    .collect();
                 let mut sent = 0;
                 let mut bufs: Vec<Vec<u64>> = Vec::with_capacity(self.shards);
                 for (merged, &(start, end)) in windows.iter().enumerate() {
                     while sent < windows.len() && sent < merged + PIPELINE_CHUNKS {
                         let (s, e) = windows[sent];
-                        for input in inputs.iter() {
+                        for (shard, input) in inputs.iter().enumerate() {
                             input
-                                .send(Chunk {
-                                    width,
+                                .send(WorkerMsg::Chunk(Chunk {
+                                    ln: self.table.ln(shard),
                                     events: Arc::clone(&shared),
                                     start: s,
                                     end: e,
-                                })
+                                }))
                                 // mvc-lint: allow(hot-path-panic) — workers only exit after their input channel is dropped, which happens in our Drop
                                 .expect("shard worker is alive");
                         }
@@ -348,10 +458,15 @@ impl ShardedEngine {
                     let chunk_span = self.metrics.chunk_ns.span();
                     for reply in replies.iter() {
                         // mvc-lint: allow(hot-path-panic) — a worker replies once per chunk or the process is already panicking; see worker.rs
-                        bufs.push(reply.recv().expect("shard worker reply"));
+                        match reply.recv().expect("shard worker reply") {
+                            Reply::Slices(buf) => bufs.push(buf),
+                            Reply::State { .. } => {
+                                unreachable!("chunks are answered with slices")
+                            }
+                        }
                     }
                     chunk_span.stop();
-                    merge_into(width, self.shards, &lns, &bufs, end - start, out);
+                    merge_into(width, &self.table, &bufs, end - start, out);
                 }
             }
         }
@@ -420,27 +535,64 @@ impl Drop for ShardedEngine {
 }
 
 /// Merges one chunk's per-shard slice buffers into full-width timestamps,
-/// in arrival order: component `k` of event `i` is value `i * ln + k / N`
-/// of shard `k % N`'s buffer.  `lns` is the per-shard slice width
-/// (`local_width`), computed once per batch by the caller.
+/// in arrival order: component `table.globals(s)[j]` of event `i` is value
+/// `i * table.ln(s) + j` of shard `s`'s buffer — the inverse of the
+/// assignment bijection, for any assignment.
 fn merge_into(
     width: usize,
-    shards: usize,
-    lns: &[usize],
+    table: &AssignmentTable,
     bufs: &[Vec<u64>],
     n_events: usize,
     out: &mut Vec<VectorTimestamp>,
 ) {
     for i in 0..n_events {
         let mut v = vec![0u64; width];
-        for ((buf, &ln), s) in bufs.iter().zip(lns).zip(0..shards) {
-            let base = i * ln;
-            for j in 0..ln {
-                v[s + j * shards] = buf[base + j];
+        for (s, buf) in bufs.iter().enumerate() {
+            let globals = table.globals(s);
+            let base = i * globals.len();
+            for (j, &k) in globals.iter().enumerate() {
+                v[k as usize] = buf[base + j];
             }
         }
         out.push(VectorTimestamp::from_components(v));
     }
+}
+
+/// Scatter one shard's exported local-index rows into full-width rows
+/// (repartition migration, gather side): local index `j` of shard rows maps
+/// to global component `globals[j]`.
+fn widen_rows(full: &mut Vec<Vec<u64>>, rows: &[Vec<u64>], globals: &[u32], width: usize) {
+    if full.len() < rows.len() {
+        full.resize_with(rows.len(), Vec::new);
+    }
+    for (full_row, row) in full.iter_mut().zip(rows) {
+        if !row.is_empty() && full_row.len() < width {
+            full_row.resize(width, 0);
+        }
+        // A row lazily padded short of this shard's ln simply contributes
+        // fewer (all-zero) entries.
+        for (j, &value) in row.iter().enumerate() {
+            full_row[globals[j] as usize] = value;
+        }
+    }
+}
+
+/// Gather full-width rows back into one shard's local-index rows under a
+/// new assignment (repartition migration, scatter side).  Rows never
+/// touched stay empty (the worker re-creates them lazily).
+fn slice_rows(full: &[Vec<u64>], globals: &[u32]) -> Vec<Vec<u64>> {
+    full.iter()
+        .map(|row| {
+            if row.is_empty() {
+                Vec::new()
+            } else {
+                globals
+                    .iter()
+                    .map(|&k| row.get(k as usize).copied().unwrap_or(0))
+                    .collect()
+            }
+        })
+        .collect()
 }
 
 fn dense_get(table: &[u32], index: usize) -> u32 {
@@ -611,6 +763,99 @@ mod tests {
         assert_eq!(report.events, 1);
         assert_eq!(report.components, map);
         assert_eq!(e.name(), "sharded-engine");
+    }
+
+    fn object_heavy_map(threads: usize, objects: usize) -> ComponentMap {
+        let mut m = ComponentMap::new();
+        for t in 0..threads {
+            m.push(Component::Thread(ThreadId(t)));
+        }
+        for o in 0..objects {
+            m.push(Component::Object(ObjectId(o)));
+        }
+        m
+    }
+
+    #[test]
+    fn partitioned_assignment_matches_modulo_bit_for_bit() {
+        let c = WorkloadBuilder::new(6, 10).operations(900).seed(29).build();
+        let map = object_heavy_map(6, 10);
+        for executor in [ShardExecutor::Inline, ShardExecutor::Threads] {
+            for shards in [1, 2, 4] {
+                let mut part = ShardedEngine::with_assignment(
+                    map.clone(),
+                    shards,
+                    executor,
+                    ShardAssignment::Partitioned,
+                );
+                let mut modulo = ShardedEngine::with_assignment(
+                    map.clone(),
+                    shards,
+                    executor,
+                    ShardAssignment::Modulo,
+                );
+                assert_eq!(part.assignment(), ShardAssignment::Partitioned);
+                assert_eq!(modulo.assignment(), ShardAssignment::Modulo);
+                let a = replay(&mut part, &c).unwrap();
+                let b = replay(&mut modulo, &c).unwrap();
+                assert_eq!(a.timestamps, b.timestamps, "{executor:?} × {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_repartition_leaves_the_stamp_stream_unchanged() {
+        let c = WorkloadBuilder::new(6, 10)
+            .operations(1200)
+            .seed(31)
+            .build();
+        let events: Vec<_> = c.events().map(|e| (e.thread, e.object)).collect();
+        let half = events.len() / 2;
+        let map = object_heavy_map(6, 10);
+        for executor in [ShardExecutor::Inline, ShardExecutor::Threads] {
+            let mut part = ShardedEngine::with_assignment(
+                map.clone(),
+                4,
+                executor,
+                ShardAssignment::Partitioned,
+            );
+            let mut sequential = TimestampingEngine::with_components(map.clone());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            part.observe_batch(&events[..half], &mut a).unwrap();
+            sequential.observe_batch(&events[..half], &mut b).unwrap();
+            // Re-place components from the observed interaction graph; the
+            // migration must carry every counter to its new owner.
+            part.repartition();
+            part.observe_batch(&events[half..], &mut a).unwrap();
+            sequential.observe_batch(&events[half..], &mut b).unwrap();
+            assert_eq!(a, b, "{executor:?}");
+        }
+    }
+
+    #[test]
+    fn repartition_is_a_noop_for_modulo_and_converges_for_partitioned() {
+        let c = WorkloadBuilder::new(4, 6).operations(400).seed(17).build();
+        let map = object_heavy_map(4, 6);
+        let mut modulo = ShardedEngine::with_assignment(
+            map.clone(),
+            2,
+            ShardExecutor::Inline,
+            ShardAssignment::Modulo,
+        );
+        replay(&mut modulo, &c).unwrap();
+        assert!(!modulo.repartition(), "modulo observes no interactions");
+        let mut part = ShardedEngine::with_assignment(
+            map,
+            2,
+            ShardExecutor::Inline,
+            ShardAssignment::Partitioned,
+        );
+        replay(&mut part, &c).unwrap();
+        if part.repartition() {
+            // The layout is canonical, so repartitioning again from the same
+            // graph changes nothing.
+            assert!(!part.repartition(), "second repartition is stable");
+        }
     }
 
     #[test]

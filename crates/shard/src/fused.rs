@@ -3,16 +3,18 @@
 //!
 //! On a single thread there is nothing to overlap, so the fastest execution
 //! of an N-shard engine is one pass that produces finished timestamps
-//! directly — no slice buffers, no merge, no queues.  The working set is
-//! deliberately tiny: one width-sized row per thread and per object
-//! (a 64-thread / 64-object / width-64 workload fits in 64 KiB), so the hot
-//! loop stays cache-resident no matter how large a batch is, unlike designs
-//! that chase references into the ever-growing output stamp array.
+//! directly — no slice buffers, no merge, no queues.  Rows are kept in the
+//! chunked wide-clock format ([`mvc_clock::chunked`]): one chunk-padded row
+//! per thread and per object with a nonzero-chunk bitmap, so the per-event
+//! merge and write-back cost tracks the chunks an event actually touches,
+//! not the clock width — at width 64 that is the same single-chunk loop as
+//! before, and at width 4096 a clustered workload touches ~1 of 64 chunks.
 //!
 //! Bit-for-bit parity with the sliced/threaded path (and with the
 //! sequential engine) is enforced by the unit tests here, by the engine's
-//! executor-parity tests, and by conformance oracle 6.
+//! executor-parity tests, and by conformance oracles 6 and 10.
 
+use mvc_clock::chunked::{self, ChunkedRow};
 use mvc_clock::VectorTimestamp;
 use mvc_core::TimestampError;
 use mvc_trace::{ObjectId, ThreadId};
@@ -27,10 +29,10 @@ pub(crate) const NO_COMPONENT: u32 = u32::MAX;
 /// The fused (single-slice, full-width) engine state.
 #[derive(Debug, Default)]
 pub(crate) struct FusedState {
-    /// Per-thread rows, padded to the clock width lazily.
-    threads: Vec<Vec<u64>>,
-    /// Per-object rows.
-    objects: Vec<Vec<u64>>,
+    /// Per-thread chunked rows, padded to the clock width lazily.
+    threads: Vec<ChunkedRow>,
+    /// Per-object chunked rows.
+    objects: Vec<ChunkedRow>,
 }
 
 impl FusedState {
@@ -92,38 +94,23 @@ impl FusedState {
     }
 
     /// One protocol step: stamp the event of thread `t` on object `o`,
-    /// incrementing component `c`.
+    /// incrementing component `c` — the shared chunked write-back kernel:
+    /// `T[t] = O[o] = e.v`, the paper's protocol verbatim, with both rows
+    /// mutated in place and only the emitted stamp owned.
     #[inline]
     fn step(&mut self, width: usize, t: usize, o: usize, c: usize, out: &mut Vec<VectorTimestamp>) {
-        let trow = row(&mut self.threads, t, width);
-        let orow = row(&mut self.objects, o, width);
-        // max-merge into a fresh stamp (the one allocation per event),
-        // increment the routed component, write the result back to both
-        // rows — `T[t] = O[o] = e.v`, the paper's protocol verbatim.
-        // (memcpy + in-place max keeps the merge a straight-line
-        // vectorisable loop.)
-        let mut v: Vec<u64> = Vec::with_capacity(width);
-        v.extend_from_slice(trow);
-        for (vk, ok) in v.iter_mut().zip(orow.iter()) {
-            *vk = (*vk).max(*ok);
-        }
-        v[c] += 1;
-        trow.copy_from_slice(&v);
-        orow.copy_from_slice(&v);
+        grow(&mut self.threads, t);
+        grow(&mut self.objects, o);
+        let v = chunked::step(&mut self.threads[t], &mut self.objects[o], c, width);
         out.push(VectorTimestamp::from_components(v));
     }
 }
 
-/// Returns the row of `id`, created/zero-padded to `width` as needed.
-fn row(rows: &mut Vec<Vec<u64>>, id: usize, width: usize) -> &mut [u64] {
+/// Ensures `rows[id]` exists (rows pad themselves to the width lazily).
+fn grow(rows: &mut Vec<ChunkedRow>, id: usize) {
     if id >= rows.len() {
-        rows.resize_with(id + 1, Vec::new);
+        rows.resize_with(id + 1, ChunkedRow::new);
     }
-    let row = &mut rows[id];
-    if row.len() < width {
-        row.resize(width, 0);
-    }
-    &mut row[..width]
 }
 
 #[cfg(test)]
@@ -144,15 +131,15 @@ mod tests {
     #[test]
     fn fused_equals_single_shard_slicing() {
         let events = [
-            EventRec { t: 0, o: 0, c: 0 },
-            EventRec { t: 1, o: 0, c: 0 },
-            EventRec { t: 1, o: 1, c: 2 },
-            EventRec { t: 0, o: 1, c: 1 },
-            EventRec { t: 2, o: 0, c: 0 },
+            EventRec::striped(0, 0, 0, 1),
+            EventRec::striped(1, 0, 0, 1),
+            EventRec::striped(1, 1, 2, 1),
+            EventRec::striped(0, 1, 1, 1),
+            EventRec::striped(2, 0, 0, 1),
         ];
         let width = 3;
         let fused = stamps_of(&mut FusedState::new(), width, &events);
-        let mut sliced = ShardState::new(0, 1);
+        let mut sliced = ShardState::new(0);
         let mut flat = Vec::new();
         sliced.apply(width, &events, &mut flat);
         let expected: Vec<VectorTimestamp> = flat
@@ -165,13 +152,13 @@ mod tests {
     #[test]
     fn rows_persist_across_batches_and_pad_on_width_growth() {
         let mut state = FusedState::new();
-        let a = stamps_of(&mut state, 1, &[EventRec { t: 0, o: 0, c: 0 }]);
+        let a = stamps_of(&mut state, 1, &[EventRec::striped(0, 0, 0, 1)]);
         assert_eq!(a[0].as_slice(), &[1]);
         // Width grows between batches; the old rows pad with zeros.
         let b = stamps_of(
             &mut state,
             2,
-            &[EventRec { t: 0, o: 1, c: 1 }, EventRec { t: 0, o: 0, c: 0 }],
+            &[EventRec::striped(0, 1, 1, 1), EventRec::striped(0, 0, 0, 1)],
         );
         assert_eq!(b[0].as_slice(), &[1, 1], "carried counter plus new one");
         assert_eq!(b[1].as_slice(), &[2, 1], "object 0's row also persisted");
@@ -186,9 +173,9 @@ mod tests {
             &mut state,
             2,
             &[
-                EventRec { t: 0, o: 0, c: 0 },
-                EventRec { t: 1, o: 0, c: 0 },
-                EventRec { t: 0, o: 1, c: 1 },
+                EventRec::striped(0, 0, 0, 1),
+                EventRec::striped(1, 0, 0, 1),
+                EventRec::striped(0, 1, 1, 1),
             ],
         );
         assert_eq!(out[1].as_slice(), &[2, 0]);

@@ -5,8 +5,10 @@
 //! processes one event at a time on one core, so the paper's online protocol
 //! can never exceed single-core throughput no matter how fast the mechanisms
 //! get.  This crate scales the *engine* out without changing a single stamp:
-//! [`ShardedEngine`] stripes the clock's components across `N` shards
-//! (component `k` belongs to shard `k % N`), each shard owns its slice of
+//! [`ShardedEngine`] divides the clock's components across `N` shards under
+//! a pluggable [`ShardAssignment`] — modulo striping by default (component
+//! `k` belongs to shard `k % N`), or a locality-aware partition of the
+//! observed component-interaction graph — each shard owns its slice of
 //! every per-thread and per-object mixed vector, and a merge stage
 //! reassembles full-width timestamps in arrival order.
 //!
@@ -34,8 +36,10 @@
 //!    in order, so no shard can run ahead or behind within a chunk.
 //! 2. **Stamps complete in order.**  The merge emits event `i`'s timestamp
 //!    only once every shard's slice for `i`'s chunk has arrived, and
-//!    component `k` of that timestamp is read from shard `k % N`'s buffer at
-//!    local index `k / N` — each component is produced by exactly one shard.
+//!    component `k` of that timestamp is read from its owning shard's
+//!    buffer at `k`'s local index (under modulo striping, shard `k % N`,
+//!    local index `k / N`) — each component is produced by exactly one
+//!    shard, whatever the assignment.
 //! 3. **Program and chain order are preserved.**  Because all shards see
 //!    the single arrival order (the faithful interleaving
 //!    [`TraceSession`](../mvc_runtime/struct.TraceSession.html)'s
@@ -56,9 +60,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod assignment;
 mod engine;
 pub(crate) mod fused;
 pub(crate) mod slicing;
 pub(crate) mod worker;
 
+pub use assignment::ShardAssignment;
 pub use engine::{ShardExecutor, ShardedEngine};

@@ -1,12 +1,14 @@
-//! Component slicing: how the clock's components are striped across shards,
+//! Component slicing: how the clock's components are divided across shards,
 //! and the per-shard state that applies the protocol to one slice.
 //!
-//! Component `k` of the mixed vector clock is owned by shard `k % shards`
-//! and lives at local index `k / shards` inside that shard's slice.  The
-//! striped (rather than contiguous-range) assignment means a component added
-//! mid-run lands on some shard without moving any existing slice data, and
-//! the slices stay balanced (sizes differ by at most one) no matter how the
-//! clock grows.
+//! Which shard owns which component is decided by the engine's
+//! [`AssignmentTable`](crate::assignment): modulo striping by default
+//! (component `k` on shard `k % N` at local index `k / N`, so a component
+//! added mid-run lands on some shard without moving any existing slice
+//! data), or a locality-aware partition of the observed interaction graph.
+//! The shard itself is assignment-agnostic: every routed event arrives with
+//! its increment component pre-resolved to `(owning shard, local index)`,
+//! and the shard only ever sees local indices.
 //!
 //! The protocol itself is componentwise independent: for every component
 //! `k`, an event `e = (t, o)` performs
@@ -19,12 +21,16 @@
 //! and no other component's value participates.  A shard can therefore apply
 //! the *whole event stream in arrival order* to just its slice of every
 //! per-thread / per-object vector, and the concatenation of the slices is
-//! bit-for-bit the sequential engine's result.  That independence is the
-//! entire correctness argument for the sharded engine: shards never
+//! bit-for-bit the sequential engine's result — under *any* bijective
+//! component assignment.  That independence is the entire correctness
+//! argument for the sharded engine (and for repartitioning): shards never
 //! communicate, they only have to see the same events in the same order.
 
-/// Number of components a shard owns when the clock has `width` components:
-/// the size of `{k < width : k % shards == shard}`.
+/// Number of components a shard owns under modulo striping when the clock
+/// has `width` components: the size of `{k < width : k % shards == shard}`.
+/// (The router now asks its [`AssignmentTable`](crate::assignment) instead;
+/// the tests keep this closed form to cross-check striped layouts.)
+#[cfg(test)]
 pub(crate) fn local_width(width: usize, shard: usize, shards: usize) -> usize {
     if width > shard {
         (width - shard).div_ceil(shards)
@@ -34,31 +40,49 @@ pub(crate) fn local_width(width: usize, shard: usize, shards: usize) -> usize {
 }
 
 /// One routed event, as shipped to every shard: dense thread / object
-/// indices and the *global* index of the component the protocol increments
-/// (`e.c` in the paper — the object's component if the object is in the
-/// clock, otherwise the thread's).
+/// indices and the component the protocol increments (`e.c` in the paper —
+/// the object's component if the object is in the clock, otherwise the
+/// thread's), both as the *global* index (used by the fused executor and
+/// the tests) and pre-resolved to the owning shard and its local index
+/// (used by the shard workers, which never see global indices).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct EventRec {
     pub(crate) t: u32,
     pub(crate) o: u32,
     pub(crate) c: u32,
+    pub(crate) c_shard: u32,
+    pub(crate) c_local: u32,
+}
+
+impl EventRec {
+    /// An event record under modulo striping (how the non-test router built
+    /// records before assignments became pluggable; tests use it to state
+    /// striped layouts concisely).
+    #[cfg(test)]
+    pub(crate) fn striped(t: u32, o: u32, c: u32, shards: u32) -> Self {
+        EventRec {
+            t,
+            o,
+            c,
+            c_shard: c % shards,
+            c_local: c / shards,
+        }
+    }
 }
 
 /// A shard's slice of the engine state: for every thread and object, the
-/// values of the components this shard owns, at local (striped) indices.
+/// values of the components this shard owns, at local indices.
 #[derive(Debug, Default)]
 pub(crate) struct ShardState {
-    shard: usize,
-    shards: usize,
+    shard: u32,
     threads: Vec<Vec<u64>>,
     objects: Vec<Vec<u64>>,
 }
 
 impl ShardState {
-    pub(crate) fn new(shard: usize, shards: usize) -> Self {
+    pub(crate) fn new(shard: usize) -> Self {
         ShardState {
-            shard,
-            shards,
+            shard: shard as u32,
             threads: Vec::new(),
             objects: Vec::new(),
         }
@@ -66,15 +90,14 @@ impl ShardState {
 
     /// Applies a chunk of routed events, in order, to this shard's slice and
     /// appends each event's slice values (event-major: `events.len()` groups
-    /// of `local_width` values) to `out`.
+    /// of `ln` values) to `out`.
     ///
-    /// `width` is the global clock width for the whole chunk — the router
+    /// `ln` is this shard's slice width for the whole chunk — the router
     /// never grows the clock inside a batch, so a single value suffices; new
-    /// components appear to the shard as a larger `width` on a later chunk
-    /// and their counters start at zero, exactly like the sequential
-    /// engine's lazy padding.
-    pub(crate) fn apply(&mut self, width: usize, events: &[EventRec], out: &mut Vec<u64>) {
-        let ln = local_width(width, self.shard, self.shards);
+    /// components appear to the shard as a larger `ln` on a later chunk and
+    /// their counters start at zero, exactly like the sequential engine's
+    /// lazy padding.
+    pub(crate) fn apply(&mut self, ln: usize, events: &[EventRec], out: &mut Vec<u64>) {
         if ln == 0 {
             return;
         }
@@ -94,15 +117,31 @@ impl ShardState {
                 *oj = m;
                 out.push(m);
             }
-            let c = ev.c as usize;
-            if c % self.shards == self.shard {
-                let local_c = c / self.shards;
+            if ev.c_shard == self.shard {
+                let local_c = ev.c_local as usize;
                 let m = trow[local_c] + 1;
                 trow[local_c] = m;
                 orow[local_c] = m;
                 out[base + local_c] = m;
             }
         }
+    }
+
+    /// Hands the slice rows to the router for a repartition migration,
+    /// leaving the shard empty (it will be re-seeded by [`restore`]).
+    ///
+    /// [`restore`]: ShardState::restore
+    pub(crate) fn export(&mut self) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+        (
+            std::mem::take(&mut self.threads),
+            std::mem::take(&mut self.objects),
+        )
+    }
+
+    /// Replaces the slice rows with re-sliced state from the router.
+    pub(crate) fn restore(&mut self, threads: Vec<Vec<u64>>, objects: Vec<Vec<u64>>) {
+        self.threads = threads;
+        self.objects = objects;
     }
 }
 
@@ -141,8 +180,8 @@ mod tests {
         let shards = 3;
         let width = 8;
         for k in 0..width {
-            let shard = k % shards;
-            let local = k / shards;
+            let rec = EventRec::striped(0, 0, k as u32, shards as u32);
+            let (shard, local) = (rec.c_shard as usize, rec.c_local as usize);
             assert!(local < local_width(width, shard, shards));
             assert_eq!(shard + local * shards, k, "k = shard + local * shards");
         }
@@ -153,12 +192,12 @@ mod tests {
         // One shard owning everything must reproduce the sequential engine's
         // arithmetic exactly: increments on the event's component, max-merge
         // of thread and object rows.
-        let mut s = ShardState::new(0, 1);
+        let mut s = ShardState::new(0);
         let mut out = Vec::new();
         let events = [
-            EventRec { t: 0, o: 0, c: 0 },
-            EventRec { t: 1, o: 0, c: 0 },
-            EventRec { t: 0, o: 1, c: 1 },
+            EventRec::striped(0, 0, 0, 1),
+            EventRec::striped(1, 0, 0, 1),
+            EventRec::striped(0, 1, 1, 1),
         ];
         s.apply(2, &events, &mut out);
         assert_eq!(out, vec![1, 0, 2, 0, 1, 1]);
@@ -166,31 +205,34 @@ mod tests {
 
     #[test]
     fn shard_without_components_emits_nothing() {
-        let mut s = ShardState::new(3, 4);
+        let mut s = ShardState::new(3);
         let mut out = Vec::new();
-        s.apply(3, &[EventRec { t: 0, o: 0, c: 0 }], &mut out);
-        assert!(out.is_empty(), "width 3 leaves shard 3 of 4 empty");
+        s.apply(0, &[EventRec::striped(0, 0, 0, 4)], &mut out);
+        assert!(out.is_empty(), "a shard with ln = 0 owns nothing");
     }
 
     #[test]
     fn two_shard_slices_merge_to_the_single_shard_protocol() {
         // The N-sharded apply-and-merge decomposition is the same protocol
         // as one shard owning everything; check a hand-merged 2-shard run.
-        let events = [
-            EventRec { t: 0, o: 0, c: 0 },
-            EventRec { t: 1, o: 0, c: 0 },
-            EventRec { t: 1, o: 1, c: 2 },
-            EventRec { t: 0, o: 1, c: 1 },
-        ];
+        let raw = [(0, 0, 0), (1, 0, 0), (1, 1, 2), (0, 1, 1)];
         let width = 3;
         let mut whole = Vec::new();
-        ShardState::new(0, 1).apply(width, &events, &mut whole);
+        let one: Vec<EventRec> = raw
+            .iter()
+            .map(|&(t, o, c)| EventRec::striped(t, o, c, 1))
+            .collect();
+        ShardState::new(0).apply(width, &one, &mut whole);
 
+        let two: Vec<EventRec> = raw
+            .iter()
+            .map(|&(t, o, c)| EventRec::striped(t, o, c, 2))
+            .collect();
         let mut bufs = [Vec::new(), Vec::new()];
         for (s, buf) in bufs.iter_mut().enumerate() {
-            ShardState::new(s, 2).apply(width, &events, buf);
+            ShardState::new(s).apply(local_width(width, s, 2), &two, buf);
         }
-        for i in 0..events.len() {
+        for i in 0..raw.len() {
             for k in 0..width {
                 let ln = local_width(width, k % 2, 2);
                 assert_eq!(
@@ -204,15 +246,30 @@ mod tests {
 
     #[test]
     fn width_growth_between_chunks_pads_with_zeros() {
-        let mut s = ShardState::new(0, 2);
+        let mut s = ShardState::new(0);
         let mut out = Vec::new();
-        // Width 1: shard 0 owns component 0.
-        s.apply(1, &[EventRec { t: 0, o: 0, c: 0 }], &mut out);
+        // Width 1 over 2 shards: shard 0 owns component 0.
+        s.apply(1, &[EventRec::striped(0, 0, 0, 2)], &mut out);
         assert_eq!(out, vec![1]);
         out.clear();
         // Width 3: shard 0 now owns components 0 and 2; component 2 starts
         // at zero for the existing thread/object rows.
-        s.apply(3, &[EventRec { t: 0, o: 0, c: 2 }], &mut out);
+        s.apply(2, &[EventRec::striped(0, 0, 2, 2)], &mut out);
         assert_eq!(out, vec![1, 1], "component 0 carried over, 2 incremented");
+    }
+
+    #[test]
+    fn export_and_restore_round_trip_the_slice() {
+        let mut s = ShardState::new(0);
+        let mut out = Vec::new();
+        s.apply(2, &[EventRec::striped(0, 1, 0, 1)], &mut out);
+        let (threads, objects) = s.export();
+        assert_eq!(threads[0], vec![1, 0]);
+        assert_eq!(objects[1], vec![1, 0]);
+        let mut fresh = ShardState::new(0);
+        fresh.restore(threads, objects);
+        out.clear();
+        fresh.apply(2, &[EventRec::striped(0, 1, 1, 1)], &mut out);
+        assert_eq!(out, vec![1, 1], "loaded state continues the protocol");
     }
 }

@@ -24,6 +24,11 @@
 //! * [`WorkloadKind::Star`] — every thread hammers a tiny set of hub objects;
 //!   the paper's adversarial lower-bound stream, on which naive-threads pays
 //!   one component per thread while the optimum is the hub count.
+//! * [`WorkloadKind::Clustered`] — threads and objects are divided into
+//!   communities and operations stay inside their community; models
+//!   microservice/actor systems where interaction is dense locally and
+//!   absent globally — the workload that rewards locality-aware shard
+//!   assignment and chunked wide clocks.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -108,6 +113,19 @@ pub enum WorkloadKind {
         /// least 1).
         shift: usize,
     },
+    /// Threads and objects are split into `clusters` equal communities
+    /// (cluster `i` owns the `i`-th contiguous range of thread and object
+    /// ids) and every operation stays inside its community.  The
+    /// thread–object graph is a disjoint union of dense blocks: a thread's
+    /// clock row only ever becomes nonzero on its own community's components
+    /// — a tiny, stable slice of a wide clock — which is the regime where
+    /// chunked stamps and interaction-graph shard assignment pay off.
+    /// (Modulo striping still scatters each community across all shards; the
+    /// locality has to be discovered from the interaction graph.)
+    Clustered {
+        /// Number of communities (clamped to `[1, min(threads, objects)]`).
+        clusters: usize,
+    },
 }
 
 impl WorkloadKind {
@@ -122,6 +140,7 @@ impl WorkloadKind {
             WorkloadKind::Star { .. } => "star",
             WorkloadKind::Matching { .. } => "matching",
             WorkloadKind::PhaseShift { .. } => "phase-shift",
+            WorkloadKind::Clustered { .. } => "clustered",
         }
     }
 }
@@ -282,8 +301,38 @@ impl WorkloadBuilder {
                 let o = (start + rng.gen_range(0..window)) % self.objects;
                 (rng.gen_range(0..self.threads), o)
             }
+            WorkloadKind::Clustered { clusters } => {
+                // Pick a community, then a thread and object inside its
+                // contiguous id ranges (cluster i owns threads
+                // [i*span, (i+1)*span) and likewise for objects; the last
+                // cluster absorbs the remainder).
+                let clusters = clusters.clamp(1, self.threads.min(self.objects));
+                let cluster = rng.gen_range(0..clusters);
+                let t = cluster_member(self.threads, clusters, cluster, rng);
+                let o = cluster_member(self.objects, clusters, cluster, rng);
+                (t, o)
+            }
         }
     }
+}
+
+/// Samples a member of community `cluster` when `n` ids are split into
+/// `clusters` contiguous ranges of `n / clusters` (the last range keeps the
+/// remainder).  Requires `clusters <= n`.
+fn cluster_member<R: Rng + ?Sized>(
+    n: usize,
+    clusters: usize,
+    cluster: usize,
+    rng: &mut R,
+) -> usize {
+    let span = n / clusters;
+    let start = cluster * span;
+    let end = if cluster + 1 == clusters {
+        n
+    } else {
+        start + span
+    };
+    start + rng.gen_range(0..end - start)
 }
 
 /// Samples an index in `0..n` where the first `ceil(n * hot_fraction)`
@@ -553,6 +602,52 @@ mod tests {
         assert_eq!(c.len(), 20);
         for e in c.events() {
             assert_eq!(e.object.index(), 0);
+        }
+    }
+
+    #[test]
+    fn clustered_events_stay_inside_their_community() {
+        let c = WorkloadBuilder::new(16, 64)
+            .operations(800)
+            .kind(WorkloadKind::Clustered { clusters: 4 })
+            .seed(19)
+            .build();
+        // Cluster i owns threads [4i, 4i+4) and objects [16i, 16i+16): each
+        // event's endpoints must name the same community.
+        for (i, e) in c.events().enumerate() {
+            assert_eq!(
+                e.thread.index() / 4,
+                e.object.index() / 16,
+                "event {i} crosses communities"
+            );
+        }
+        assert_eq!(WorkloadKind::Clustered { clusters: 4 }.name(), "clustered");
+    }
+
+    #[test]
+    fn clustered_last_community_absorbs_the_remainder() {
+        // 10 threads / 7 objects over 3 clusters: spans 3 and 2, the last
+        // cluster stretching to ids 9 and 6.
+        let c = WorkloadBuilder::new(10, 7)
+            .operations(600)
+            .kind(WorkloadKind::Clustered { clusters: 3 })
+            .seed(23)
+            .build();
+        for e in c.events() {
+            let (t, o) = (e.thread.index(), e.object.index());
+            let tc = (t / 3).min(2);
+            let oc = (o / 2).min(2);
+            assert_eq!(tc, oc, "thread {t} and object {o} share a community");
+        }
+        // Degenerate parameters clamp instead of panicking.
+        let tiny = WorkloadBuilder::new(2, 2)
+            .operations(20)
+            .kind(WorkloadKind::Clustered { clusters: 100 })
+            .seed(1)
+            .build();
+        assert_eq!(tiny.len(), 20);
+        for e in tiny.events() {
+            assert_eq!(e.thread.index(), e.object.index());
         }
     }
 

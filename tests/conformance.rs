@@ -1,7 +1,7 @@
 //! Cross-crate conformance suite: the paper's load-bearing theorems as
 //! executable oracles.
 //!
-//! Nine invariant families are encoded so that any future refactor of the
+//! Ten invariant families are encoded so that any future refactor of the
 //! graph, clock, core, online, shard, runtime or net crates is checked
 //! against the mathematics rather than against snapshots:
 //!
@@ -57,6 +57,14 @@
 //!    client receives exactly its own threads' stamps in its own record
 //!    order: the network is a scheduling strategy too, never a semantic
 //!    change.
+//! 10. **Wide-clock representations and shard assignments are invisible.**
+//!     The sequential engine's chunked stamp format produces the dense
+//!     format's stamps (and row readbacks) bit for bit at widths 64, 512 and
+//!     4096, and the sharded engine under the locality-aware partitioned
+//!     assignment — including a mid-run repartition that migrates worker
+//!     slice state — produces the modulo-striped engine's stamps bit for
+//!     bit on both executors: row layout and component placement are
+//!     representation choices, never semantic ones.
 
 mod support;
 
@@ -64,7 +72,8 @@ use mvc_clock::chain::ChainClockAssigner;
 use mvc_clock::vector::{ObjectVectorClockAssigner, ThreadVectorClockAssigner};
 use mvc_clock::{ClockOrd, TimestampAssigner, VectorTimestamp};
 use mvc_core::{
-    replay, verify_assignment, EventSink, OfflineOptimizer, Timestamper, TimestampingEngine,
+    replay, verify_assignment, EventSink, OfflineOptimizer, StampFormat, Timestamper,
+    TimestampingEngine,
 };
 use mvc_graph::matching::{hopcroft_karp, simple_augmenting};
 use mvc_graph::{BipartiteGraph, IncrementalOptimum};
@@ -72,7 +81,7 @@ use mvc_online::{
     Adaptive, CompetitiveTracker, MechanismRegistry, Naive, OnlineMechanism, OnlineTimestamper,
     Popularity, Random,
 };
-use mvc_shard::{ShardExecutor, ShardedEngine};
+use mvc_shard::{ShardAssignment, ShardExecutor, ShardedEngine};
 use mvc_trace::generator::computation_from_edge_stream;
 use mvc_trace::{
     CausalityOracle, Computation, EventId, ObjectId, ThreadId, WorkloadBuilder, WorkloadKind,
@@ -1122,6 +1131,110 @@ proptest! {
                 }
             }
             prop_assert_eq!(&run.stamps, &expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 10: wide-clock representations and shard assignments are invisible
+// ---------------------------------------------------------------------------
+
+/// Clock widths the wide-clock oracle sweeps: exactly one chunk, several
+/// chunks, and the acceptance width (64 chunks).
+const ORACLE10_WIDTHS: [usize; 3] = [64, 512, 4096];
+
+/// A component map over `width` components (half thread, half object, in id
+/// order) and a clustered workload whose endpoints are all covered by it.
+fn wide_case(width: usize, events: usize, seed: u64) -> (mvc_clock::ComponentMap, Computation) {
+    let threads = width / 2;
+    let objects = width - threads;
+    let mut map = mvc_clock::ComponentMap::new();
+    for t in 0..threads {
+        map.push(mvc_clock::Component::Thread(ThreadId(t)));
+    }
+    for o in 0..objects {
+        map.push(mvc_clock::Component::Object(ObjectId(o)));
+    }
+    let computation = WorkloadBuilder::new(threads, objects)
+        .operations(events)
+        .kind(WorkloadKind::Clustered {
+            clusters: (width / 64).max(1),
+        })
+        .seed(seed)
+        .build();
+    (map, computation)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The chunked stamp format is bit-identical to the dense one at every
+    /// width — stamps and per-thread / per-object row readbacks alike — so
+    /// the sparse wide-clock hot path is a pure representation change.
+    #[test]
+    fn chunked_stamp_format_equals_dense_at_every_width(seed in 0u64..1000) {
+        for width in ORACLE10_WIDTHS {
+            let (map, computation) = wide_case(width, 300, seed);
+            let mut dense =
+                TimestampingEngine::with_format(map.clone(), StampFormat::Dense);
+            let mut chunked =
+                TimestampingEngine::with_format(map, StampFormat::Chunked);
+            let a = replay(&mut dense, &computation).unwrap();
+            let b = replay(&mut chunked, &computation).unwrap();
+            prop_assert_eq!(&a.timestamps, &b.timestamps);
+            for t in (0..width / 2).step_by((width / 7).max(1)) {
+                prop_assert_eq!(
+                    dense.thread_clock(ThreadId(t)),
+                    chunked.thread_clock(ThreadId(t))
+                );
+            }
+            for o in (0..width - width / 2).step_by((width / 7).max(1)) {
+                prop_assert_eq!(
+                    dense.object_clock(ObjectId(o)),
+                    chunked.object_clock(ObjectId(o))
+                );
+            }
+        }
+    }
+
+    /// The partitioned shard assignment — including a mid-run repartition,
+    /// which migrates worker slice state to the recomputed placement —
+    /// produces the modulo assignment's stamps bit for bit on every
+    /// executor and shard count: component placement is scheduling, never
+    /// semantics.
+    #[test]
+    fn partitioned_assignment_equals_modulo_everywhere(
+        computation in ComputationStrategy::small(),
+        shards_index in 0usize..4,
+    ) {
+        let shards = ORACLE6_SHARD_COUNTS[shards_index];
+        let plan = OfflineOptimizer::new().plan_for_computation(&computation);
+        let events: Vec<(ThreadId, ObjectId)> =
+            computation.events().map(|e| (e.thread, e.object)).collect();
+        let half = events.len() / 2;
+        for executor in [ShardExecutor::Inline, ShardExecutor::Threads] {
+            let mut modulo = ShardedEngine::with_assignment(
+                plan.components().clone(),
+                shards,
+                executor,
+                ShardAssignment::Modulo,
+            );
+            let reference = replay(&mut modulo, &computation).unwrap();
+
+            let mut partitioned = ShardedEngine::with_assignment(
+                plan.components().clone(),
+                shards,
+                executor,
+                ShardAssignment::Partitioned,
+            );
+            prop_assert_eq!(partitioned.assignment(), ShardAssignment::Partitioned);
+            let mut stamps = Vec::new();
+            partitioned.observe_batch(&events[..half], &mut stamps).unwrap();
+            // Re-place components from the interactions observed so far;
+            // the stamp stream must not notice.
+            partitioned.repartition();
+            partitioned.observe_batch(&events[half..], &mut stamps).unwrap();
+            prop_assert_eq!(&stamps, &reference.timestamps);
         }
     }
 }
